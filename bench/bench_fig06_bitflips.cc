@@ -1,0 +1,46 @@
+// Reproduces paper Fig. 6 (a-f): average bit updates per 512 written bits
+// as the number of PNW clusters grows, against Conventional, DCW, FNW,
+// MinShift, and CAP16, for each of the six workloads.
+//
+// Usage: bench_fig06_bitflips [--dataset=amazon|road|sherbrooke|traffic|
+//                              normal|uniform]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using pnw::bench::RunStats;
+  const std::vector<size_t> ks = {1, 2, 5, 10, 15, 20, 25, 30};
+
+  for (const std::string& name : pnw::bench::Fig6DatasetNames()) {
+    if (pnw::bench::DatasetFilteredOut(argc, argv, name)) {
+      continue;
+    }
+    auto dataset = pnw::bench::GetDataset(name);
+    std::printf("\n=== Fig. 6 (%s): bit updates per 512 bits ===\n",
+                dataset.name.c_str());
+
+    pnw::TablePrinter table({"method", "bits/512b", "pred_us"});
+    for (auto kind : pnw::schemes::AllSchemeKinds()) {
+      const RunStats stats = pnw::bench::RunBaseline(kind, dataset);
+      table.AddRow({std::string(pnw::schemes::SchemeName(kind)),
+                    pnw::TablePrinter::Fmt(stats.bit_updates_per_512, 1),
+                    "-"});
+    }
+    for (size_t k : ks) {
+      pnw::bench::PnwRunConfig config;
+      config.num_clusters = k;
+      const RunStats stats = pnw::bench::RunPnw(dataset, config);
+      table.AddRow({"PNW k=" + std::to_string(k),
+                    pnw::TablePrinter::Fmt(stats.bit_updates_per_512, 1),
+                    pnw::TablePrinter::Fmt(
+                        stats.predict_ns_per_write / 1000.0, 2)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig. 7: end-to-end write latency, normalized to the
+// conventional method, per dataset. PNW's latency includes its two extra
+// steps (model prediction + pool lookup); it wins when saved cache-line
+// writes outweigh them, and loses on the uniform distribution -- exactly
+// the paper's observation.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "util/stats.h"
+
+int main() {
+  const std::vector<std::string> names = {"normal", "uniform",    "amazon",
+                                          "road",   "sherbrooke", "traffic"};
+  std::printf("=== Fig. 7: normalized end-to-end write latency "
+              "(conventional = 1.00) ===\n");
+  pnw::TablePrinter table({"dataset", "Conv", "DCW", "FNW", "MinShift",
+                           "CAP16", "PNW(k=20)"});
+  for (const auto& name : names) {
+    auto dataset = pnw::bench::GetDataset(name);
+    std::vector<std::string> row = {dataset.name};
+    double conventional_ns = 0.0;
+    for (auto kind : pnw::schemes::AllSchemeKinds()) {
+      const auto stats = pnw::bench::RunBaseline(kind, dataset);
+      if (kind == pnw::schemes::SchemeKind::kConventional) {
+        conventional_ns = stats.latency_ns_per_write;
+      }
+      row.push_back(pnw::TablePrinter::Fmt(
+          stats.latency_ns_per_write / conventional_ns, 2));
+    }
+    pnw::bench::PnwRunConfig config;
+    config.num_clusters = 20;
+    const auto pnw_stats = pnw::bench::RunPnw(dataset, config);
+    row.push_back(pnw::TablePrinter::Fmt(
+        pnw_stats.latency_ns_per_write / conventional_ns, 2));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n(PNW latency includes measured k-means prediction time; "
+              "device time is the simulated 3D-XPoint model)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig. 11: K-means model (re)training time for K in
+// {2, 4, 8, 16} on the two video workloads, single-core vs multi-core,
+// as a function of the training sample size. This is the number PNW's
+// load factor must budget for ("setting the load factor in a way that we
+// have enough time to finish re-training the new model").
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "ml/feature_encoder.h"
+#include "ml/kmeans.h"
+#include "util/stats.h"
+#include "workloads/video_frames.h"
+
+namespace {
+
+double TrainSeconds(const pnw::ml::Matrix& data, size_t k, size_t threads) {
+  pnw::ml::KMeansOptions options;
+  options.k = k;
+  options.max_iterations = 15;
+  options.num_threads = threads;
+  options.seed = 11;
+  const auto start = std::chrono::steady_clock::now();
+  auto model = pnw::ml::KMeansTrainer(options).Fit(data);
+  const auto end = std::chrono::steady_clock::now();
+  if (!model.ok()) {
+    return -1.0;
+  }
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 11: K-means training time, 1 core vs 4 cores ===\n");
+  const std::vector<size_t> sample_sizes = {500, 1000, 2000, 4000};
+  const std::vector<size_t> ks = {2, 4, 8, 16};
+
+  for (const char* name : {"traffic", "sherbrooke"}) {
+    pnw::workloads::VideoFramesOptions gen;
+    gen.profile = std::string(name) == "traffic"
+                      ? pnw::workloads::VideoProfile::kTraffic
+                      : pnw::workloads::VideoProfile::kSherbrooke;
+    gen.num_old = sample_sizes.back();
+    gen.num_new = 0;
+    auto dataset = pnw::workloads::GenerateVideoFrames(gen);
+    pnw::ml::BitFeatureEncoder encoder(dataset.value_bytes, 512);
+    pnw::ml::Matrix all = encoder.EncodeBatch(dataset.old_data);
+
+    for (size_t k : ks) {
+      std::printf("\n--- %s, k=%zu (cf. paper Fig. 11 '%s %zu') ---\n", name,
+                  k, std::string(name) == "traffic" ? "Seq" : "Sher", k);
+      pnw::TablePrinter table({"samples", "1-core_s", "4-core_s",
+                               "speedup"});
+      for (size_t n : sample_sizes) {
+        pnw::ml::Matrix subset(n, all.cols());
+        for (size_t r = 0; r < n; ++r) {
+          std::copy_n(all.Row(r).data(), all.cols(), subset.Row(r).data());
+        }
+        const double t1 = TrainSeconds(subset, k, 1);
+        const double t4 = TrainSeconds(subset, k, 4);
+        table.AddRow({std::to_string(n), pnw::TablePrinter::Fmt(t1, 3),
+                      pnw::TablePrinter::Fmt(t4, 3),
+                      pnw::TablePrinter::Fmt(t1 / t4, 2)});
+      }
+      table.Print();
+    }
+  }
+  std::printf("\n(expected shape: time grows with k and sample size; "
+              "multi-core pays off once the sample is large enough)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks of the hot kernels and store operations (google-benchmark
+// suite; complements the per-figure harnesses).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pnw_store.h"
+#include "ml/feature_encoder.h"
+#include "ml/kmeans.h"
+#include "util/hamming.h"
+#include "util/random.h"
+#include "workloads/integer_generator.h"
+
+namespace {
+
+void BM_HammingDistance(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> a(bytes), b(bytes);
+  pnw::Rng rng(1);
+  for (size_t i = 0; i < bytes; ++i) {
+    a[i] = static_cast<uint8_t>(rng.Next());
+    b[i] = static_cast<uint8_t>(rng.Next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pnw::HammingDistance(a, b));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_HammingDistance)->Arg(64)->Arg(784)->Arg(4096);
+
+void BM_KMeansPredict(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const size_t dims = 256;
+  pnw::Rng rng(2);
+  pnw::ml::Matrix data(512, dims);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t c = 0; c < dims; ++c) {
+      data.At(r, c) = static_cast<float>(rng.NextDouble());
+    }
+  }
+  pnw::ml::KMeansOptions options;
+  options.k = k;
+  auto model = pnw::ml::KMeansTrainer(options).Fit(data).value();
+  std::vector<float> query(dims, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(query));
+  }
+}
+BENCHMARK(BM_KMeansPredict)->Arg(5)->Arg(15)->Arg(30);
+
+void BM_PnwStorePut(benchmark::State& state) {
+  pnw::workloads::IntegerGeneratorOptions gen;
+  gen.num_old = 2048;
+  gen.num_new = 1;
+  auto ds = pnw::workloads::GenerateIntegers(gen);
+
+  pnw::core::PnwOptions options;
+  options.value_bytes = ds.value_bytes;
+  options.initial_buckets = 4096;
+  options.capacity_buckets = 8192;
+  options.num_clusters = 8;
+  auto store = pnw::core::PnwStore::Open(options).value();
+  std::vector<uint64_t> keys(ds.old_data.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = i;
+  }
+  if (!store->Bootstrap(keys, ds.old_data).ok()) {
+    state.SkipWithError("bootstrap failed");
+    return;
+  }
+  uint64_t next_key = keys.size();
+  pnw::Rng rng(3);
+  std::vector<uint8_t> value(4);
+  for (auto _ : state) {
+    const uint32_t v = static_cast<uint32_t>(rng.Next());
+    std::memcpy(value.data(), &v, 4);
+    // Delete an old key to keep the pool supplied, then put.
+    benchmark::DoNotOptimize(store->Delete(next_key - keys.size()));
+    benchmark::DoNotOptimize(store->Put(next_key, value));
+    ++next_key;
+    if (next_key - keys.size() >= keys.size()) {
+      break;  // pool of reusable old keys exhausted for this run
+    }
+  }
+}
+BENCHMARK(BM_PnwStorePut)->Iterations(1500);
+
+void BM_FeatureEncode(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  pnw::ml::BitFeatureEncoder encoder(bytes, 512);
+  std::vector<uint8_t> value(bytes, 0xa5);
+  std::vector<float> out(encoder.dims());
+  for (auto _ : state) {
+    encoder.Encode(value, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FeatureEncode)->Arg(32)->Arg(784)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

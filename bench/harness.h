@@ -1,0 +1,63 @@
+#ifndef PNW_BENCH_HARNESS_H_
+#define PNW_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pnw_options.h"
+#include "schemes/write_scheme.h"
+#include "workloads/dataset.h"
+
+namespace pnw::bench {
+
+/// Aggregate statistics of one measured write stream.
+struct RunStats {
+  /// The paper's Fig. 6 metric: NVM cells updated per 512 payload bits.
+  double bit_updates_per_512 = 0.0;
+  /// Fig. 9 metric: cache lines written per request.
+  double lines_per_write = 0.0;
+  /// Fig. 7/8 metric: end-to-end simulated write latency (for PNW this
+  /// includes the measured model-prediction time).
+  double latency_ns_per_write = 0.0;
+  /// PNW only: measured prediction wall time per write.
+  double predict_ns_per_write = 0.0;
+  size_t writes = 0;
+};
+
+/// Run a baseline write scheme over the paper's protocol: warm every block
+/// with old data, reset counters, then write [8B key | value] blocks in
+/// place (baselines have no placement freedom; updates are in place).
+RunStats RunBaseline(schemes::SchemeKind kind,
+                     const workloads::Dataset& dataset);
+
+/// PNW run configuration for the figure harnesses.
+struct PnwRunConfig {
+  size_t num_clusters = 8;
+  size_t max_features = 256;
+  size_t pca_components = 0;
+  core::IndexPlacement index_placement = core::IndexPlacement::kDram;
+  uint64_t seed = 42;
+  size_t train_threads = 1;
+};
+
+/// Run PNW over the paper's protocol: bootstrap with the old data, delete
+/// half the zone (insert n / delete 0.5n -- this is what gives the dynamic
+/// address pool placement choice), retrain, reset counters, then stream
+/// new data as put+delete pairs keeping half the zone free.
+RunStats RunPnw(const workloads::Dataset& dataset, const PnwRunConfig& config);
+
+/// Named bench-scale datasets ("amazon", "road", "pubmed", "sherbrooke",
+/// "traffic", "mnist", "fashion", "cifar", "normal", "uniform").
+workloads::Dataset GetDataset(const std::string& name);
+
+/// All Fig. 6 dataset names in paper order (6a..6f).
+std::vector<std::string> Fig6DatasetNames();
+
+/// True if `--dataset=<name>` appears in argv and does not match `name`
+/// (harnesses use this to let CI filter one sub-plot).
+bool DatasetFilteredOut(int argc, char** argv, const std::string& name);
+
+}  // namespace pnw::bench
+
+#endif  // PNW_BENCH_HARNESS_H_

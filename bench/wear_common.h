@@ -1,0 +1,77 @@
+#ifndef PNW_BENCH_WEAR_COMMON_H_
+#define PNW_BENCH_WEAR_COMMON_H_
+
+// Shared experiment for the paper's wear-leveling CDFs (Figs. 12 and 13):
+// warm the data zone with a MNIST+Fashion mixture, then stream 4x the zone
+// size in writes (each word updated 4 times on average, as in the paper),
+// with deletes making space for the incoming writes.
+
+#include <memory>
+#include <vector>
+
+#include "core/pnw_store.h"
+#include "workloads/image_dataset.h"
+
+namespace pnw::bench {
+
+struct WearExperiment {
+  std::unique_ptr<core::PnwStore> store;
+  size_t zone_buckets;
+  size_t writes_streamed;
+};
+
+inline WearExperiment RunWearExperiment(size_t k, bool track_bit_wear) {
+  const size_t zone = 1024;        // paper: 28K items, scaled
+  const size_t stream = zone * 4;  // each address rewritten 4x on average
+
+  auto take = [](workloads::ImageProfile profile, size_t count,
+                 uint64_t seed) {
+    workloads::ImageDatasetOptions options;
+    options.profile = profile;
+    options.num_old = 0;
+    options.num_new = count;
+    options.seed = seed;
+    return workloads::GenerateImages(options).new_data;
+  };
+  auto mnist = take(workloads::ImageProfile::kMnist, zone / 2 + stream / 2,
+                    31);
+  auto fashion = take(workloads::ImageProfile::kFashionMnist,
+                      zone / 2 + stream / 2, 32);
+
+  core::PnwOptions options;
+  options.value_bytes = 784;
+  options.initial_buckets = zone;
+  options.capacity_buckets = zone;
+  options.num_clusters = k;
+  options.max_features = 256;
+  options.training_sample_cap = 1024;
+  options.track_bit_wear = track_bit_wear;
+  auto store = core::PnwStore::Open(options).value();
+
+  std::vector<uint64_t> keys(zone);
+  std::vector<std::vector<uint8_t>> warmup(zone);
+  for (size_t i = 0; i < zone; ++i) {
+    keys[i] = i;
+    warmup[i] = i % 2 == 0 ? mnist[i / 2] : fashion[i / 2];
+  }
+  (void)store->Bootstrap(keys, warmup);
+  for (uint64_t i = 0; i < zone / 2; ++i) {
+    (void)store->Delete(i);
+  }
+  (void)store->TrainModel();
+  store->ResetWearAndMetrics();
+
+  uint64_t next_key = zone;
+  uint64_t next_delete = zone / 2;
+  for (size_t i = 0; i < stream; ++i) {
+    const auto& value = i % 2 == 0 ? mnist[zone / 2 + i / 2]
+                                   : fashion[zone / 2 + i / 2];
+    (void)store->Put(next_key++, value);
+    (void)store->Delete(next_delete++);
+  }
+  return WearExperiment{std::move(store), zone, stream};
+}
+
+}  // namespace pnw::bench
+
+#endif  // PNW_BENCH_WEAR_COMMON_H_

@@ -1,0 +1,112 @@
+// pnw_cli: run a custom PNW experiment from the command line without
+// writing code. Picks a named dataset, a cluster count, and a scheme to
+// compare against, then prints the full metric set.
+//
+//   ./build/examples/pnw_cli --dataset=amazon --k=10 --baseline=FNW
+//   ./build/examples/pnw_cli --dataset=traffic --k=20 --index=nvm
+//
+// Flags (all optional):
+//   --dataset=NAME   amazon|road|pubmed|sherbrooke|traffic|mnist|fashion|
+//                    cifar|normal|uniform           (default: amazon)
+//   --k=N            clusters                        (default: 10)
+//   --baseline=NAME  Conventional|DCW|FNW|MinShift|CAP16 (default: DCW)
+//   --index=dram|nvm index placement                 (default: dram)
+//   --pca=N          PCA components, 0 = off         (default: 0)
+//   --minibatch=N    mini-batch training size, 0=off (default: 0)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/harness.h"
+#include "util/stats.h"
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+pnw::schemes::SchemeKind ParseScheme(const std::string& name) {
+  for (auto kind : pnw::schemes::AllSchemeKinds()) {
+    if (pnw::schemes::SchemeName(kind) == name) {
+      return kind;
+    }
+  }
+  std::fprintf(stderr, "unknown baseline '%s', using DCW\n", name.c_str());
+  return pnw::schemes::SchemeKind::kDcw;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset_name = FlagValue(argc, argv, "dataset", "amazon");
+  const size_t k =
+      static_cast<size_t>(std::atoi(FlagValue(argc, argv, "k", "10").c_str()));
+  const auto baseline = ParseScheme(FlagValue(argc, argv, "baseline", "DCW"));
+  const bool nvm_index = FlagValue(argc, argv, "index", "dram") == "nvm";
+  const size_t pca = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "pca", "0").c_str()));
+
+  pnw::workloads::Dataset dataset;
+  try {
+    dataset = pnw::bench::GetDataset(dataset_name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  std::printf("dataset=%s  values=%zuB  old=%zu  new=%zu  k=%zu\n",
+              dataset.name.c_str(), dataset.value_bytes,
+              dataset.old_data.size(), dataset.new_data.size(), k);
+
+  pnw::bench::PnwRunConfig config;
+  config.num_clusters = k == 0 ? 1 : k;
+  config.pca_components = pca;
+  config.index_placement = nvm_index
+                               ? pnw::core::IndexPlacement::kNvmPathHash
+                               : pnw::core::IndexPlacement::kDram;
+  const auto pnw_stats = pnw::bench::RunPnw(dataset, config);
+  const auto base_stats = pnw::bench::RunBaseline(baseline, dataset);
+  const auto conventional = pnw::bench::RunBaseline(
+      pnw::schemes::SchemeKind::kConventional, dataset);
+
+  pnw::TablePrinter table({"method", "bits/512b", "lines/write",
+                           "latency_us", "pred_us"});
+  table.AddRow({"Conventional",
+                pnw::TablePrinter::Fmt(conventional.bit_updates_per_512, 1),
+                pnw::TablePrinter::Fmt(conventional.lines_per_write, 2),
+                pnw::TablePrinter::Fmt(
+                    conventional.latency_ns_per_write / 1000.0, 2),
+                "-"});
+  table.AddRow({std::string(pnw::schemes::SchemeName(baseline)),
+                pnw::TablePrinter::Fmt(base_stats.bit_updates_per_512, 1),
+                pnw::TablePrinter::Fmt(base_stats.lines_per_write, 2),
+                pnw::TablePrinter::Fmt(base_stats.latency_ns_per_write /
+                                           1000.0, 2),
+                "-"});
+  table.AddRow({"PNW k=" + std::to_string(config.num_clusters),
+                pnw::TablePrinter::Fmt(pnw_stats.bit_updates_per_512, 1),
+                pnw::TablePrinter::Fmt(pnw_stats.lines_per_write, 2),
+                pnw::TablePrinter::Fmt(
+                    pnw_stats.latency_ns_per_write / 1000.0, 2),
+                pnw::TablePrinter::Fmt(
+                    pnw_stats.predict_ns_per_write / 1000.0, 2)});
+  table.Print();
+
+  const double improvement =
+      (base_stats.bit_updates_per_512 - pnw_stats.bit_updates_per_512) /
+      base_stats.bit_updates_per_512 * 100.0;
+  std::printf("\nPNW vs %s: %+.1f%% bit updates (positive = PNW better)\n",
+              std::string(pnw::schemes::SchemeName(baseline)).c_str(),
+              improvement);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "core/dynamic_address_pool.h"
+
+namespace pnw::core {
+
+DynamicAddressPool::DynamicAddressPool(size_t num_clusters)
+    : free_lists_(num_clusters) {}
+
+void DynamicAddressPool::Insert(size_t cluster, uint64_t addr) {
+  free_lists_[cluster].push_back(addr);
+  ++total_free_;
+}
+
+std::optional<uint64_t> DynamicAddressPool::Acquire(size_t cluster) {
+  auto& list = free_lists_[cluster];
+  if (list.empty()) {
+    return std::nullopt;
+  }
+  const uint64_t addr = list.back();
+  list.pop_back();
+  --total_free_;
+  return addr;
+}
+
+std::optional<uint64_t> DynamicAddressPool::AcquireRanked(
+    std::span<const size_t> ranked_clusters, bool* used_fallback) {
+  if (used_fallback != nullptr) {
+    *used_fallback = false;
+  }
+  for (size_t i = 0; i < ranked_clusters.size(); ++i) {
+    auto addr = Acquire(ranked_clusters[i]);
+    if (addr.has_value()) {
+      if (used_fallback != nullptr && i > 0) {
+        *used_fallback = true;
+      }
+      return addr;
+    }
+  }
+  return std::nullopt;
+}
+
+void DynamicAddressPool::Clear() {
+  for (auto& list : free_lists_) {
+    list.clear();
+  }
+  total_free_ = 0;
+}
+
+std::vector<uint64_t> DynamicAddressPool::Drain() {
+  std::vector<uint64_t> all;
+  all.reserve(total_free_);
+  for (auto& list : free_lists_) {
+    all.insert(all.end(), list.begin(), list.end());
+    list.clear();
+  }
+  total_free_ = 0;
+  return all;
+}
+
+}  // namespace pnw::core

@@ -1,0 +1,48 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace pnw::core {
+
+double StoreMetrics::BitUpdatesPer512() const {
+  if (put_payload_bits == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(put_bits_written) * 512.0 /
+         static_cast<double>(put_payload_bits);
+}
+
+double StoreMetrics::AvgPutLatencyNs() const {
+  if (puts == 0) {
+    return 0.0;
+  }
+  return (put_device_ns + predict_wall_ns) / static_cast<double>(puts);
+}
+
+double StoreMetrics::AvgLinesPerPut() const {
+  if (puts == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(put_lines_written) / static_cast<double>(puts);
+}
+
+double StoreMetrics::AvgPredictNs() const {
+  if (puts == 0) {
+    return 0.0;
+  }
+  return predict_wall_ns / static_cast<double>(puts);
+}
+
+std::string StoreMetrics::ToString() const {
+  std::ostringstream os;
+  os << "puts=" << puts << " gets=" << gets << " deletes=" << deletes
+     << " updates=" << updates << " failed=" << failed_ops
+     << " bit_updates/512b=" << BitUpdatesPer512()
+     << " avg_put_ns=" << AvgPutLatencyNs()
+     << " lines/put=" << AvgLinesPerPut()
+     << " fallbacks=" << pool_fallbacks << " retrains=" << retrains
+     << " extensions=" << extensions;
+  return os.str();
+}
+
+}  // namespace pnw::core

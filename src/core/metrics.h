@@ -1,0 +1,55 @@
+#ifndef PNW_CORE_METRICS_H_
+#define PNW_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pnw::core {
+
+/// Per-store operation counters. Device-level wear (bits/words/lines) lives
+/// in nvm::NvmCounters; this struct tracks what the *store* did and how the
+/// simulated time breaks down, which the paper's latency figures need.
+struct StoreMetrics {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t updates = 0;
+  uint64_t failed_ops = 0;
+
+  /// NVM cells updated by PUT traffic (payload + flag + index), and the
+  /// payload bits those PUTs carried: the ratio gives the paper's
+  /// "bit updates per 512 bits" metric.
+  uint64_t put_bits_written = 0;
+  uint64_t put_payload_bits = 0;
+  uint64_t put_lines_written = 0;
+  uint64_t put_words_written = 0;
+
+  /// Simulated device time attributed to PUTs / GETs / DELETEs.
+  double put_device_ns = 0.0;
+  double get_device_ns = 0.0;
+  double delete_device_ns = 0.0;
+  /// Measured wall-clock time spent in model Predict() calls (the paper
+  /// reports "the latency of prediction per item").
+  double predict_wall_ns = 0.0;
+
+  /// Pool behaviour.
+  uint64_t pool_fallbacks = 0;   // predicted cluster empty, used next-nearest
+  uint64_t retrains = 0;
+  uint64_t extensions = 0;
+
+  /// Average bit updates per 512 payload bits written (paper Fig. 6 y-axis).
+  double BitUpdatesPer512() const;
+  /// Average end-to-end PUT latency in ns: prediction + simulated device
+  /// time (paper Fig. 7/8).
+  double AvgPutLatencyNs() const;
+  /// Average written cache lines per PUT (paper Fig. 9 y-axis).
+  double AvgLinesPerPut() const;
+  /// Average prediction latency per PUT in ns.
+  double AvgPredictNs() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace pnw::core
+
+#endif  // PNW_CORE_METRICS_H_

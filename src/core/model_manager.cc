@@ -1,0 +1,139 @@
+#include "core/model_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace pnw::core {
+
+void ValueModel::Featurize(std::span<const uint8_t> value,
+                           std::vector<float>& features) const {
+  std::vector<float> encoded(encoder_.dims());
+  encoder_.Encode(value, encoded);
+  if (pca_.has_value()) {
+    features.resize(pca_->num_components());
+    pca_->Transform(encoded, features);
+  } else {
+    features = std::move(encoded);
+  }
+}
+
+size_t ValueModel::Predict(std::span<const uint8_t> value) const {
+  std::vector<float> features;
+  Featurize(value, features);
+  return kmeans_.Predict(features);
+}
+
+std::vector<size_t> ValueModel::RankClusters(
+    std::span<const uint8_t> value) const {
+  std::vector<float> features;
+  Featurize(value, features);
+  return kmeans_.RankClusters(features);
+}
+
+ModelManager::ModelManager(const ModelTrainingConfig& config)
+    : config_(config) {}
+
+ModelManager::~ModelManager() { JoinWorker(); }
+
+void ModelManager::JoinWorker() {
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+std::shared_ptr<const ValueModel> ModelManager::TrainInternal(
+    const std::vector<std::vector<uint8_t>>& samples, Status* status) {
+  const auto start = std::chrono::steady_clock::now();
+
+  const size_t stride =
+      config_.encode_byte_stride != 0
+          ? config_.encode_byte_stride
+          : std::max<size_t>(1, config_.value_bytes / 2048);
+  ml::BitFeatureEncoder encoder(config_.value_bytes, config_.max_features,
+                                stride);
+  ml::Matrix encoded = encoder.EncodeBatch(samples);
+
+  std::optional<ml::PcaModel> pca;
+  const ml::Matrix* train_data = &encoded;
+  ml::Matrix projected;
+  if (config_.pca_components > 0 &&
+      config_.pca_components < encoder.dims()) {
+    ml::PcaOptions pca_options;
+    pca_options.num_components = config_.pca_components;
+    pca_options.seed = config_.seed;
+    auto pca_result = ml::PcaTrainer(pca_options).Fit(encoded);
+    if (!pca_result.ok()) {
+      *status = pca_result.status();
+      return nullptr;
+    }
+    pca = std::move(pca_result.value());
+    projected = pca->TransformBatch(encoded);
+    train_data = &projected;
+  }
+
+  ml::KMeansOptions kmeans_options;
+  kmeans_options.k = config_.num_clusters;
+  kmeans_options.max_iterations = config_.max_iterations;
+  kmeans_options.seed = config_.seed;
+  kmeans_options.num_threads = config_.train_threads;
+  kmeans_options.mini_batch_size = config_.mini_batch_size;
+  auto kmeans_result = ml::KMeansTrainer(kmeans_options).Fit(*train_data);
+  if (!kmeans_result.ok()) {
+    *status = kmeans_result.status();
+    return nullptr;
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  last_training_seconds_.store(
+      std::chrono::duration<double>(end - start).count(),
+      std::memory_order_release);
+  *status = Status::OK();
+  return std::make_shared<const ValueModel>(encoder, std::move(pca),
+                                            std::move(kmeans_result.value()));
+}
+
+Result<std::shared_ptr<const ValueModel>> ModelManager::Train(
+    std::vector<std::vector<uint8_t>> samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("model training requires samples");
+  }
+  Status status;
+  auto model = TrainInternal(samples, &status);
+  if (!status.ok()) {
+    return status;
+  }
+  return Result<std::shared_ptr<const ValueModel>>(std::move(model));
+}
+
+bool ModelManager::StartBackgroundTrain(
+    std::vector<std::vector<uint8_t>> samples) {
+  if (samples.empty()) {
+    return false;
+  }
+  bool expected = false;
+  if (!training_in_flight_.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return false;  // a run is already in flight
+  }
+  JoinWorker();  // reap a previously finished thread
+  worker_ = std::thread([this, samples = std::move(samples)]() mutable {
+    Status status;
+    auto model = TrainInternal(samples, &status);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status.ok()) {
+        ready_model_ = std::move(model);
+      }
+    }
+    training_in_flight_.store(false, std::memory_order_release);
+  });
+  return true;
+}
+
+std::shared_ptr<const ValueModel> ModelManager::TakeTrainedModel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(ready_model_, nullptr);
+}
+
+}  // namespace pnw::core

@@ -1,0 +1,118 @@
+#ifndef PNW_CORE_MODEL_MANAGER_H_
+#define PNW_CORE_MODEL_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "ml/feature_encoder.h"
+#include "ml/kmeans.h"
+#include "ml/pca.h"
+#include "util/status.h"
+
+namespace pnw::core {
+
+/// A trained prediction pipeline: bit-feature encoding, optional PCA
+/// projection, and a K-means model. Immutable once built, so the store can
+/// share it between the serving path and a background trainer via
+/// shared_ptr swap (the paper's "switch to the new model ... while the
+/// system is running").
+class ValueModel {
+ public:
+  ValueModel(ml::BitFeatureEncoder encoder, std::optional<ml::PcaModel> pca,
+             ml::KMeansModel kmeans)
+      : encoder_(encoder), pca_(std::move(pca)), kmeans_(std::move(kmeans)) {}
+
+  size_t k() const { return kmeans_.k(); }
+
+  /// Cluster label for a raw value ("E = model.predict(D)", Algorithm 2).
+  size_t Predict(std::span<const uint8_t> value) const;
+
+  /// Clusters ordered nearest-first for the pool's fallback path.
+  std::vector<size_t> RankClusters(std::span<const uint8_t> value) const;
+
+  const ml::KMeansModel& kmeans() const { return kmeans_; }
+  bool uses_pca() const { return pca_.has_value(); }
+
+ private:
+  /// Encode + (optionally) project into `features`.
+  void Featurize(std::span<const uint8_t> value,
+                 std::vector<float>& features) const;
+
+  ml::BitFeatureEncoder encoder_;
+  std::optional<ml::PcaModel> pca_;
+  ml::KMeansModel kmeans_;
+};
+
+/// Training configuration for the manager (a distilled view of PnwOptions).
+struct ModelTrainingConfig {
+  size_t value_bytes = 32;
+  size_t num_clusters = 8;
+  size_t max_features = 512;
+  size_t pca_components = 0;  // 0 = PCA disabled
+  size_t max_iterations = 30;
+  size_t train_threads = 1;
+  /// Byte stride for folded feature encoding; 0 = auto (scan <= 2 KiB per
+  /// value, bounding prediction latency for page-sized values).
+  size_t encode_byte_stride = 0;
+  /// If nonzero, train with mini-batch K-means of this batch size (cheaper
+  /// background retraining; see ml::KMeansOptions::mini_batch_size).
+  size_t mini_batch_size = 0;
+  uint64_t seed = 42;
+};
+
+/// Owns model (re)training. Synchronous training returns a fresh model;
+/// background training runs on a private thread and the result is collected
+/// by the store on a later operation ("we can hide the re-training latency
+/// and the system works without disruptions").
+class ModelManager {
+ public:
+  explicit ModelManager(const ModelTrainingConfig& config);
+  ~ModelManager();
+
+  ModelManager(const ModelManager&) = delete;
+  ModelManager& operator=(const ModelManager&) = delete;
+
+  /// Train a model on `samples` (raw values, each config.value_bytes long).
+  Result<std::shared_ptr<const ValueModel>> Train(
+      std::vector<std::vector<uint8_t>> samples);
+
+  /// Kick off asynchronous training on `samples`. No-op if a training run
+  /// is already in flight. Returns false in that case.
+  bool StartBackgroundTrain(std::vector<std::vector<uint8_t>> samples);
+
+  /// True while a background run is in flight.
+  bool background_training_in_progress() const {
+    return training_in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Collect the finished background model, if any (nullptr otherwise).
+  std::shared_ptr<const ValueModel> TakeTrainedModel();
+
+  /// Wall-clock seconds of the most recent completed training run
+  /// (Fig. 11's y-axis).
+  double last_training_seconds() const { return last_training_seconds_; }
+
+  const ModelTrainingConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const ValueModel> TrainInternal(
+      const std::vector<std::vector<uint8_t>>& samples, Status* status);
+  void JoinWorker();
+
+  ModelTrainingConfig config_;
+  std::thread worker_;
+  std::atomic<bool> training_in_flight_{false};
+  std::mutex mu_;
+  std::shared_ptr<const ValueModel> ready_model_;  // guarded by mu_
+  std::atomic<double> last_training_seconds_{0.0};
+};
+
+}  // namespace pnw::core
+
+#endif  // PNW_CORE_MODEL_MANAGER_H_

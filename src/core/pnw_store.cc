@@ -1,0 +1,517 @@
+#include "core/pnw_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "index/dram_hash_index.h"
+#include "index/path_hash_index.h"
+
+namespace pnw::core {
+
+namespace {
+
+constexpr size_t kStoredKeyBytes = 8;
+
+/// Scoped attribution of device-counter deltas to a metrics slot: every NVM
+/// byte the enclosed operation touches (payload, flag bitmap, NVM-resident
+/// index) lands in the same per-op accounting.
+class DeviceDeltaScope {
+ public:
+  DeviceDeltaScope(nvm::NvmDevice* device, double* ns_slot,
+                   uint64_t* bits_slot = nullptr,
+                   uint64_t* lines_slot = nullptr,
+                   uint64_t* words_slot = nullptr)
+      : device_(device),
+        ns_slot_(ns_slot),
+        bits_slot_(bits_slot),
+        lines_slot_(lines_slot),
+        words_slot_(words_slot),
+        start_(device->counters()) {}
+
+  ~DeviceDeltaScope() {
+    const auto& end = device_->counters();
+    if (ns_slot_ != nullptr) {
+      *ns_slot_ += end.total_latency_ns - start_.total_latency_ns;
+    }
+    if (bits_slot_ != nullptr) {
+      *bits_slot_ += end.total_bits_written - start_.total_bits_written;
+    }
+    if (lines_slot_ != nullptr) {
+      *lines_slot_ += end.total_lines_written - start_.total_lines_written;
+    }
+    if (words_slot_ != nullptr) {
+      *words_slot_ += end.total_words_written - start_.total_words_written;
+    }
+  }
+
+ private:
+  nvm::NvmDevice* device_;
+  double* ns_slot_;
+  uint64_t* bits_slot_;
+  uint64_t* lines_slot_;
+  uint64_t* words_slot_;
+  nvm::NvmCounters start_;
+};
+
+}  // namespace
+
+PnwStore::PnwStore(const PnwOptions& options)
+    : options_(options),
+      key_bytes_(options.store_keys_in_data_zone ? kStoredKeyBytes : 0),
+      bucket_bytes_(key_bytes_ + options.value_bytes),
+      flags_base_(0),
+      index_base_(0),
+      pool_(std::max<size_t>(1, options.num_clusters)) {}
+
+Result<std::unique_ptr<PnwStore>> PnwStore::Open(const PnwOptions& options) {
+  if (options.value_bytes == 0) {
+    return Status::InvalidArgument("value_bytes must be positive");
+  }
+  if (options.initial_buckets == 0 ||
+      options.capacity_buckets < options.initial_buckets) {
+    return Status::InvalidArgument(
+        "need 0 < initial_buckets <= capacity_buckets");
+  }
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (options.load_factor <= 0.0 || options.load_factor > 1.0) {
+    return Status::InvalidArgument("load_factor must be in (0, 1]");
+  }
+  std::unique_ptr<PnwStore> store(new PnwStore(options));
+  PNW_RETURN_IF_ERROR(store->Init());
+  return store;
+}
+
+Status PnwStore::Init() {
+  const size_t data_bytes = options_.capacity_buckets * bucket_bytes_;
+  const size_t flag_bytes = (options_.capacity_buckets + 7) / 8;
+  flags_base_ = data_bytes;
+  index_base_ = data_bytes + flag_bytes;
+  if (!options_.occupancy_flags_on_nvm) {
+    dram_flags_.assign(flag_bytes, 0);
+  }
+
+  size_t index_bytes = 0;
+  if (options_.index_placement == IndexPlacement::kNvmPathHash) {
+    index_bytes = index::PathHashIndex::StorageBytes(
+        options_.capacity_buckets * 2, /*num_levels=*/8);
+  }
+
+  nvm::NvmConfig config;
+  config.size_bytes = data_bytes + flag_bytes + index_bytes;
+  config.track_bit_wear = options_.track_bit_wear;
+  config.latency = options_.latency;
+  device_ = std::make_unique<nvm::NvmDevice>(config);
+  wear_ = std::make_unique<nvm::WearTracker>(device_.get(), bucket_bytes_);
+
+  if (options_.index_placement == IndexPlacement::kNvmPathHash) {
+    index_ = std::make_unique<index::PathHashIndex>(
+        device_.get(), index_base_, options_.capacity_buckets * 2,
+        /*num_levels=*/8);
+  } else {
+    index_ = std::make_unique<index::DramHashIndex>();
+  }
+
+  ModelTrainingConfig training;
+  training.value_bytes = options_.value_bytes;
+  training.num_clusters = options_.num_clusters;
+  training.max_features = options_.max_features;
+  training.pca_components = options_.pca_components;
+  training.max_iterations = options_.max_training_iterations;
+  training.train_threads = options_.train_threads;
+  training.encode_byte_stride = options_.encode_byte_stride;
+  training.mini_batch_size = options_.training_mini_batch;
+  training.seed = options_.seed;
+  manager_ = std::make_unique<ModelManager>(training);
+
+  active_buckets_ = options_.initial_buckets;
+  // Until a model exists, every free address sits in cluster 0 and PUTs
+  // place like DCW.
+  for (size_t b = 0; b < active_buckets_; ++b) {
+    pool_.Insert(0, BucketAddr(b));
+  }
+  return Status::OK();
+}
+
+bool PnwStore::GetBucketFlag(size_t bucket) const {
+  const uint8_t byte = options_.occupancy_flags_on_nvm
+                           ? device_->Peek(flags_base_ + bucket / 8, 1)[0]
+                           : dram_flags_[bucket / 8];
+  return (byte >> (bucket % 8)) & 1;
+}
+
+Status PnwStore::SetBucketFlag(size_t bucket, bool occupied) {
+  if (!options_.occupancy_flags_on_nvm) {
+    if (occupied) {
+      dram_flags_[bucket / 8] |= static_cast<uint8_t>(1u << (bucket % 8));
+    } else {
+      dram_flags_[bucket / 8] &= static_cast<uint8_t>(~(1u << (bucket % 8)));
+    }
+    return Status::OK();
+  }
+  uint8_t byte = device_->Peek(flags_base_ + bucket / 8, 1)[0];
+  if (occupied) {
+    byte |= static_cast<uint8_t>(1u << (bucket % 8));
+  } else {
+    byte &= static_cast<uint8_t>(~(1u << (bucket % 8)));
+  }
+  auto result = device_->WriteDifferential(
+      flags_base_ + bucket / 8, std::span<const uint8_t>(&byte, 1));
+  return result.ok() ? Status::OK() : result.status();
+}
+
+std::span<const uint8_t> PnwStore::PeekBucketValue(size_t bucket) const {
+  return device_->Peek(BucketAddr(bucket) + key_bytes_, options_.value_bytes);
+}
+
+std::vector<size_t> PnwStore::RankClustersTimed(
+    std::span<const uint8_t> value) {
+  if (model_ == nullptr) {
+    return {0};
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto ranked = model_->RankClusters(value);
+  const auto t1 = std::chrono::steady_clock::now();
+  metrics_.predict_wall_ns +=
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  return ranked;
+}
+
+size_t PnwStore::PredictTimed(std::span<const uint8_t> value) {
+  if (model_ == nullptr) {
+    return 0;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t label = model_->Predict(value);
+  const auto t1 = std::chrono::steady_clock::now();
+  metrics_.predict_wall_ns +=
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  return label;
+}
+
+Status PnwStore::Bootstrap(std::span<const uint64_t> keys,
+                           std::span<const std::vector<uint8_t>> values) {
+  if (bootstrapped_) {
+    return Status::FailedPrecondition("store already bootstrapped");
+  }
+  if (keys.size() != values.size()) {
+    return Status::InvalidArgument("keys/values size mismatch");
+  }
+  if (values.size() > active_buckets_) {
+    return Status::InvalidArgument("more warm-up items than buckets");
+  }
+  std::vector<uint8_t> bucket(bucket_bytes_);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].size() != options_.value_bytes) {
+      return Status::InvalidArgument("warm-up value size mismatch");
+    }
+    if (key_bytes_ > 0) {
+      std::memcpy(bucket.data(), &keys[i], key_bytes_);
+    }
+    std::memcpy(bucket.data() + key_bytes_, values[i].data(),
+                options_.value_bytes);
+    auto write = device_->WriteConventional(BucketAddr(i), bucket);
+    if (!write.ok()) {
+      return write.status();
+    }
+    PNW_RETURN_IF_ERROR(SetBucketFlag(i, true));
+    PNW_RETURN_IF_ERROR(index_->Put(keys[i], BucketAddr(i)));
+  }
+  used_buckets_ = values.size();
+  bootstrapped_ = true;
+  // Algorithm 1: train on the data zone and build the dynamic address pool.
+  return TrainModel();
+}
+
+std::vector<std::vector<uint8_t>> PnwStore::CollectTrainingSamples() const {
+  // Uniform stride over *all* active buckets: free slots still hold stale
+  // data, which is exactly what the model must cluster (the pool places new
+  // writes on top of that stale content).
+  const size_t cap = std::max<size_t>(1, options_.training_sample_cap);
+  const size_t stride = std::max<size_t>(1, active_buckets_ / cap);
+  std::vector<std::vector<uint8_t>> samples;
+  samples.reserve(std::min(cap, active_buckets_));
+  for (size_t b = 0; b < active_buckets_; b += stride) {
+    const auto value = PeekBucketValue(b);
+    samples.emplace_back(value.begin(), value.end());
+  }
+  return samples;
+}
+
+void PnwStore::AdoptModel(std::shared_ptr<const ValueModel> model) {
+  model_ = std::move(model);
+  // Algorithm 1 lines 4-5: rebuild the pool from the *available* addresses
+  // (the occupancy bitmap is authoritative), labeling each by the stale
+  // content resident at it.
+  pool_.Clear();
+  for (size_t b = 0; b < active_buckets_; ++b) {
+    if (GetBucketFlag(b)) {
+      continue;
+    }
+    const size_t label = model_->Predict(PeekBucketValue(b));
+    pool_.Insert(label, BucketAddr(b));
+  }
+}
+
+Status PnwStore::TrainModel() {
+  auto samples = CollectTrainingSamples();
+  auto model = manager_->Train(std::move(samples));
+  if (!model.ok()) {
+    return model.status();
+  }
+  AdoptModel(std::move(model.value()));
+  ++metrics_.retrains;
+  puts_since_retrain_ = 0;
+  return Status::OK();
+}
+
+void PnwStore::PollBackgroundModel() {
+  if (auto model = manager_->TakeTrainedModel(); model != nullptr) {
+    AdoptModel(std::move(model));
+    ++metrics_.retrains;
+  }
+}
+
+Status PnwStore::MaybeExtendAndRetrain() {
+  PollBackgroundModel();
+  if (UsedFraction() < options_.load_factor || !options_.auto_retrain) {
+    return Status::OK();
+  }
+  // Extend the data zone: activate up to initial_buckets more addresses.
+  const size_t grow = std::min(options_.initial_buckets,
+                               options_.capacity_buckets - active_buckets_);
+  if (grow > 0) {
+    const size_t first_new = active_buckets_;
+    active_buckets_ += grow;
+    for (size_t b = first_new; b < active_buckets_; ++b) {
+      const size_t label =
+          model_ != nullptr ? model_->Predict(PeekBucketValue(b)) : 0;
+      pool_.Insert(label, BucketAddr(b));
+    }
+    ++metrics_.extensions;
+  }
+  // Retrain over the (possibly extended) data zone -- but not on every
+  // operation while the store hovers at the threshold (steady-state
+  // delete+put traffic keeps occupancy pinned there).
+  const size_t min_interval =
+      options_.retrain_min_interval != 0
+          ? options_.retrain_min_interval
+          : std::max<size_t>(256, active_buckets_ / 4);
+  if (grow == 0 && puts_since_retrain_ < min_interval) {
+    return Status::OK();
+  }
+  if (options_.background_retrain) {
+    if (manager_->StartBackgroundTrain(CollectTrainingSamples())) {
+      puts_since_retrain_ = 0;
+    }
+    return Status::OK();
+  }
+  return TrainModel();
+}
+
+Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
+  // Fast path: one Predict (Algorithm 2 line 1) and a pop from that
+  // cluster's free-list. Only when the predicted cluster is empty do we pay
+  // for the full nearest-centroid ranking.
+  const size_t label = PredictTimed(value);
+  auto addr = pool_.Acquire(label);
+  if (!addr.has_value()) {
+    const auto ranked = RankClustersTimed(value);
+    bool fallback = false;
+    addr = pool_.AcquireRanked(ranked, &fallback);
+    if (addr.has_value()) {
+      ++metrics_.pool_fallbacks;
+    } else {
+      // Try to make room, then retry once.
+      PNW_RETURN_IF_ERROR(MaybeExtendAndRetrain());
+      addr = pool_.AcquireRanked(ranked, &fallback);
+      if (!addr.has_value()) {
+        ++metrics_.failed_ops;
+        return Status::OutOfSpace("data zone full");
+      }
+      if (fallback) {
+        ++metrics_.pool_fallbacks;
+      }
+    }
+  }
+
+  std::vector<uint8_t> bucket(bucket_bytes_);
+  if (key_bytes_ > 0) {
+    std::memcpy(bucket.data(), &key, key_bytes_);
+  }
+  std::memcpy(bucket.data() + key_bytes_, value.data(), options_.value_bytes);
+  {
+    DeviceDeltaScope scope(device_.get(), &metrics_.put_device_ns,
+                           &metrics_.put_bits_written,
+                           &metrics_.put_lines_written,
+                           &metrics_.put_words_written);
+    auto write = device_->WriteDifferential(*addr, bucket);
+    if (!write.ok()) {
+      return write.status();
+    }
+    const size_t bucket_index = *addr / bucket_bytes_;
+    PNW_RETURN_IF_ERROR(SetBucketFlag(bucket_index, true));
+    PNW_RETURN_IF_ERROR(index_->Put(key, *addr));
+  }
+  metrics_.put_payload_bits += value.size() * 8;
+  wear_->RecordBucketWrite(*addr);
+  ++used_buckets_;
+  ++metrics_.puts;
+  ++puts_since_retrain_;
+  return MaybeExtendAndRetrain();
+}
+
+Status PnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap the store before Put");
+  }
+  if (value.size() != options_.value_bytes) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  if (index_->Get(key).ok()) {
+    return Update(key, value);
+  }
+  return PutInternal(key, value);
+}
+
+Result<std::vector<uint8_t>> PnwStore::Get(uint64_t key) {
+  auto addr = index_->Get(key);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  std::vector<uint8_t> bucket(bucket_bytes_);
+  {
+    DeviceDeltaScope scope(device_.get(), &metrics_.get_device_ns);
+    PNW_RETURN_IF_ERROR(device_->Read(addr.value(), bucket));
+  }
+  if (key_bytes_ > 0) {
+    uint64_t stored_key = 0;
+    std::memcpy(&stored_key, bucket.data(), key_bytes_);
+    if (stored_key != key) {
+      return Status::Internal("index/data-zone key mismatch");
+    }
+  }
+  ++metrics_.gets;
+  return std::vector<uint8_t>(
+      bucket.begin() + static_cast<long>(key_bytes_), bucket.end());
+}
+
+Status PnwStore::DeleteInternal(uint64_t key) {
+  auto addr = index_->Get(key);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  {
+    DeviceDeltaScope scope(device_.get(), &metrics_.delete_device_ns);
+    PNW_RETURN_IF_ERROR(index_->Delete(key));
+    const size_t bucket_index = addr.value() / bucket_bytes_;
+    PNW_RETURN_IF_ERROR(SetBucketFlag(bucket_index, false));
+    // Algorithm 3 line 3: E = model.predict(Read(A)) -- an NVM read.
+    std::vector<uint8_t> bucket(bucket_bytes_);
+    PNW_RETURN_IF_ERROR(device_->Read(addr.value(), bucket));
+    const std::span<const uint8_t> value(bucket.data() + key_bytes_,
+                                         options_.value_bytes);
+    const size_t label =
+        model_ != nullptr ? model_->Predict(value) : 0;
+    pool_.Insert(label, addr.value());
+  }
+  --used_buckets_;
+  ++metrics_.deletes;
+  return Status::OK();
+}
+
+Status PnwStore::Delete(uint64_t key) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap the store before Delete");
+  }
+  Status s = DeleteInternal(key);
+  if (s.ok()) {
+    PollBackgroundModel();
+  }
+  return s;
+}
+
+Status PnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
+  if (value.size() != options_.value_bytes) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  if (options_.update_mode == UpdateMode::kEnduranceFirst) {
+    // DELETE + PUT through the model, the paper's endurance-first mode.
+    // `puts` keeps counting every write placed via the model; `updates`
+    // additionally records that it replaced an existing key.
+    PNW_RETURN_IF_ERROR(DeleteInternal(key));
+    Status s = PutInternal(key, value);
+    if (s.ok()) {
+      ++metrics_.updates;
+    }
+    return s;
+  }
+  // Latency-first: in-place differential write through the index only.
+  auto addr = index_->Get(key);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  std::vector<uint8_t> bucket(bucket_bytes_);
+  if (key_bytes_ > 0) {
+    std::memcpy(bucket.data(), &key, key_bytes_);
+  }
+  std::memcpy(bucket.data() + key_bytes_, value.data(), options_.value_bytes);
+  {
+    DeviceDeltaScope scope(device_.get(), &metrics_.put_device_ns,
+                           &metrics_.put_bits_written,
+                           &metrics_.put_lines_written,
+                           &metrics_.put_words_written);
+    auto write = device_->WriteDifferential(addr.value(), bucket);
+    if (!write.ok()) {
+      return write.status();
+    }
+  }
+  metrics_.put_payload_bits += value.size() * 8;
+  wear_->RecordBucketWrite(addr.value());
+  ++metrics_.puts;
+  ++metrics_.updates;
+  return Status::OK();
+}
+
+Status PnwStore::SimulateCrashAndRecover() {
+  if (!options_.occupancy_flags_on_nvm) {
+    return Status::FailedPrecondition(
+        "crash recovery requires occupancy_flags_on_nvm (DRAM-side flags "
+        "do not survive a crash)");
+  }
+  // DRAM state is lost: model, pool, and (in the Fig. 2a design) the index.
+  model_ = nullptr;
+  pool_.Clear();
+  if (options_.index_placement == IndexPlacement::kDram) {
+    if (key_bytes_ == 0) {
+      return Status::FailedPrecondition(
+          "DRAM-index recovery requires store_keys_in_data_zone "
+          "(the Fig. 2a design rebuilds the index from bucket keys)");
+    }
+    index_ = std::make_unique<index::DramHashIndex>();
+    used_buckets_ = 0;
+    for (size_t b = 0; b < active_buckets_; ++b) {
+      if (!GetBucketFlag(b)) {
+        continue;
+      }
+      uint64_t key = 0;
+      std::memcpy(&key, device_->Peek(BucketAddr(b), key_bytes_).data(),
+                  key_bytes_);
+      PNW_RETURN_IF_ERROR(index_->Put(key, BucketAddr(b)));
+      ++used_buckets_;
+    }
+  }
+  // Retrain the model from the data zone; AdoptModel rebuilds the pool
+  // from the occupancy bitmap.
+  return TrainModel();
+}
+
+void PnwStore::ResetWearAndMetrics() {
+  device_->ResetCounters();
+  metrics_ = StoreMetrics{};
+  wear_ = std::make_unique<nvm::WearTracker>(device_.get(), bucket_bytes_);
+}
+
+}  // namespace pnw::core

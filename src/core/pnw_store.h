@@ -1,0 +1,158 @@
+#ifndef PNW_CORE_PNW_STORE_H_
+#define PNW_CORE_PNW_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/dynamic_address_pool.h"
+#include "core/metrics.h"
+#include "core/model_manager.h"
+#include "core/pnw_options.h"
+#include "index/key_index.h"
+#include "nvm/nvm_device.h"
+#include "nvm/wear_tracker.h"
+#include "util/status.h"
+
+namespace pnw::core {
+
+/// Predict-and-Write K/V store (the paper's contribution, Section V).
+///
+/// Components (Fig. 2): a K-means `ValueModel` and the `DynamicAddressPool`
+/// on DRAM; a hash index (DRAM or NVM-resident path hashing, per
+/// `PnwOptions::index_placement`); and the K/V *data zone* on simulated PCM.
+/// A PUT predicts the cluster of the incoming value, acquires a free
+/// address whose resident (stale) data is similar, and writes
+/// differentially so only the Hamming-different bits cost endurance.
+///
+/// Data-zone bucket layout: [8-byte key][value_bytes value]; bucket
+/// occupancy flags live in a separate NVM bitmap, and deletes reset a
+/// single flag bit (paper Section V-B2).
+///
+/// Not thread-safe for concurrent operations (matching the paper's
+/// single-writer evaluation); background retraining runs on its own thread
+/// and is integrated via an atomic model swap.
+class PnwStore {
+ public:
+  /// Validates options and sizes the simulated device.
+  static Result<std::unique_ptr<PnwStore>> Open(const PnwOptions& options);
+
+  ~PnwStore() = default;
+  PnwStore(const PnwStore&) = delete;
+  PnwStore& operator=(const PnwStore&) = delete;
+
+  /// Warm-up (paper Section VI-A: "we store some items as old data before
+  /// starting our tests"): writes values[i] under keys[i] into the first
+  /// buckets, then runs Algorithm 1 (train + build the dynamic address
+  /// pool). Must be called on a fresh store.
+  Status Bootstrap(std::span<const uint64_t> keys,
+                   std::span<const std::vector<uint8_t>> values);
+
+  /// Algorithm 2. `value.size()` must equal options.value_bytes. A PUT of
+  /// an existing key behaves as UPDATE under the configured update mode.
+  Status Put(uint64_t key, std::span<const uint8_t> value);
+
+  /// Section V-B4: index lookup + data-zone read.
+  Result<std::vector<uint8_t>> Get(uint64_t key);
+
+  /// Algorithm 3: reset flag bit, re-label the freed address by its
+  /// resident content, recycle it into the pool.
+  Status Delete(uint64_t key);
+
+  /// Section V-B3, honoring options.update_mode.
+  Status Update(uint64_t key, std::span<const uint8_t> value);
+
+  /// Algorithm 1: sample the data zone, train a fresh model synchronously,
+  /// swap it in, and re-label the pool's free addresses.
+  Status TrainModel();
+
+  /// Drop all DRAM state (index if DRAM-resident, model, pool) and rebuild
+  /// it from the NVM data zone -- the recovery path of the Fig. 2a design.
+  Status SimulateCrashAndRecover();
+
+  /// Number of K/V pairs currently stored.
+  size_t size() const { return used_buckets_; }
+  size_t active_buckets() const { return active_buckets_; }
+  double UsedFraction() const {
+    return active_buckets_ == 0
+               ? 0.0
+               : static_cast<double>(used_buckets_) /
+                     static_cast<double>(active_buckets_);
+  }
+
+  const PnwOptions& options() const { return options_; }
+  const StoreMetrics& metrics() const { return metrics_; }
+  nvm::NvmDevice& device() { return *device_; }
+  const nvm::WearTracker& wear_tracker() const { return *wear_; }
+  DynamicAddressPool& pool() { return pool_; }
+  std::shared_ptr<const ValueModel> model() const { return model_; }
+  ModelManager& model_manager() { return *manager_; }
+
+  /// Zero all wear counters and operation metrics (benches call this after
+  /// warm-up so only measured traffic is scored).
+  void ResetWearAndMetrics();
+
+  /// Data-zone bucket geometry (exposed for tests and benches).
+  size_t bucket_bytes() const { return bucket_bytes_; }
+  uint64_t BucketAddr(size_t bucket) const { return bucket * bucket_bytes_; }
+
+ private:
+  explicit PnwStore(const PnwOptions& options);
+
+  Status Init();
+  Status PutInternal(uint64_t key, std::span<const uint8_t> value);
+  Status DeleteInternal(uint64_t key);
+
+  /// Predicted-cluster ranking with wall-clock accounting; returns {0} when
+  /// no model is trained yet (the store then degenerates to DCW placement,
+  /// exactly the paper's k=1 behaviour).
+  std::vector<size_t> RankClustersTimed(std::span<const uint8_t> value);
+  /// Single-label prediction with wall-clock accounting (the PUT fast path).
+  size_t PredictTimed(std::span<const uint8_t> value);
+
+  /// Occupancy flag bitmap ops (each is a 1-byte differential NVM write).
+  bool GetBucketFlag(size_t bucket) const;
+  Status SetBucketFlag(size_t bucket, bool occupied);
+
+  /// Value bytes resident in a bucket (stale or live), no accounting.
+  std::span<const uint8_t> PeekBucketValue(size_t bucket) const;
+
+  /// Uniform sample of data-zone contents for training.
+  std::vector<std::vector<uint8_t>> CollectTrainingSamples() const;
+
+  /// Swap in `model` and re-label every free address under it.
+  void AdoptModel(std::shared_ptr<const ValueModel> model);
+
+  /// Grow the active data zone (new free addresses labeled under the
+  /// current model) and trigger retraining per options.
+  Status MaybeExtendAndRetrain();
+
+  /// Collect a finished background model, if any.
+  void PollBackgroundModel();
+
+  PnwOptions options_;
+  size_t key_bytes_;  // 8 when keys live in the data zone, else 0
+  size_t bucket_bytes_;
+  uint64_t flags_base_;
+  uint64_t index_base_;
+
+  std::unique_ptr<nvm::NvmDevice> device_;
+  std::unique_ptr<nvm::WearTracker> wear_;
+  std::unique_ptr<index::KeyIndex> index_;
+  std::unique_ptr<ModelManager> manager_;
+  std::shared_ptr<const ValueModel> model_;
+  DynamicAddressPool pool_;
+
+  size_t active_buckets_ = 0;
+  size_t used_buckets_ = 0;
+  size_t puts_since_retrain_ = 0;
+  /// DRAM-side occupancy bitmap, used when !options_.occupancy_flags_on_nvm.
+  std::vector<uint8_t> dram_flags_;
+  bool bootstrapped_ = false;
+  StoreMetrics metrics_;
+};
+
+}  // namespace pnw::core
+
+#endif  // PNW_CORE_PNW_STORE_H_

@@ -1,0 +1,37 @@
+#include "index/dram_hash_index.h"
+
+namespace pnw::index {
+
+Status DramHashIndex::Put(uint64_t key, uint64_t addr) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    map_.emplace(key, Entry{addr, true});
+    ++live_;
+    return Status::OK();
+  }
+  if (!it->second.live) {
+    ++live_;  // reviving a tombstone
+  }
+  it->second = Entry{addr, true};
+  return Status::OK();
+}
+
+Result<uint64_t> DramHashIndex::Get(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end() || !it->second.live) {
+    return Status::NotFound("key not in index");
+  }
+  return it->second.addr;
+}
+
+Status DramHashIndex::Delete(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end() || !it->second.live) {
+    return Status::NotFound("key not in index");
+  }
+  it->second.live = false;
+  --live_;
+  return Status::OK();
+}
+
+}  // namespace pnw::index

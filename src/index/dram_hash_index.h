@@ -1,0 +1,34 @@
+#ifndef PNW_INDEX_DRAM_HASH_INDEX_H_
+#define PNW_INDEX_DRAM_HASH_INDEX_H_
+
+#include <unordered_map>
+
+#include "index/key_index.h"
+
+namespace pnw::index {
+
+/// The Fig. 2a design: the index lives in DRAM, so it adds no NVM bit flips
+/// (at the cost of a rebuild on recovery, which `PnwStore` exercises in its
+/// crash-recovery test). Deletions keep a tombstone to mirror the paper's
+/// flag-bit semantics.
+class DramHashIndex final : public KeyIndex {
+ public:
+  DramHashIndex() = default;
+
+  Status Put(uint64_t key, uint64_t addr) override;
+  Result<uint64_t> Get(uint64_t key) override;
+  Status Delete(uint64_t key) override;
+  size_t size() const override { return live_; }
+
+ private:
+  struct Entry {
+    uint64_t addr;
+    bool live;
+  };
+  std::unordered_map<uint64_t, Entry> map_;
+  size_t live_ = 0;
+};
+
+}  // namespace pnw::index
+
+#endif  // PNW_INDEX_DRAM_HASH_INDEX_H_

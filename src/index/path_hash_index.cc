@@ -1,0 +1,150 @@
+#include "index/path_hash_index.h"
+
+#include <bit>
+#include <cstring>
+
+namespace pnw::index {
+
+namespace {
+
+constexpr uint8_t kLiveFlag = 0x1;
+
+size_t RoundUpPow2(size_t v) {
+  if (v <= 1) {
+    return 1;
+  }
+  return size_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+}  // namespace
+
+PathHashIndex::PathHashIndex(nvm::NvmDevice* device, uint64_t base,
+                             size_t num_root_cells, size_t num_levels)
+    : device_(device),
+      base_(base),
+      root_cells_(RoundUpPow2(num_root_cells)),
+      num_levels_(num_levels) {
+  uint64_t offset = 0;
+  size_t cells = root_cells_;
+  for (size_t l = 0; l < num_levels_ && cells > 0; ++l) {
+    level_offsets_.push_back(offset);
+    offset += cells * kCellBytes;
+    cells /= 2;
+  }
+  num_levels_ = level_offsets_.size();
+}
+
+size_t PathHashIndex::StorageBytes(size_t num_root_cells, size_t num_levels) {
+  size_t cells = RoundUpPow2(num_root_cells);
+  size_t total = 0;
+  for (size_t l = 0; l < num_levels && cells > 0; ++l) {
+    total += cells * kCellBytes;
+    cells /= 2;
+  }
+  return total;
+}
+
+uint64_t PathHashIndex::Hash1(uint64_t key) {
+  // SplitMix64 finalizer.
+  uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t PathHashIndex::Hash2(uint64_t key) {
+  // Murmur3 finalizer with a different stream constant.
+  uint64_t z = key ^ 0xc2b2ae3d27d4eb4full;
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdull;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ull;
+  return z ^ (z >> 33);
+}
+
+uint64_t PathHashIndex::CellAddr(size_t level, uint64_t position) const {
+  const size_t cells_at_level = root_cells_ >> level;
+  return base_ + level_offsets_[level] +
+         (position & (cells_at_level - 1)) * kCellBytes;
+}
+
+PathHashIndex::Cell PathHashIndex::LoadCell(uint64_t cell_addr) const {
+  std::span<const uint8_t> raw = device_->Peek(cell_addr, kCellBytes);
+  Cell cell{};
+  std::memcpy(&cell.key, raw.data(), 8);
+  std::memcpy(&cell.addr, raw.data() + 8, 8);
+  cell.flags = raw[16];
+  return cell;
+}
+
+Status PathHashIndex::StoreCell(uint64_t cell_addr, const Cell& cell) {
+  uint8_t raw[kCellBytes] = {};
+  std::memcpy(raw, &cell.key, 8);
+  std::memcpy(raw + 8, &cell.addr, 8);
+  raw[16] = cell.flags;
+  auto result = device_->WriteDifferential(
+      cell_addr, std::span<const uint8_t>(raw, kCellBytes));
+  return result.ok() ? Status::OK() : result.status();
+}
+
+Result<uint64_t> PathHashIndex::Locate(uint64_t key) {
+  const uint64_t p1 = Hash1(key);
+  const uint64_t p2 = Hash2(key);
+  for (size_t l = 0; l < num_levels_; ++l) {
+    for (uint64_t p : {p1 >> l, p2 >> l}) {
+      const uint64_t cell_addr = CellAddr(l, p);
+      const Cell cell = LoadCell(cell_addr);
+      if ((cell.flags & kLiveFlag) && cell.key == key) {
+        return cell_addr;
+      }
+    }
+  }
+  return Status::NotFound("key not in path-hash index");
+}
+
+Status PathHashIndex::Put(uint64_t key, uint64_t addr) {
+  // Overwrite in place if the key is already present.
+  auto existing = Locate(key);
+  if (existing.ok()) {
+    Cell cell = LoadCell(existing.value());
+    cell.addr = addr;
+    return StoreCell(existing.value(), cell);
+  }
+  const uint64_t p1 = Hash1(key);
+  const uint64_t p2 = Hash2(key);
+  for (size_t l = 0; l < num_levels_; ++l) {
+    for (uint64_t p : {p1 >> l, p2 >> l}) {
+      const uint64_t cell_addr = CellAddr(l, p);
+      const Cell cell = LoadCell(cell_addr);
+      if (!(cell.flags & kLiveFlag)) {
+        PNW_RETURN_IF_ERROR(
+            StoreCell(cell_addr, Cell{key, addr, kLiveFlag}));
+        ++live_;
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OutOfSpace("path-hash index: all path cells occupied");
+}
+
+Result<uint64_t> PathHashIndex::Get(uint64_t key) {
+  auto cell_addr = Locate(key);
+  if (!cell_addr.ok()) {
+    return cell_addr.status();
+  }
+  return LoadCell(cell_addr.value()).addr;
+}
+
+Status PathHashIndex::Delete(uint64_t key) {
+  auto cell_addr = Locate(key);
+  if (!cell_addr.ok()) {
+    return cell_addr.status();
+  }
+  Cell cell = LoadCell(cell_addr.value());
+  // The paper deletes by resetting the flag bit only -- a single-bit NVM
+  // update -- leaving key/addr bytes in place.
+  cell.flags = static_cast<uint8_t>(cell.flags & ~kLiveFlag);
+  PNW_RETURN_IF_ERROR(StoreCell(cell_addr.value(), cell));
+  --live_;
+  return Status::OK();
+}
+
+}  // namespace pnw::index

@@ -1,0 +1,204 @@
+#include "kvstore/fptree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace pnw::kvstore {
+
+namespace {
+constexpr size_t kNpos = std::numeric_limits<size_t>::max();
+}  // namespace
+
+FpTreeStore::FpTreeStore(size_t max_leaves, size_t value_bytes)
+    : value_bytes_(value_bytes),
+      slot_bytes_(8 + value_bytes),
+      max_leaves_(max_leaves) {
+  nvm::NvmConfig config;
+  config.size_bytes = max_leaves_ * LeafBytes();
+  device_ = std::make_unique<nvm::NvmDevice>(config);
+  // Root leaf covering the whole key space.
+  inner_[0] = 0;
+  num_leaves_ = 1;
+}
+
+size_t FpTreeStore::LeafBytes() const {
+  return 8 + kLeafSlots + kLeafSlots * slot_bytes_;
+}
+
+uint64_t FpTreeStore::SlotAddr(size_t leaf_id, size_t slot) const {
+  return LeafAddr(leaf_id) + 8 + kLeafSlots + slot * slot_bytes_;
+}
+
+uint8_t FpTreeStore::Fingerprint(uint64_t key) {
+  uint64_t z = key * 0xff51afd7ed558ccdull;
+  return static_cast<uint8_t>(z >> 56);
+}
+
+uint64_t FpTreeStore::LoadBitmap(size_t leaf_id) const {
+  uint64_t bitmap = 0;
+  std::memcpy(&bitmap, device_->Peek(LeafAddr(leaf_id), 8).data(), 8);
+  return bitmap;
+}
+
+Status FpTreeStore::StoreBitmap(size_t leaf_id, uint64_t bitmap) {
+  uint8_t raw[8];
+  std::memcpy(raw, &bitmap, 8);
+  auto write = device_->WriteDifferential(LeafAddr(leaf_id),
+                                          std::span<const uint8_t>(raw, 8));
+  return write.ok() ? Status::OK() : write.status();
+}
+
+Status FpTreeStore::WriteSlot(size_t leaf_id, size_t slot, uint64_t key,
+                              std::span<const uint8_t> value) {
+  // FPTree appends into a free slot and persists the slot, then the
+  // fingerprint, then flips the bitmap bit (its failure-atomic ordering);
+  // each is a separate NVM write.
+  std::vector<uint8_t> raw(slot_bytes_);
+  std::memcpy(raw.data(), &key, 8);
+  std::memcpy(raw.data() + 8, value.data(), value.size());
+  auto slot_write = device_->WriteConventional(SlotAddr(leaf_id, slot), raw);
+  if (!slot_write.ok()) {
+    return slot_write.status();
+  }
+  const uint8_t fp = Fingerprint(key);
+  auto fp_write = device_->WriteDifferential(
+      LeafAddr(leaf_id) + 8 + slot, std::span<const uint8_t>(&fp, 1));
+  if (!fp_write.ok()) {
+    return fp_write.status();
+  }
+  return StoreBitmap(leaf_id, LoadBitmap(leaf_id) | (uint64_t{1} << slot));
+}
+
+size_t FpTreeStore::FindLeaf(uint64_t key) const {
+  auto it = inner_.upper_bound(key);
+  --it;  // inner_ always contains key 0, so this is safe
+  return it->second;
+}
+
+size_t FpTreeStore::FindSlot(size_t leaf_id, uint64_t key) const {
+  const uint64_t bitmap = LoadBitmap(leaf_id);
+  const std::span<const uint8_t> fps =
+      device_->Peek(LeafAddr(leaf_id) + 8, kLeafSlots);
+  const uint8_t fp = Fingerprint(key);
+  for (size_t s = 0; s < kLeafSlots; ++s) {
+    if (!((bitmap >> s) & 1) || fps[s] != fp) {
+      continue;
+    }
+    uint64_t stored = 0;
+    std::memcpy(&stored, device_->Peek(SlotAddr(leaf_id, s), 8).data(), 8);
+    if (stored == key) {
+      return s;
+    }
+  }
+  return kNpos;
+}
+
+Result<size_t> FpTreeStore::SplitLeaf(size_t leaf_id) {
+  if (num_leaves_ >= max_leaves_) {
+    return Status::OutOfSpace("fptree: leaf arena exhausted");
+  }
+  const size_t new_leaf = num_leaves_++;
+
+  // Collect live entries and find the median key.
+  struct Entry {
+    uint64_t key;
+    size_t slot;
+  };
+  std::vector<Entry> entries;
+  const uint64_t bitmap = LoadBitmap(leaf_id);
+  for (size_t s = 0; s < kLeafSlots; ++s) {
+    if (!((bitmap >> s) & 1)) {
+      continue;
+    }
+    uint64_t key = 0;
+    std::memcpy(&key, device_->Peek(SlotAddr(leaf_id, s), 8).data(), 8);
+    entries.push_back({key, s});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  const size_t half = entries.size() / 2;
+  const uint64_t split_key = entries[half].key;
+
+  // Move the upper half into the new leaf (slot copies are real NVM
+  // writes -- the dominant cost of a split).
+  uint64_t old_bitmap = bitmap;
+  uint64_t new_bitmap = 0;
+  for (size_t i = half; i < entries.size(); ++i) {
+    const size_t src_slot = entries[i].slot;
+    const size_t dst_slot = i - half;
+    std::vector<uint8_t> raw(slot_bytes_);
+    std::memcpy(raw.data(),
+                device_->Peek(SlotAddr(leaf_id, src_slot), slot_bytes_).data(),
+                slot_bytes_);
+    auto copy = device_->WriteConventional(SlotAddr(new_leaf, dst_slot), raw);
+    if (!copy.ok()) {
+      return copy.status();
+    }
+    const uint8_t fp = Fingerprint(entries[i].key);
+    auto fp_write = device_->WriteDifferential(
+        LeafAddr(new_leaf) + 8 + dst_slot, std::span<const uint8_t>(&fp, 1));
+    if (!fp_write.ok()) {
+      return fp_write.status();
+    }
+    new_bitmap |= uint64_t{1} << dst_slot;
+    old_bitmap &= ~(uint64_t{1} << src_slot);
+  }
+  PNW_RETURN_IF_ERROR(StoreBitmap(new_leaf, new_bitmap));
+  PNW_RETURN_IF_ERROR(StoreBitmap(leaf_id, old_bitmap));
+  inner_[split_key] = new_leaf;
+  return new_leaf;
+}
+
+Status FpTreeStore::Put(uint64_t key, std::span<const uint8_t> value) {
+  if (value.size() != value_bytes_) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  size_t leaf = FindLeaf(key);
+  // Update in place (FPTree updates write the slot value and re-persist).
+  const size_t existing = FindSlot(leaf, key);
+  if (existing != kNpos) {
+    std::vector<uint8_t> raw(slot_bytes_);
+    std::memcpy(raw.data(), &key, 8);
+    std::memcpy(raw.data() + 8, value.data(), value.size());
+    auto write = device_->WriteConventional(SlotAddr(leaf, existing), raw);
+    return write.ok() ? Status::OK() : write.status();
+  }
+  uint64_t bitmap = LoadBitmap(leaf);
+  if (bitmap == (uint64_t{1} << kLeafSlots) - 1) {
+    auto split = SplitLeaf(leaf);
+    if (!split.ok()) {
+      return split.status();
+    }
+    leaf = FindLeaf(key);
+    bitmap = LoadBitmap(leaf);
+  }
+  size_t slot = 0;
+  while ((bitmap >> slot) & 1) {
+    ++slot;
+  }
+  return WriteSlot(leaf, slot, key, value);
+}
+
+Result<std::vector<uint8_t>> FpTreeStore::Get(uint64_t key) {
+  const size_t leaf = FindLeaf(key);
+  const size_t slot = FindSlot(leaf, key);
+  if (slot == kNpos) {
+    return Status::NotFound("key not in fptree");
+  }
+  std::vector<uint8_t> raw(slot_bytes_);
+  PNW_RETURN_IF_ERROR(device_->Read(SlotAddr(leaf, slot), raw));
+  return std::vector<uint8_t>(raw.begin() + 8, raw.end());
+}
+
+Status FpTreeStore::Delete(uint64_t key) {
+  const size_t leaf = FindLeaf(key);
+  const size_t slot = FindSlot(leaf, key);
+  if (slot == kNpos) {
+    return Status::NotFound("key not in fptree");
+  }
+  // FPTree deletion is a bitmap-only write.
+  return StoreBitmap(leaf, LoadBitmap(leaf) & ~(uint64_t{1} << slot));
+}
+
+}  // namespace pnw::kvstore

@@ -1,0 +1,67 @@
+#ifndef PNW_KVSTORE_FPTREE_H_
+#define PNW_KVSTORE_FPTREE_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "kvstore/kv_interface.h"
+
+namespace pnw::kvstore {
+
+/// FPTree-style hybrid SCM-DRAM persistent B+-tree (Oukid et al.,
+/// SIGMOD'16, the "FPTree" bar of the paper's Fig. 9). Inner nodes live in
+/// DRAM (a sorted map of separator keys to leaves); leaves live on the
+/// simulated NVM and carry the FPTree signature features: a one-byte
+/// fingerprint per slot, a validity bitmap, and unsorted slot insertion.
+/// Leaf writes (slot, fingerprint, bitmap) and split copies are what give
+/// the tree its per-request cache-line footprint.
+class FpTreeStore final : public KvComparatorStore {
+ public:
+  static constexpr size_t kLeafSlots = 16;
+
+  /// `max_leaves` bounds NVM usage; values are fixed `value_bytes`.
+  FpTreeStore(size_t max_leaves, size_t value_bytes);
+
+  std::string_view name() const override { return "FPTree"; }
+  Status Put(uint64_t key, std::span<const uint8_t> value) override;
+  Result<std::vector<uint8_t>> Get(uint64_t key) override;
+  Status Delete(uint64_t key) override;
+  nvm::NvmDevice& device() override { return *device_; }
+
+ private:
+  /// Leaf NVM layout:
+  ///   [bitmap: 8B][fingerprints: kLeafSlots B][slots: kLeafSlots *
+  ///   (8B key + value)]
+  size_t LeafBytes() const;
+  uint64_t LeafAddr(size_t leaf_id) const { return leaf_id * LeafBytes(); }
+  uint64_t SlotAddr(size_t leaf_id, size_t slot) const;
+
+  uint64_t LoadBitmap(size_t leaf_id) const;
+  Status StoreBitmap(size_t leaf_id, uint64_t bitmap);
+  Status WriteSlot(size_t leaf_id, size_t slot, uint64_t key,
+                   std::span<const uint8_t> value);
+
+  /// Find the leaf whose key range covers `key` via the DRAM inner map.
+  size_t FindLeaf(uint64_t key) const;
+  /// Linear fingerprint probe inside a leaf; returns slot or npos.
+  size_t FindSlot(size_t leaf_id, uint64_t key) const;
+  /// Split `leaf_id`, moving the upper half of its keys to a new leaf.
+  /// Returns the new leaf id.
+  Result<size_t> SplitLeaf(size_t leaf_id);
+
+  static uint8_t Fingerprint(uint64_t key);
+
+  size_t value_bytes_;
+  size_t slot_bytes_;
+  size_t max_leaves_;
+  size_t num_leaves_ = 0;
+  /// DRAM inner structure: min-key -> leaf id.
+  std::map<uint64_t, size_t> inner_;
+  std::unique_ptr<nvm::NvmDevice> device_;
+};
+
+}  // namespace pnw::kvstore
+
+#endif  // PNW_KVSTORE_FPTREE_H_

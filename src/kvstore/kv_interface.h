@@ -1,0 +1,39 @@
+#ifndef PNW_KVSTORE_KV_INTERFACE_H_
+#define PNW_KVSTORE_KV_INTERFACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "nvm/nvm_device.h"
+#include "util/status.h"
+
+namespace pnw::kvstore {
+
+/// Interface shared by the persistent K/V stores the paper compares written
+/// cache lines against in Fig. 9 (FPTree, NoveLSM, path hashing). Each
+/// implementation is a faithful *write-behaviour* model: its node / leaf /
+/// log / compaction writes all go through the same simulated NvmDevice, so
+/// "written cache lines per request" is measured by identical accounting.
+class KvComparatorStore {
+ public:
+  virtual ~KvComparatorStore() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Insert or update. `value.size()` must equal the store's fixed value
+  /// size.
+  virtual Status Put(uint64_t key, std::span<const uint8_t> value) = 0;
+
+  virtual Result<std::vector<uint8_t>> Get(uint64_t key) = 0;
+
+  virtual Status Delete(uint64_t key) = 0;
+
+  /// The simulated device backing this store (for counter access).
+  virtual nvm::NvmDevice& device() = 0;
+};
+
+}  // namespace pnw::kvstore
+
+#endif  // PNW_KVSTORE_KV_INTERFACE_H_

@@ -1,0 +1,213 @@
+#include "kvstore/novelsm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pnw::kvstore {
+
+NoveLsmStore::NoveLsmStore(size_t value_bytes, size_t memtable_entries,
+                           size_t arena_bytes)
+    : value_bytes_(value_bytes),
+      memtable_entries_(memtable_entries),
+      arena_bytes_(arena_bytes) {
+  nvm::NvmConfig config;
+  config.size_bytes = arena_bytes_;
+  device_ = std::make_unique<nvm::NvmDevice>(config);
+  auto seg = Allocate(memtable_entries_ * EntryBytes());
+  memtable_addr_ = seg.ok() ? seg.value() : 0;
+  levels_.resize(1);
+}
+
+Result<uint64_t> NoveLsmStore::Allocate(size_t bytes) {
+  for (size_t i = 0; i < free_extents_.size(); ++i) {
+    if (free_extents_[i].second >= bytes) {
+      const uint64_t addr = free_extents_[i].first;
+      free_extents_.erase(free_extents_.begin() + static_cast<long>(i));
+      return addr;
+    }
+  }
+  if (arena_next_ + bytes > arena_bytes_) {
+    return Status::OutOfSpace("novelsm: arena exhausted");
+  }
+  const uint64_t addr = arena_next_;
+  arena_next_ += bytes;
+  return addr;
+}
+
+void NoveLsmStore::Free(uint64_t addr, size_t bytes) {
+  free_extents_.emplace_back(addr, bytes);
+}
+
+Status NoveLsmStore::WriteEntry(uint64_t addr, uint64_t key, bool tombstone,
+                                std::span<const uint8_t> value) {
+  std::vector<uint8_t> raw(EntryBytes(), 0);
+  std::memcpy(raw.data(), &key, 8);
+  raw[8] = tombstone ? 1 : 0;
+  if (!tombstone) {
+    std::memcpy(raw.data() + 9, value.data(), value.size());
+  }
+  auto write = device_->WriteConventional(addr, raw);
+  return write.ok() ? Status::OK() : write.status();
+}
+
+Status NoveLsmStore::SealMemtable() {
+  if (memtable_mirror_.empty()) {
+    memtable_used_ = 0;
+    return Status::OK();
+  }
+  // Write the sorted contents of the sealed memtable as an L0 run.
+  auto run_addr = Allocate(memtable_mirror_.size() * EntryBytes());
+  if (!run_addr.ok()) {
+    return run_addr.status();
+  }
+  Run run;
+  run.addr = run_addr.value();
+  run.entries = memtable_mirror_.size();
+  run.min_key = memtable_mirror_.begin()->first;
+  run.max_key = memtable_mirror_.rbegin()->first;
+  uint64_t addr = run.addr;
+  for (const auto& [key, entry] : memtable_mirror_) {
+    PNW_RETURN_IF_ERROR(WriteEntry(addr, key, entry.first, entry.second));
+    addr += EntryBytes();
+  }
+  levels_[0].push_back(run);
+  memtable_mirror_.clear();
+  memtable_used_ = 0;
+  PNW_RETURN_IF_ERROR(CompactLevel(0));
+  return Status::OK();
+}
+
+Status NoveLsmStore::CompactLevel(size_t level) {
+  if (level >= levels_.size() || levels_[level].size() < kFanout) {
+    return Status::OK();
+  }
+  ++compactions_;
+  if (level + 1 >= levels_.size()) {
+    levels_.resize(level + 2);
+  }
+  // Merge every run of this level, newest entries winning.
+  std::map<uint64_t, std::pair<bool, std::vector<uint8_t>>> merged;
+  for (const Run& run : levels_[level]) {  // oldest first
+    uint64_t addr = run.addr;
+    for (size_t i = 0; i < run.entries; ++i, addr += EntryBytes()) {
+      std::span<const uint8_t> raw = device_->Peek(addr, EntryBytes());
+      uint64_t key = 0;
+      std::memcpy(&key, raw.data(), 8);
+      const bool tombstone = raw[8] != 0;
+      std::vector<uint8_t> value;
+      if (!tombstone) {
+        value.assign(raw.begin() + 9, raw.begin() + 9 + value_bytes_);
+      }
+      merged[key] = {tombstone, std::move(value)};
+    }
+  }
+  // Rewrite as one run on the next level (the write amplification the
+  // paper's Fig. 9 measures).
+  auto run_addr = Allocate(merged.size() * EntryBytes());
+  if (!run_addr.ok()) {
+    return run_addr.status();
+  }
+  Run out;
+  out.addr = run_addr.value();
+  out.entries = merged.size();
+  out.min_key = merged.begin()->first;
+  out.max_key = merged.rbegin()->first;
+  uint64_t addr = out.addr;
+  for (const auto& [key, entry] : merged) {
+    PNW_RETURN_IF_ERROR(WriteEntry(addr, key, entry.first, entry.second));
+    addr += EntryBytes();
+  }
+  for (const Run& run : levels_[level]) {
+    Free(run.addr, run.entries * EntryBytes());
+  }
+  levels_[level].clear();
+  levels_[level + 1].push_back(out);
+  return CompactLevel(level + 1);
+}
+
+Status NoveLsmStore::Put(uint64_t key, std::span<const uint8_t> value) {
+  if (value.size() != value_bytes_) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  // Persist into the NVM memtable segment first (NoveLSM's persistent
+  // memtable stands in for a WAL), then mirror in DRAM.
+  PNW_RETURN_IF_ERROR(WriteEntry(
+      memtable_addr_ + memtable_used_ * EntryBytes(), key, false, value));
+  ++memtable_used_;
+  memtable_mirror_[key] = {false,
+                           std::vector<uint8_t>(value.begin(), value.end())};
+  if (memtable_used_ >= memtable_entries_) {
+    return SealMemtable();
+  }
+  return Status::OK();
+}
+
+Status NoveLsmStore::Delete(uint64_t key) {
+  PNW_RETURN_IF_ERROR(WriteEntry(
+      memtable_addr_ + memtable_used_ * EntryBytes(), key, true, {}));
+  ++memtable_used_;
+  memtable_mirror_[key] = {true, {}};
+  if (memtable_used_ >= memtable_entries_) {
+    return SealMemtable();
+  }
+  return Status::OK();
+}
+
+bool NoveLsmStore::SearchRun(const Run& run, uint64_t key,
+                             std::vector<uint8_t>* value, bool* tombstone) {
+  if (run.entries == 0 || key < run.min_key || key > run.max_key) {
+    return false;
+  }
+  size_t lo = 0;
+  size_t hi = run.entries;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    uint64_t mid_key = 0;
+    std::memcpy(&mid_key,
+                device_->Peek(run.addr + mid * EntryBytes(), 8).data(), 8);
+    if (mid_key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= run.entries) {
+    return false;
+  }
+  std::span<const uint8_t> raw =
+      device_->Peek(run.addr + lo * EntryBytes(), EntryBytes());
+  uint64_t found = 0;
+  std::memcpy(&found, raw.data(), 8);
+  if (found != key) {
+    return false;
+  }
+  *tombstone = raw[8] != 0;
+  if (!*tombstone) {
+    value->assign(raw.begin() + 9, raw.begin() + 9 + value_bytes_);
+  }
+  return true;
+}
+
+Result<std::vector<uint8_t>> NoveLsmStore::Get(uint64_t key) {
+  if (auto it = memtable_mirror_.find(key); it != memtable_mirror_.end()) {
+    if (it->second.first) {
+      return Status::NotFound("key deleted");
+    }
+    return it->second.second;
+  }
+  std::vector<uint8_t> value;
+  bool tombstone = false;
+  for (auto& level : levels_) {
+    for (auto it = level.rbegin(); it != level.rend(); ++it) {  // newest first
+      if (SearchRun(*it, key, &value, &tombstone)) {
+        if (tombstone) {
+          return Status::NotFound("key deleted");
+        }
+        return value;
+      }
+    }
+  }
+  return Status::NotFound("key not in lsm");
+}
+
+}  // namespace pnw::kvstore

@@ -1,0 +1,87 @@
+#ifndef PNW_KVSTORE_NOVELSM_H_
+#define PNW_KVSTORE_NOVELSM_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "kvstore/kv_interface.h"
+
+namespace pnw::kvstore {
+
+/// NoveLSM-style persistent LSM K/V store (Kannan et al., ATC'18, the
+/// "NoveLSM" bar of the paper's Fig. 9). Captures the write behaviour that
+/// matters for cache-line accounting:
+///   - every mutation is first persisted into an NVM-resident memtable
+///     segment (NoveLSM's immutable NVM memtable replaces the WAL), then
+///   - full segments become L0 runs, and
+///   - when a level accumulates `kFanout` runs they are merge-compacted
+///     into the next level, rewriting every entry.
+/// Compaction rewrites are why the LSM shows the highest lines/request in
+/// Fig. 9.
+class NoveLsmStore final : public KvComparatorStore {
+ public:
+  static constexpr size_t kFanout = 4;
+
+  /// `memtable_entries`: entries per NVM memtable segment before it seals.
+  /// `arena_bytes`: total simulated NVM arena (runs are allocated
+  /// sequentially; stale runs are recycled on a free list).
+  NoveLsmStore(size_t value_bytes, size_t memtable_entries = 64,
+               size_t arena_bytes = 64 << 20);
+
+  std::string_view name() const override { return "NoveLSM"; }
+  Status Put(uint64_t key, std::span<const uint8_t> value) override;
+  Result<std::vector<uint8_t>> Get(uint64_t key) override;
+  Status Delete(uint64_t key) override;
+  nvm::NvmDevice& device() override { return *device_; }
+
+  /// Number of merge compactions performed (exposed for tests).
+  size_t compactions() const { return compactions_; }
+
+ private:
+  struct Run {
+    uint64_t addr = 0;
+    size_t entries = 0;
+    uint64_t min_key = 0;
+    uint64_t max_key = 0;
+  };
+
+  size_t EntryBytes() const { return 8 + 1 + value_bytes_; }
+
+  /// Persist one entry (key, tombstone flag, value) at `addr`.
+  Status WriteEntry(uint64_t addr, uint64_t key, bool tombstone,
+                    std::span<const uint8_t> value);
+
+  /// Allocate `bytes` from the arena (reusing freed extents when possible).
+  Result<uint64_t> Allocate(size_t bytes);
+  void Free(uint64_t addr, size_t bytes);
+
+  /// Seal the DRAM mirror of the active memtable segment into an L0 run and
+  /// trigger compaction as needed.
+  Status SealMemtable();
+  Status CompactLevel(size_t level);
+
+  /// Binary-search one sorted run.
+  bool SearchRun(const Run& run, uint64_t key, std::vector<uint8_t>* value,
+                 bool* tombstone);
+
+  size_t value_bytes_;
+  size_t memtable_entries_;
+  std::unique_ptr<nvm::NvmDevice> device_;
+
+  /// Active NVM memtable segment + DRAM mirror for fast lookup/sort.
+  uint64_t memtable_addr_ = 0;
+  size_t memtable_used_ = 0;
+  std::map<uint64_t, std::pair<bool, std::vector<uint8_t>>> memtable_mirror_;
+
+  std::vector<std::vector<Run>> levels_;
+  std::vector<std::pair<uint64_t, size_t>> free_extents_;
+  uint64_t arena_next_ = 0;
+  size_t arena_bytes_;
+  size_t compactions_ = 0;
+};
+
+}  // namespace pnw::kvstore
+
+#endif  // PNW_KVSTORE_NOVELSM_H_

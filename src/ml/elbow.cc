@@ -1,0 +1,52 @@
+#include "ml/elbow.h"
+
+#include <cmath>
+
+namespace pnw::ml {
+
+std::vector<ElbowPoint> ComputeElbowCurve(const Matrix& data,
+                                          const std::vector<size_t>& ks,
+                                          const KMeansOptions& base_options) {
+  std::vector<ElbowPoint> curve;
+  curve.reserve(ks.size());
+  for (size_t k : ks) {
+    KMeansOptions options = base_options;
+    options.k = k;
+    KMeansTrainer trainer(options);
+    auto model = trainer.Fit(data);
+    if (model.ok()) {
+      curve.push_back({k, model.value().sse()});
+    }
+  }
+  return curve;
+}
+
+size_t FindElbowK(const std::vector<ElbowPoint>& curve) {
+  if (curve.size() < 3) {
+    return curve.empty() ? 0 : curve.front().k;
+  }
+  // Normalize both axes to [0,1], then maximize distance to the chord from
+  // the first to the last point.
+  const double x0 = static_cast<double>(curve.front().k);
+  const double x1 = static_cast<double>(curve.back().k);
+  const double y0 = curve.front().sse;
+  const double y1 = curve.back().sse;
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  size_t best_k = curve.front().k;
+  double best_dist = -1.0;
+  for (const auto& p : curve) {
+    const double nx = dx != 0 ? (static_cast<double>(p.k) - x0) / dx : 0.0;
+    const double ny = dy != 0 ? (p.sse - y0) / dy : 0.0;
+    // Chord in normalized space runs from (0,0) to (1,1); point-line
+    // distance is |nx - ny| / sqrt(2).
+    const double dist = std::abs(nx - ny);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best_k = p.k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace pnw::ml

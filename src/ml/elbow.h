@@ -1,0 +1,32 @@
+#ifndef PNW_ML_ELBOW_H_
+#define PNW_ML_ELBOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/kmeans.h"
+#include "ml/matrix.h"
+
+namespace pnw::ml {
+
+/// One point of the elbow curve (paper Fig. 4): the K-means SSE (Eq. 1)
+/// after training with `k` clusters.
+struct ElbowPoint {
+  size_t k;
+  double sse;
+};
+
+/// Train one model per candidate K and record the SSE curve.
+std::vector<ElbowPoint> ComputeElbowCurve(const Matrix& data,
+                                          const std::vector<size_t>& ks,
+                                          const KMeansOptions& base_options);
+
+/// Pick the "knee" of the curve: the point with maximum distance to the
+/// chord connecting the first and last points (the standard geometric
+/// kneedle-style criterion for the elbow method the paper cites).
+/// Pre-condition: curve has at least 3 points sorted by k.
+size_t FindElbowK(const std::vector<ElbowPoint>& curve);
+
+}  // namespace pnw::ml
+
+#endif  // PNW_ML_ELBOW_H_

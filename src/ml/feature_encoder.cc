@@ -1,0 +1,95 @@
+#include "ml/feature_encoder.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace pnw::ml {
+
+BitFeatureEncoder::BitFeatureEncoder(size_t value_bytes, size_t max_features,
+                                     size_t byte_stride)
+    : value_bytes_(value_bytes),
+      byte_stride_(std::max<size_t>(1, byte_stride)) {
+  const size_t bits = value_bytes * 8;
+  if (max_features == 0 || max_features >= bits) {
+    dims_ = bits;
+    folded_ = false;
+  } else {
+    // Keep the fold byte-aligned (multiple of 8) so encoding never needs a
+    // per-bit modulo -- this is the hottest loop of every Predict() call.
+    dims_ = std::max<size_t>(8, max_features - max_features % 8);
+    folded_ = true;
+  }
+}
+
+void BitFeatureEncoder::Encode(std::span<const uint8_t> value,
+                               std::span<float> out) const {
+  std::fill(out.begin(), out.end(), 0.0f);
+  const size_t n = std::min(value.size(), value_bytes_);
+  if (!folded_) {
+    for (size_t i = 0; i < n; ++i) {
+      uint8_t byte = value[i];
+      while (byte != 0) {  // zero bytes (sparse data) cost nothing
+        const int b = __builtin_ctz(byte);
+        out[i * 8 + static_cast<size_t>(b)] = 1.0f;
+        byte = static_cast<uint8_t>(byte & (byte - 1));
+      }
+    }
+    return;
+  }
+  // dims_ is a multiple of 8: byte i's bits land on the aligned 8-feature
+  // slot at (i*8) mod dims_. Each byte is expanded via a LUT into eight
+  // 0/1 byte lanes of a uint64 and accumulated with a single add -- one
+  // add per input byte, dense or sparse.
+  static const std::array<uint64_t, 256>& kSpread = [] {
+    static std::array<uint64_t, 256> table{};
+    for (unsigned v = 0; v < 256; ++v) {
+      uint64_t spread = 0;
+      for (unsigned b = 0; b < 8; ++b) {
+        spread |= static_cast<uint64_t>((v >> b) & 1) << (8 * b);
+      }
+      table[v] = spread;
+    }
+    return table;
+  }();
+
+  const size_t num_slots = dims_ / 8;
+  std::vector<uint64_t> lanes(num_slots, 0);
+  // Each lane is one byte wide: flush before 256 accumulations per slot.
+  const size_t flush_every = 255 * num_slots;
+  size_t since_flush = 0;
+  size_t slot = 0;
+  auto flush = [&]() {
+    for (size_t s = 0; s < num_slots; ++s) {
+      uint64_t packed = lanes[s];
+      for (size_t b = 0; b < 8; ++b) {
+        out[s * 8 + b] += static_cast<float>(packed & 0xff);
+        packed >>= 8;
+      }
+      lanes[s] = 0;
+    }
+    since_flush = 0;
+  };
+  for (size_t i = 0; i < n; i += byte_stride_) {
+    lanes[slot] += kSpread[value[i]];
+    ++slot;
+    if (slot == num_slots) {
+      slot = 0;
+    }
+    if (++since_flush == flush_every) {
+      flush();
+    }
+  }
+  flush();
+}
+
+Matrix BitFeatureEncoder::EncodeBatch(
+    std::span<const std::vector<uint8_t>> values) const {
+  Matrix m(values.size(), dims_);
+  for (size_t r = 0; r < values.size(); ++r) {
+    Encode(values[r], m.Row(r));
+  }
+  return m;
+}
+
+}  // namespace pnw::ml

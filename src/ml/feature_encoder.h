@@ -1,0 +1,49 @@
+#ifndef PNW_ML_FEATURE_ENCODER_H_
+#define PNW_ML_FEATURE_ENCODER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace pnw::ml {
+
+/// Encodes stored byte strings into K-means feature vectors.
+///
+/// The paper: "each memory location is encoded as a vector of bits, each of
+/// which is used as a feature/dimension". For large values this explodes
+/// (the curse of dimensionality), so the encoder optionally *folds* the bit
+/// vector: feature j accumulates the popcount of bits j, j+F, j+2F, ...
+/// where F = max_features. Folding preserves positional bit structure (two
+/// values with small Hamming distance have nearby folded vectors) while
+/// bounding the model dimension; PCA can then shrink it further.
+class BitFeatureEncoder {
+ public:
+  /// `value_bytes`: size of every encoded value. `max_features`: cap on the
+  /// output dimension (0 = no cap, one feature per bit). `byte_stride`
+  /// subsamples the value in folded mode (every stride-th byte is encoded),
+  /// bounding per-PUT prediction cost for multi-KB values; 1 = every byte.
+  BitFeatureEncoder(size_t value_bytes, size_t max_features = 0,
+                    size_t byte_stride = 1);
+
+  /// Output dimensionality.
+  size_t dims() const { return dims_; }
+  size_t value_bytes() const { return value_bytes_; }
+
+  /// Encode one value into `out` (must have size dims()).
+  void Encode(std::span<const uint8_t> value, std::span<float> out) const;
+
+  /// Encode a batch into a fresh matrix (one row per value).
+  Matrix EncodeBatch(std::span<const std::vector<uint8_t>> values) const;
+
+ private:
+  size_t value_bytes_;
+  size_t dims_;
+  bool folded_;
+  size_t byte_stride_;
+};
+
+}  // namespace pnw::ml
+
+#endif  // PNW_ML_FEATURE_ENCODER_H_

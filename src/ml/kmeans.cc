@@ -1,0 +1,251 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace pnw::ml {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, subsequent ones sampled with
+/// probability proportional to squared distance from the nearest chosen
+/// centroid.
+Matrix SeedCentroids(const Matrix& data, size_t k, Rng& rng) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  Matrix centroids(k, d);
+
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  size_t first = rng.NextBelow(n);
+  std::copy_n(data.Row(first).data(), d, centroids.Row(0).data());
+
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float dist = SquaredDistance(data.Row(i), centroids.Row(c - 1));
+      min_dist[i] = std::min(min_dist[i], dist);
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      // All points coincide with centroids; any choice works.
+      chosen = rng.NextBelow(n);
+    }
+    std::copy_n(data.Row(chosen).data(), d, centroids.Row(c).data());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+size_t KMeansModel::Predict(std::span<const float> features) const {
+  size_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    const float dist = SquaredDistance(features, centroids_.Row(c));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> KMeansModel::RankClusters(
+    std::span<const float> features) const {
+  std::vector<std::pair<float, size_t>> by_dist;
+  by_dist.reserve(centroids_.rows());
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    by_dist.emplace_back(SquaredDistance(features, centroids_.Row(c)), c);
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  std::vector<size_t> order;
+  order.reserve(by_dist.size());
+  for (const auto& [dist, c] : by_dist) {
+    order.push_back(c);
+  }
+  return order;
+}
+
+Result<KMeansModel> KMeansTrainer::Fit(const Matrix& data) const {
+  if (data.empty()) {
+    return Status::InvalidArgument("k-means: empty training matrix");
+  }
+  if (options_.k == 0) {
+    return Status::InvalidArgument("k-means: k must be positive");
+  }
+  if (options_.mini_batch_size > 0) {
+    return FitMiniBatch(data);
+  }
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = std::min(options_.k, n);
+
+  Rng rng(options_.seed);
+  Matrix centroids = SeedCentroids(data, k, rng);
+
+  std::vector<size_t> assignment(n, 0);
+  const size_t threads = std::max<size_t>(1, options_.num_threads);
+  ThreadPool* pool = nullptr;
+  ThreadPool owned_pool(threads > 1 ? threads : 1);
+  if (threads > 1) {
+    pool = &owned_pool;
+  }
+
+  double prev_sse = std::numeric_limits<double>::max();
+  double sse = 0.0;
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Assignment step (parallelizable; dominates training time).
+    std::vector<double> partial_sse(threads, 0.0);
+    auto assign_range = [&](size_t begin, size_t end, size_t slot) {
+      double local = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        size_t best = 0;
+        float best_dist = std::numeric_limits<float>::max();
+        const auto row = data.Row(i);
+        for (size_t c = 0; c < k; ++c) {
+          const float dist = SquaredDistance(row, centroids.Row(c));
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = c;
+          }
+        }
+        assignment[i] = best;
+        local += best_dist;
+      }
+      partial_sse[slot] += local;
+    };
+    if (pool != nullptr) {
+      const size_t chunk = (n + threads - 1) / threads;
+      std::atomic<size_t> slot{0};
+      pool->ParallelFor(threads, [&](size_t begin, size_t end) {
+        for (size_t w = begin; w < end; ++w) {
+          const size_t lo = w * chunk;
+          const size_t hi = std::min(n, lo + chunk);
+          if (lo < hi) {
+            assign_range(lo, hi, w);
+          }
+        }
+      });
+    } else {
+      assign_range(0, n, 0);
+    }
+    sse = std::accumulate(partial_sse.begin(), partial_sse.end(), 0.0);
+
+    // Update step.
+    Matrix new_centroids(k, d);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = assignment[i];
+      ++counts[c];
+      auto dst = new_centroids.Row(c);
+      const auto src = data.Row(i);
+      for (size_t j = 0; j < d; ++j) {
+        dst[j] += src[j];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster on a random sample to keep k clusters
+        // live (scikit-learn does the same on its "relocate" path).
+        const size_t pick = rng.NextBelow(n);
+        std::copy_n(data.Row(pick).data(), d, new_centroids.Row(c).data());
+        continue;
+      }
+      auto row = new_centroids.Row(c);
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (size_t j = 0; j < d; ++j) {
+        row[j] *= inv;
+      }
+    }
+    centroids = std::move(new_centroids);
+
+    if (prev_sse < std::numeric_limits<double>::max()) {
+      const double denom = std::max(prev_sse, 1e-12);
+      if ((prev_sse - sse) / denom < options_.tolerance) {
+        break;
+      }
+    }
+    prev_sse = sse;
+  }
+
+  return KMeansModel(std::move(centroids), sse);
+}
+
+Result<KMeansModel> KMeansTrainer::FitMiniBatch(const Matrix& data) const {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = std::min(options_.k, n);
+  const size_t batch = std::min(options_.mini_batch_size, n);
+
+  Rng rng(options_.seed);
+  // Seed on a subsample to keep seeding cost proportional to the batch.
+  const size_t seed_n = std::min(n, std::max<size_t>(batch, k * 4));
+  Matrix seed_sample(seed_n, d);
+  for (size_t i = 0; i < seed_n; ++i) {
+    const size_t pick = rng.NextBelow(n);
+    std::copy_n(data.Row(pick).data(), d, seed_sample.Row(i).data());
+  }
+  Matrix centroids = SeedCentroids(seed_sample, k, rng);
+
+  // Sculley's update: per-centroid counts give a decaying learning rate.
+  std::vector<uint64_t> counts(k, 1);
+  for (size_t iter = 0; iter < options_.mini_batch_iterations; ++iter) {
+    for (size_t b = 0; b < batch; ++b) {
+      const auto sample = data.Row(rng.NextBelow(n));
+      size_t best = 0;
+      float best_dist = std::numeric_limits<float>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const float dist = SquaredDistance(sample, centroids.Row(c));
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      ++counts[best];
+      const float eta = 1.0f / static_cast<float>(counts[best]);
+      auto center = centroids.Row(best);
+      for (size_t j = 0; j < d; ++j) {
+        center[j] += eta * (sample[j] - center[j]);
+      }
+    }
+  }
+
+  // Final SSE over the full data (one pass; comparable to Lloyd's output).
+  double sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    float best_dist = std::numeric_limits<float>::max();
+    const auto row = data.Row(i);
+    for (size_t c = 0; c < k; ++c) {
+      best_dist = std::min(best_dist, SquaredDistance(row, centroids.Row(c)));
+    }
+    sse += best_dist;
+  }
+  return KMeansModel(std::move(centroids), sse);
+}
+
+std::vector<size_t> KMeansTrainer::Label(const KMeansModel& model,
+                                         const Matrix& data) {
+  std::vector<size_t> labels(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    labels[i] = model.Predict(data.Row(i));
+  }
+  return labels;
+}
+
+}  // namespace pnw::ml

@@ -1,0 +1,92 @@
+#ifndef PNW_ML_KMEANS_H_
+#define PNW_ML_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/status.h"
+
+namespace pnw::ml {
+
+/// Training knobs for K-means.
+struct KMeansOptions {
+  /// Number of clusters (the paper sweeps K from 1 to 30).
+  size_t k = 8;
+  /// Lloyd iteration cap.
+  size_t max_iterations = 50;
+  /// Stop when the relative SSE improvement falls below this.
+  double tolerance = 1e-4;
+  /// PRNG seed for k-means++ initialization.
+  uint64_t seed = 42;
+  /// Worker threads for the assignment step (Fig. 11 compares 1 vs 4).
+  size_t num_threads = 1;
+  /// If nonzero, train with mini-batch K-means (Sculley, WWW'10) using
+  /// batches of this size instead of full-batch Lloyd. Trades a little
+  /// clustering quality for much cheaper (re)training -- attractive for
+  /// PNW's background retraining, whose cost the paper budgets via the
+  /// load factor (Section VI-F / Fig. 11).
+  size_t mini_batch_size = 0;
+  /// Mini-batch iteration count (only used when mini_batch_size > 0).
+  size_t mini_batch_iterations = 60;
+};
+
+/// A trained model: centroids plus prediction. Cheap to copy (the PNW model
+/// manager swaps models atomically by replacing a shared_ptr to one).
+class KMeansModel {
+ public:
+  KMeansModel() = default;
+  KMeansModel(Matrix centroids, double sse)
+      : centroids_(std::move(centroids)), sse_(sse) {}
+
+  size_t k() const { return centroids_.rows(); }
+  size_t dims() const { return centroids_.cols(); }
+  bool trained() const { return centroids_.rows() > 0; }
+
+  /// Index of the nearest centroid. Pre-condition: trained() and
+  /// features.size() == dims().
+  size_t Predict(std::span<const float> features) const;
+
+  /// All cluster indices ordered by increasing distance to `features`.
+  /// The PNW address pool uses this to fall back to the next-nearest
+  /// cluster when the predicted one has no free address.
+  std::vector<size_t> RankClusters(std::span<const float> features) const;
+
+  std::span<const float> Centroid(size_t c) const { return centroids_.Row(c); }
+  const Matrix& centroids() const { return centroids_; }
+
+  /// Final sum of squared errors (inertia) on the training set; the elbow
+  /// method (paper Eq. 1, Fig. 4) plots this against K.
+  double sse() const { return sse_; }
+
+ private:
+  Matrix centroids_;
+  double sse_ = 0.0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding.
+class KMeansTrainer {
+ public:
+  explicit KMeansTrainer(const KMeansOptions& options) : options_(options) {}
+
+  /// Fit on `data` (rows = samples). Fails with InvalidArgument on an empty
+  /// matrix or k == 0. If there are fewer samples than k, duplicate
+  /// centroids are permitted (empty clusters collapse onto existing points).
+  Result<KMeansModel> Fit(const Matrix& data) const;
+
+  /// Per-sample labels under a trained model (convenience used by
+  /// Algorithm 1's initialization: "labels = model.labels").
+  static std::vector<size_t> Label(const KMeansModel& model,
+                                   const Matrix& data);
+
+ private:
+  Result<KMeansModel> FitMiniBatch(const Matrix& data) const;
+
+  KMeansOptions options_;
+};
+
+}  // namespace pnw::ml
+
+#endif  // PNW_ML_KMEANS_H_

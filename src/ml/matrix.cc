@@ -1,0 +1,22 @@
+#include "ml/matrix.h"
+
+namespace pnw::ml {
+
+void Matrix::AppendRow(std::span<const float> row) {
+  if (cols_ == 0) {
+    cols_ = row.size();
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+float SquaredDistance(std::span<const float> a, std::span<const float> b) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace pnw::ml

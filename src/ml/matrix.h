@@ -1,0 +1,50 @@
+#ifndef PNW_ML_MATRIX_H_
+#define PNW_ML_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pnw::ml {
+
+/// Dense row-major float matrix: rows are samples, columns are features.
+/// This mirrors the paper's framing of the data zone as "a 2D tensor of
+/// shape (n, m)" with one bit per feature. float (not double) halves the
+/// training working set; bit features lose nothing.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> Row(size_t r) {
+    return std::span<float>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const float> Row(size_t r) const {
+    return std::span<const float>(data_.data() + r * cols_, cols_);
+  }
+
+  /// Append a row (must match cols(); sets cols() if the matrix is empty).
+  void AppendRow(std::span<const float> row);
+
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Squared Euclidean distance between two equal-length vectors.
+float SquaredDistance(std::span<const float> a, std::span<const float> b);
+
+}  // namespace pnw::ml
+
+#endif  // PNW_ML_MATRIX_H_

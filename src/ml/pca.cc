@@ -1,0 +1,150 @@
+#include "ml/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace pnw::ml {
+
+void PcaModel::Transform(std::span<const float> sample,
+                         std::span<float> out) const {
+  for (size_t c = 0; c < components_.rows(); ++c) {
+    const auto comp = components_.Row(c);
+    double acc = 0.0;
+    for (size_t j = 0; j < comp.size(); ++j) {
+      acc += (sample[j] - mean_[j]) * comp[j];
+    }
+    out[c] = static_cast<float>(acc);
+  }
+}
+
+Matrix PcaModel::TransformBatch(const Matrix& data) const {
+  Matrix out(data.rows(), num_components());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    Transform(data.Row(i), out.Row(i));
+  }
+  return out;
+}
+
+double PcaModel::CumulativeVarianceRatio(size_t m) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < m && i < explained_variance_.size(); ++i) {
+    acc += explained_variance_[i];
+  }
+  return total_variance_ > 0 ? acc / total_variance_ : 0.0;
+}
+
+Result<PcaModel> PcaTrainer::Fit(const Matrix& data) const {
+  if (data.empty()) {
+    return Status::InvalidArgument("pca: empty training matrix");
+  }
+  if (options_.num_components == 0) {
+    return Status::InvalidArgument("pca: num_components must be positive");
+  }
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t m = std::min(options_.num_components, d);
+
+  // Column means.
+  std::vector<float> mean(d, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      mean[j] += row[j];
+    }
+  }
+  for (float& v : mean) {
+    v /= static_cast<float>(n);
+  }
+
+  // Sample covariance (d x d, double accumulation for stability).
+  std::vector<double> cov(d * d, 0.0);
+  std::vector<float> centered(d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      centered[j] = row[j] - mean[j];
+    }
+    for (size_t a = 0; a < d; ++a) {
+      const double ca = centered[a];
+      if (ca == 0.0) {
+        continue;  // bit features are sparse after centering around p~0/1
+      }
+      double* cov_row = cov.data() + a * d;
+      for (size_t b = a; b < d; ++b) {
+        cov_row[b] += ca * centered[b];
+      }
+    }
+  }
+  const double inv_n1 = n > 1 ? 1.0 / static_cast<double>(n - 1) : 1.0;
+  double total_variance = 0.0;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov[a * d + b] *= inv_n1;
+      cov[b * d + a] = cov[a * d + b];
+    }
+    total_variance += cov[a * d + a];
+  }
+
+  // Power iteration with Hotelling deflation for the top-m eigenpairs.
+  Rng rng(options_.seed);
+  Matrix components(m, d);
+  std::vector<double> eigenvalues(m, 0.0);
+  std::vector<double> v(d);
+  std::vector<double> w(d);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      v[j] = rng.NextGaussian();
+    }
+    double lambda = 0.0;
+    for (size_t it = 0; it < options_.power_iterations; ++it) {
+      // w = Cov * v
+      for (size_t a = 0; a < d; ++a) {
+        double acc = 0.0;
+        const double* cov_row = cov.data() + a * d;
+        for (size_t b = 0; b < d; ++b) {
+          acc += cov_row[b] * v[b];
+        }
+        w[a] = acc;
+      }
+      double norm = 0.0;
+      for (double x : w) {
+        norm += x * x;
+      }
+      norm = std::sqrt(norm);
+      if (norm < 1e-30) {
+        // Covariance is (numerically) zero in the remaining subspace.
+        break;
+      }
+      double diff = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double next = w[j] / norm;
+        diff += std::abs(next - v[j]);
+        v[j] = next;
+      }
+      lambda = norm;
+      if (diff < options_.tolerance) {
+        break;
+      }
+    }
+    eigenvalues[c] = lambda;
+    auto comp = components.Row(c);
+    for (size_t j = 0; j < d; ++j) {
+      comp[j] = static_cast<float>(v[j]);
+    }
+    // Deflate: Cov -= lambda * v v^T.
+    for (size_t a = 0; a < d; ++a) {
+      const double va = lambda * v[a];
+      double* cov_row = cov.data() + a * d;
+      for (size_t b = 0; b < d; ++b) {
+        cov_row[b] -= va * v[b];
+      }
+    }
+  }
+
+  return PcaModel(std::move(mean), std::move(components),
+                  std::move(eigenvalues), total_variance);
+}
+
+}  // namespace pnw::ml

@@ -1,0 +1,83 @@
+#ifndef PNW_ML_PCA_H_
+#define PNW_ML_PCA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/status.h"
+
+namespace pnw::ml {
+
+/// Principal Component Analysis via the sample covariance matrix and power
+/// iteration with deflation. The paper applies PCA before K-means for large
+/// values ("for large data elements (e.g. 4KB) we first apply dimensionality
+/// reduction using PCA") and plots the explained-variance ratio (Fig. 3).
+struct PcaOptions {
+  /// Number of principal components to keep.
+  size_t num_components = 16;
+  /// Power-iteration rounds per component.
+  size_t power_iterations = 100;
+  /// Convergence threshold on the eigenvector update.
+  double tolerance = 1e-6;
+  uint64_t seed = 7;
+};
+
+class PcaModel {
+ public:
+  PcaModel() = default;
+  PcaModel(std::vector<float> mean, Matrix components,
+           std::vector<double> explained_variance, double total_variance)
+      : mean_(std::move(mean)),
+        components_(std::move(components)),
+        explained_variance_(std::move(explained_variance)),
+        total_variance_(total_variance) {}
+
+  bool trained() const { return components_.rows() > 0; }
+  size_t num_components() const { return components_.rows(); }
+  size_t input_dims() const { return components_.cols(); }
+
+  /// Project one sample onto the principal subspace. `out` must have
+  /// size num_components().
+  void Transform(std::span<const float> sample, std::span<float> out) const;
+
+  /// Project every row of `data`.
+  Matrix TransformBatch(const Matrix& data) const;
+
+  /// Eigenvalue of component i (variance captured along it).
+  double explained_variance(size_t i) const { return explained_variance_[i]; }
+
+  /// Fraction of total variance captured by component i (Fig. 3 y-axis).
+  double explained_variance_ratio(size_t i) const {
+    return total_variance_ > 0 ? explained_variance_[i] / total_variance_ : 0;
+  }
+
+  /// Cumulative ratio captured by the first `m` components.
+  double CumulativeVarianceRatio(size_t m) const;
+
+  const Matrix& components() const { return components_; }
+
+ private:
+  std::vector<float> mean_;
+  Matrix components_;  // rows = components, cols = input dims
+  std::vector<double> explained_variance_;
+  double total_variance_ = 0.0;
+};
+
+/// Fits a PcaModel on row-major sample data.
+class PcaTrainer {
+ public:
+  explicit PcaTrainer(const PcaOptions& options) : options_(options) {}
+
+  /// Fails with InvalidArgument on an empty matrix or zero components.
+  Result<PcaModel> Fit(const Matrix& data) const;
+
+ private:
+  PcaOptions options_;
+};
+
+}  // namespace pnw::ml
+
+#endif  // PNW_ML_PCA_H_

@@ -1,0 +1,162 @@
+#include "nvm/nvm_device.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/hamming.h"
+
+namespace pnw::nvm {
+
+NvmDevice::NvmDevice(const NvmConfig& config)
+    : config_(config),
+      latency_model_(config.latency),
+      data_(config.size_bytes, 0),
+      word_write_counts_((config.size_bytes + config.word_bytes - 1) /
+                             config.word_bytes,
+                         0),
+      line_write_counts_(
+          (config.size_bytes + config.cache_line_bytes - 1) /
+              config.cache_line_bytes,
+          0) {
+  if (config_.track_bit_wear) {
+    bit_write_counts_.assign(config_.size_bytes * 8, 0);
+  }
+}
+
+Status NvmDevice::CheckRange(uint64_t addr, size_t len) const {
+  if (addr + len > data_.size() || addr + len < addr) {
+    return Status::InvalidArgument("NVM access out of bounds");
+  }
+  return Status::OK();
+}
+
+Status NvmDevice::Read(uint64_t addr, std::span<uint8_t> out) {
+  PNW_RETURN_IF_ERROR(CheckRange(addr, out.size()));
+  std::memcpy(out.data(), data_.data() + addr, out.size());
+  const uint64_t first_line = addr / config_.cache_line_bytes;
+  const uint64_t last_line =
+      out.empty() ? first_line
+                  : (addr + out.size() - 1) / config_.cache_line_bytes;
+  const uint64_t lines = last_line - first_line + 1;
+  counters_.total_lines_read += lines;
+  counters_.total_read_ops += 1;
+  counters_.total_latency_ns += latency_model_.NvmReadCostNs(lines);
+  return Status::OK();
+}
+
+std::span<const uint8_t> NvmDevice::Peek(uint64_t addr, size_t len) const {
+  if (!CheckRange(addr, len).ok()) {
+    return {};
+  }
+  return std::span<const uint8_t>(data_.data() + addr, len);
+}
+
+Result<WriteResult> NvmDevice::WriteConventional(
+    uint64_t addr, std::span<const uint8_t> data) {
+  PNW_RETURN_IF_ERROR(CheckRange(addr, data.size()));
+  WriteResult result;
+  result.bits_written = data.size() * 8;
+
+  // Every word and line covered by the range is rewritten.
+  const uint64_t first_word = addr / config_.word_bytes;
+  const uint64_t last_word = data.empty()
+                                 ? first_word
+                                 : (addr + data.size() - 1) / config_.word_bytes;
+  const uint64_t first_line = addr / config_.cache_line_bytes;
+  const uint64_t last_line =
+      data.empty() ? first_line
+                   : (addr + data.size() - 1) / config_.cache_line_bytes;
+  result.words_written = data.empty() ? 0 : last_word - first_word + 1;
+  result.lines_written = data.empty() ? 0 : last_line - first_line + 1;
+
+  if (!data.empty()) {
+    for (uint64_t w = first_word; w <= last_word; ++w) {
+      ++word_write_counts_[w];
+    }
+    for (uint64_t l = first_line; l <= last_line; ++l) {
+      ++line_write_counts_[l];
+    }
+    if (config_.track_bit_wear) {
+      for (uint64_t bit = addr * 8; bit < (addr + data.size()) * 8; ++bit) {
+        ++bit_write_counts_[bit];
+      }
+    }
+  }
+  std::memcpy(data_.data() + addr, data.data(), data.size());
+
+  result.latency_ns = latency_model_.NvmWriteCostNs(result.lines_written);
+  counters_.total_bits_written += result.bits_written;
+  counters_.total_words_written += result.words_written;
+  counters_.total_lines_written += result.lines_written;
+  counters_.total_write_ops += 1;
+  counters_.total_payload_bits += data.size() * 8;
+  counters_.total_latency_ns += result.latency_ns;
+  return result;
+}
+
+Result<WriteResult> NvmDevice::WriteDifferential(
+    uint64_t addr, std::span<const uint8_t> data) {
+  PNW_RETURN_IF_ERROR(CheckRange(addr, data.size()));
+  WriteResult result;
+  if (data.empty()) {
+    return result;
+  }
+
+  const uint64_t first_line = addr / config_.cache_line_bytes;
+  const uint64_t last_line = (addr + data.size() - 1) / config_.cache_line_bytes;
+  // Read-before-write: the old content of every covered line is read once.
+  result.lines_read = last_line - first_line + 1;
+
+  uint64_t prev_word = UINT64_MAX;
+  uint64_t prev_line = UINT64_MAX;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const uint8_t old_byte = data_[addr + i];
+    const uint8_t new_byte = data[i];
+    const uint8_t diff = old_byte ^ new_byte;
+    if (diff == 0) {
+      continue;
+    }
+    result.bits_written += std::popcount(diff);
+    const uint64_t word = (addr + i) / config_.word_bytes;
+    if (word != prev_word) {
+      ++result.words_written;
+      ++word_write_counts_[word];
+      prev_word = word;
+    }
+    const uint64_t line = (addr + i) / config_.cache_line_bytes;
+    if (line != prev_line) {
+      ++result.lines_written;
+      ++line_write_counts_[line];
+      prev_line = line;
+    }
+    if (config_.track_bit_wear) {
+      uint8_t d = diff;
+      while (d) {
+        const int bit = std::countr_zero(d);
+        ++bit_write_counts_[(addr + i) * 8 + bit];
+        d = static_cast<uint8_t>(d & (d - 1));
+      }
+    }
+    data_[addr + i] = new_byte;
+  }
+
+  result.latency_ns = latency_model_.NvmReadCostNs(result.lines_read) +
+                      latency_model_.NvmWriteCostNs(result.lines_written);
+  counters_.total_bits_written += result.bits_written;
+  counters_.total_words_written += result.words_written;
+  counters_.total_lines_written += result.lines_written;
+  counters_.total_lines_read += result.lines_read;
+  counters_.total_write_ops += 1;
+  counters_.total_payload_bits += data.size() * 8;
+  counters_.total_latency_ns += result.latency_ns;
+  return result;
+}
+
+void NvmDevice::ResetCounters() {
+  counters_ = NvmCounters{};
+  std::fill(word_write_counts_.begin(), word_write_counts_.end(), 0);
+  std::fill(line_write_counts_.begin(), line_write_counts_.end(), 0);
+  std::fill(bit_write_counts_.begin(), bit_write_counts_.end(), 0);
+}
+
+}  // namespace pnw::nvm

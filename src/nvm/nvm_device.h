@@ -1,0 +1,142 @@
+#ifndef PNW_NVM_NVM_DEVICE_H_
+#define PNW_NVM_NVM_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nvm/latency_model.h"
+#include "util/status.h"
+
+namespace pnw::nvm {
+
+/// Configuration of a simulated PCM device.
+struct NvmConfig {
+  /// Capacity in bytes.
+  size_t size_bytes = 1 << 20;
+  /// Cache line size; every write is accounted at this granularity.
+  size_t cache_line_bytes = 64;
+  /// Word size for "NVM word writes" accounting (the paper counts modified
+  /// words within a cache line).
+  size_t word_bytes = 8;
+  /// Keep a per-bit write counter (memory-heavy: 2 bytes per stored bit).
+  /// Needed only by the wear-leveling experiments (paper Fig. 13).
+  bool track_bit_wear = false;
+  /// Latency parameters for the simulated device.
+  LatencyParams latency;
+};
+
+/// Accounting record returned by every write.
+struct WriteResult {
+  /// NVM cells actually updated (bits whose value changed, or all bits for a
+  /// conventional write).
+  uint64_t bits_written = 0;
+  /// Words containing at least one updated bit.
+  uint64_t words_written = 0;
+  /// Cache lines containing at least one updated bit.
+  uint64_t lines_written = 0;
+  /// Cache lines read (read-before-write schemes pay this).
+  uint64_t lines_read = 0;
+  /// Simulated elapsed time of the operation.
+  double latency_ns = 0.0;
+};
+
+/// Cumulative device counters.
+struct NvmCounters {
+  uint64_t total_bits_written = 0;
+  uint64_t total_words_written = 0;
+  uint64_t total_lines_written = 0;
+  uint64_t total_lines_read = 0;
+  uint64_t total_write_ops = 0;
+  uint64_t total_read_ops = 0;
+  /// Total payload bits passed to write operations (denominator of the
+  /// paper's "bit updates per 512 bits written" metric).
+  uint64_t total_payload_bits = 0;
+  double total_latency_ns = 0.0;
+};
+
+/// Byte-addressable simulated PCM.
+///
+/// The device is the *single source of truth* for wear accounting: every
+/// write scheme and every K/V store in this repository mutates memory only
+/// through `WriteConventional` / `WriteDifferential`, so bit-flip, word, and
+/// cache-line counts are always computed by the same code.
+///
+/// Thread-compatible: callers serialize access (the PNW store does; the
+/// bench harnesses are single-threaded per device).
+class NvmDevice {
+ public:
+  explicit NvmDevice(const NvmConfig& config);
+
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  size_t size() const { return data_.size(); }
+  const NvmConfig& config() const { return config_; }
+
+  /// Copy `out.size()` bytes starting at `addr` into `out`.
+  /// Fails with InvalidArgument if the range is out of bounds.
+  Status Read(uint64_t addr, std::span<uint8_t> out);
+
+  /// Zero-cost inspection of device content (no latency or counter effects);
+  /// used by tests and by the PNW model trainer, which the paper places on
+  /// the DRAM side reading the data zone.
+  std::span<const uint8_t> Peek(uint64_t addr, size_t len) const;
+
+  /// Conventional write: every cell in the range is rewritten, so wear is
+  /// charged for every bit regardless of whether its value changed.
+  Result<WriteResult> WriteConventional(uint64_t addr,
+                                        std::span<const uint8_t> data);
+
+  /// Differential (read-modify-write / DCW-style) write: only cells whose
+  /// value differs are updated. Charges a read of the covered lines plus a
+  /// write of the dirtied lines.
+  Result<WriteResult> WriteDifferential(uint64_t addr,
+                                        std::span<const uint8_t> data);
+
+  /// Differential write of metadata bits (scheme flag bits, shift fields).
+  /// Identical accounting to WriteDifferential; separated so callers can
+  /// keep payload and metadata statistics apart if they wish.
+  Result<WriteResult> WriteMetadataBits(uint64_t addr,
+                                        std::span<const uint8_t> data) {
+    return WriteDifferential(addr, data);
+  }
+
+  const NvmCounters& counters() const { return counters_; }
+  void ResetCounters();
+
+  /// Per-word cumulative write counts (one entry per `word_bytes` of the
+  /// device). Index = addr / word_bytes.
+  const std::vector<uint32_t>& word_write_counts() const {
+    return word_write_counts_;
+  }
+
+  /// Per-line cumulative write counts. Index = addr / cache_line_bytes.
+  const std::vector<uint32_t>& line_write_counts() const {
+    return line_write_counts_;
+  }
+
+  /// Per-bit cumulative write counts; empty unless
+  /// `config.track_bit_wear` was set. Index = bit offset in the device.
+  const std::vector<uint16_t>& bit_write_counts() const {
+    return bit_write_counts_;
+  }
+
+  const LatencyModel& latency_model() const { return latency_model_; }
+
+ private:
+  Status CheckRange(uint64_t addr, size_t len) const;
+
+  NvmConfig config_;
+  LatencyModel latency_model_;
+  std::vector<uint8_t> data_;
+  std::vector<uint32_t> word_write_counts_;
+  std::vector<uint32_t> line_write_counts_;
+  std::vector<uint16_t> bit_write_counts_;
+  NvmCounters counters_;
+};
+
+}  // namespace pnw::nvm
+
+#endif  // PNW_NVM_NVM_DEVICE_H_

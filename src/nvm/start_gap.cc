@@ -1,0 +1,78 @@
+#include "nvm/start_gap.h"
+
+#include <vector>
+
+namespace pnw::nvm {
+
+StartGapRemapper::StartGapRemapper(NvmDevice* device, uint64_t base,
+                                   size_t num_blocks, size_t block_bytes,
+                                   size_t gap_write_interval)
+    : device_(device),
+      base_(base),
+      num_blocks_(num_blocks),
+      block_bytes_(block_bytes),
+      gap_write_interval_(gap_write_interval == 0 ? 1 : gap_write_interval),
+      gap_(num_blocks) {}  // the spare slot at the top starts as the gap
+
+uint64_t StartGapRemapper::Translate(size_t logical_block) const {
+  // The i-th non-gap physical slot is i for i < gap, else i + 1; logical
+  // blocks occupy non-gap slots rotated by start_.
+  const size_t idx = (logical_block + start_) % num_blocks_;
+  const size_t slot = idx < gap_ ? idx : idx + 1;
+  return base_ + slot * block_bytes_;
+}
+
+Status StartGapRemapper::MoveGap() {
+  std::vector<uint8_t> block(block_bytes_);
+  if (gap_ > 0) {
+    // Slide the block just below the gap up into it.
+    const uint64_t src = base_ + (gap_ - 1) * block_bytes_;
+    const uint64_t dst = base_ + gap_ * block_bytes_;
+    PNW_RETURN_IF_ERROR(device_->Read(src, block));
+    auto write = device_->WriteDifferential(dst, block);
+    if (!write.ok()) {
+      return write.status();
+    }
+    --gap_;
+  } else {
+    // Gap wrapped: the top slot's block moves to slot 0 and the start
+    // pointer advances, completing one rotation step.
+    const uint64_t src = base_ + num_blocks_ * block_bytes_;
+    PNW_RETURN_IF_ERROR(device_->Read(src, block));
+    auto write = device_->WriteDifferential(base_, block);
+    if (!write.ok()) {
+      return write.status();
+    }
+    gap_ = num_blocks_;
+    start_ = (start_ + 1) % num_blocks_;
+    ++rotations_;
+  }
+  ++gap_moves_;
+  return Status::OK();
+}
+
+Result<WriteResult> StartGapRemapper::WriteBlock(
+    size_t logical_block, std::span<const uint8_t> data) {
+  if (logical_block >= num_blocks_ || data.size() != block_bytes_) {
+    return Status::InvalidArgument("start-gap: bad block or size");
+  }
+  auto result = device_->WriteDifferential(Translate(logical_block), data);
+  if (!result.ok()) {
+    return result;
+  }
+  if (++writes_since_move_ >= gap_write_interval_) {
+    writes_since_move_ = 0;
+    PNW_RETURN_IF_ERROR(MoveGap());
+  }
+  return result;
+}
+
+Status StartGapRemapper::ReadBlock(size_t logical_block,
+                                   std::span<uint8_t> out) {
+  if (logical_block >= num_blocks_ || out.size() != block_bytes_) {
+    return Status::InvalidArgument("start-gap: bad block or size");
+  }
+  return device_->Read(Translate(logical_block), out);
+}
+
+}  // namespace pnw::nvm

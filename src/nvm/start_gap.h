@@ -1,0 +1,77 @@
+#ifndef PNW_NVM_START_GAP_H_
+#define PNW_NVM_START_GAP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nvm/nvm_device.h"
+#include "util/status.h"
+
+namespace pnw::nvm {
+
+/// Start-Gap wear leveling (Qureshi et al., MICRO'09): the canonical
+/// low-overhead PCM address-rotation scheme, provided as an orthogonal
+/// substrate to PNW's content-aware placement. PNW levels wear *within* the
+/// traffic it sees (paper Section VI-G); Start-Gap additionally protects
+/// against adversarial or residual hot spots by slowly rotating every
+/// logical block through physical locations.
+///
+/// Mechanism: `num_blocks` logical blocks map onto `num_blocks + 1`
+/// physical slots; one slot (the *gap*) is empty. Every `gap_write_interval`
+/// block writes, the block just above the gap moves into it and the gap
+/// shifts down one slot; after num_blocks+1 movements the *start* pointer
+/// advances, completing one full rotation. Translation is O(1) arithmetic
+/// from two registers (start, gap) -- no remap table.
+class StartGapRemapper {
+ public:
+  /// Manages `num_blocks` logical blocks of `block_bytes` each, stored at
+  /// [base, base + (num_blocks + 1) * block_bytes) on `device`.
+  /// `gap_write_interval` is the psi parameter of the paper (writes between
+  /// gap movements; Qureshi et al. use 100).
+  StartGapRemapper(NvmDevice* device, uint64_t base, size_t num_blocks,
+                   size_t block_bytes, size_t gap_write_interval = 100);
+
+  /// Total device bytes required for a configuration.
+  static size_t StorageBytes(size_t num_blocks, size_t block_bytes) {
+    return (num_blocks + 1) * block_bytes;
+  }
+
+  /// Physical byte address currently backing `logical_block`.
+  /// Pre-condition: logical_block < num_blocks().
+  uint64_t Translate(size_t logical_block) const;
+
+  /// Write `data` (exactly block_bytes) to a logical block, performing the
+  /// differential write at its current physical slot and advancing the gap
+  /// when the write interval elapses (the gap move itself costs one block
+  /// copy, accounted on the device like any other write).
+  Result<WriteResult> WriteBlock(size_t logical_block,
+                                 std::span<const uint8_t> data);
+
+  /// Read a logical block's current content.
+  Status ReadBlock(size_t logical_block, std::span<uint8_t> out);
+
+  size_t num_blocks() const { return num_blocks_; }
+  /// Completed full rotations of the start pointer.
+  uint64_t rotations() const { return rotations_; }
+  /// Gap movements performed so far.
+  uint64_t gap_moves() const { return gap_moves_; }
+
+ private:
+  /// Move the block above the gap into the gap slot; shift the gap.
+  Status MoveGap();
+
+  NvmDevice* device_;
+  uint64_t base_;
+  size_t num_blocks_;
+  size_t block_bytes_;
+  size_t gap_write_interval_;
+  size_t gap_ = 0;        // physical slot index of the gap (starts at top)
+  size_t start_ = 0;      // rotation offset
+  uint64_t writes_since_move_ = 0;
+  uint64_t gap_moves_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+}  // namespace pnw::nvm
+
+#endif  // PNW_NVM_START_GAP_H_

@@ -1,0 +1,73 @@
+#ifndef PNW_SCHEMES_CAPTOPRIL_H_
+#define PNW_SCHEMES_CAPTOPRIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "schemes/write_scheme.h"
+
+namespace pnw::schemes {
+
+/// Captopril (Jalili & Sarbazi-Azad, DATE'16, cited as [9]) with n = 16
+/// segments per block -- CAP16, the configuration the paper calls its best.
+///
+/// Captopril reduces pressure on *hot* bit positions by masking them: a
+/// profiling phase counts how often each bit position inside a block flips;
+/// from the profile, each of the 16 block segments derives a fixed XOR mask
+/// covering its hottest positions. On a write, each segment is stored
+/// either plain or masked -- whichever updates fewer cells -- with one flag
+/// bit per segment. The masks are *fixed after profiling* (storage-hungry
+/// and unable to adapt to workload drift, which is exactly the weakness the
+/// paper exploits in Fig. 10).
+class CaptoprilScheme final : public WriteScheme {
+ public:
+  /// CAP16, the paper's best configuration.
+  static constexpr size_t kSegments = 16;
+
+  /// `profile_writes`: number of initial writes used to build the flip
+  /// histogram before masks are frozen. During profiling, writes behave
+  /// like DCW (plain differential writes). `segments` (1..32) partitions
+  /// each block; the segment-count ablation bench sweeps it.
+  CaptoprilScheme(nvm::NvmDevice* device, size_t data_region_bytes,
+                  size_t block_bytes, size_t profile_writes = 256,
+                  size_t segments = kSegments);
+
+  SchemeKind kind() const override { return SchemeKind::kCaptopril; }
+
+  Result<nvm::WriteResult> Write(uint64_t addr,
+                                 std::span<const uint8_t> data) override;
+
+  Result<std::vector<uint8_t>> ReadDecoded(uint64_t addr,
+                                           size_t len) override;
+
+  /// Flag bytes per block: one bit per segment, byte-rounded.
+  static size_t MetadataBytes(size_t data_bytes, size_t block_bytes,
+                              size_t segments = kSegments) {
+    return (data_bytes / block_bytes) * ((segments + 7) / 8);
+  }
+
+  bool profiling_done() const { return profile_remaining_ == 0; }
+  /// The frozen per-position mask (one byte per block byte); empty until
+  /// profiling completes. Exposed for tests.
+  const std::vector<uint8_t>& mask() const { return mask_; }
+
+ private:
+  void FreezeMask();
+
+  nvm::NvmDevice* device_;
+  size_t data_region_bytes_;
+  size_t block_bytes_;
+  size_t segments_;
+  size_t flag_bytes_per_block_;
+  size_t segment_bytes_;
+  size_t profile_remaining_;
+  /// flip_counts_[bit position within block] accumulated during profiling.
+  std::vector<uint64_t> flip_counts_;
+  uint64_t profiled_writes_ = 0;
+  std::vector<uint8_t> mask_;  // frozen XOR mask per block byte
+};
+
+}  // namespace pnw::schemes
+
+#endif  // PNW_SCHEMES_CAPTOPRIL_H_

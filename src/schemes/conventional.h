@@ -1,0 +1,35 @@
+#ifndef PNW_SCHEMES_CONVENTIONAL_H_
+#define PNW_SCHEMES_CONVENTIONAL_H_
+
+#include "schemes/write_scheme.h"
+
+namespace pnw::schemes {
+
+/// The do-nothing baseline: every cell of the block is rewritten, every
+/// covered cache line is dirtied. This is the "conventional method" line in
+/// the paper's Fig. 6.
+class ConventionalScheme final : public WriteScheme {
+ public:
+  explicit ConventionalScheme(nvm::NvmDevice* device) : device_(device) {}
+
+  SchemeKind kind() const override { return SchemeKind::kConventional; }
+
+  Result<nvm::WriteResult> Write(uint64_t addr,
+                                 std::span<const uint8_t> data) override {
+    return device_->WriteConventional(addr, data);
+  }
+
+  Result<std::vector<uint8_t>> ReadDecoded(uint64_t addr,
+                                           size_t len) override {
+    std::vector<uint8_t> out(len);
+    PNW_RETURN_IF_ERROR(device_->Read(addr, out));
+    return out;
+  }
+
+ private:
+  nvm::NvmDevice* device_;
+};
+
+}  // namespace pnw::schemes
+
+#endif  // PNW_SCHEMES_CONVENTIONAL_H_

@@ -1,0 +1,36 @@
+#ifndef PNW_SCHEMES_DCW_H_
+#define PNW_SCHEMES_DCW_H_
+
+#include "schemes/write_scheme.h"
+
+namespace pnw::schemes {
+
+/// Data-Comparison Write (Yang et al., cited as [36]): read the old block,
+/// update only the bits that differ. The canonical read-before-write
+/// technique; PNW with k=1 degenerates to exactly this, as the paper notes
+/// for Fig. 6e.
+class DcwScheme final : public WriteScheme {
+ public:
+  explicit DcwScheme(nvm::NvmDevice* device) : device_(device) {}
+
+  SchemeKind kind() const override { return SchemeKind::kDcw; }
+
+  Result<nvm::WriteResult> Write(uint64_t addr,
+                                 std::span<const uint8_t> data) override {
+    return device_->WriteDifferential(addr, data);
+  }
+
+  Result<std::vector<uint8_t>> ReadDecoded(uint64_t addr,
+                                           size_t len) override {
+    std::vector<uint8_t> out(len);
+    PNW_RETURN_IF_ERROR(device_->Read(addr, out));
+    return out;
+  }
+
+ private:
+  nvm::NvmDevice* device_;
+};
+
+}  // namespace pnw::schemes
+
+#endif  // PNW_SCHEMES_DCW_H_

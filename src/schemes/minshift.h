@@ -1,0 +1,56 @@
+#ifndef PNW_SCHEMES_MINSHIFT_H_
+#define PNW_SCHEMES_MINSHIFT_H_
+
+#include <cstddef>
+
+#include "schemes/write_scheme.h"
+
+namespace pnw::schemes {
+
+/// MinShift (Luo et al., RTCSA'14, cited as [22]): before a differential
+/// write, rotate the new data by the shift amount that minimizes its Hamming
+/// distance to the old block content, and record the shift in a per-block
+/// 16-bit metadata field.
+///
+/// Following the paper's methodology we run MinShift in its *best* mode:
+/// "we allow MinShift to shift n times, where n is the size of the item".
+/// For small blocks (<= kExhaustiveBits) every bit rotation is tried; for
+/// larger blocks the search is capped at `max_candidates` evenly spaced
+/// rotations (an implementation bound documented in DESIGN.md -- the
+/// exhaustive search is O(bits^2) and intractable for multi-KB video
+/// frames; evenly spaced candidates preserve the scheme's behaviour).
+class MinShiftScheme final : public WriteScheme {
+ public:
+  static constexpr size_t kExhaustiveBits = 512;
+  static constexpr size_t kShiftFieldBytes = 2;
+
+  MinShiftScheme(nvm::NvmDevice* device, size_t data_region_bytes,
+                 size_t block_bytes, size_t max_candidates = 128);
+
+  SchemeKind kind() const override { return SchemeKind::kMinShift; }
+
+  Result<nvm::WriteResult> Write(uint64_t addr,
+                                 std::span<const uint8_t> data) override;
+
+  Result<std::vector<uint8_t>> ReadDecoded(uint64_t addr,
+                                           size_t len) override;
+
+  static size_t MetadataBytes(size_t data_bytes, size_t block_bytes) {
+    return (data_bytes / block_bytes) * kShiftFieldBytes;
+  }
+
+ private:
+  nvm::NvmDevice* device_;
+  size_t data_region_bytes_;
+  size_t block_bytes_;
+  size_t max_candidates_;
+};
+
+/// Rotate `data` left by `shift_bits` (modulo the bit length) into `out`.
+/// Exposed for testing.
+void RotateBitsLeft(std::span<const uint8_t> data, size_t shift_bits,
+                    std::span<uint8_t> out);
+
+}  // namespace pnw::schemes
+
+#endif  // PNW_SCHEMES_MINSHIFT_H_

@@ -1,0 +1,73 @@
+#include "schemes/write_scheme.h"
+
+#include <array>
+
+#include "schemes/captopril.h"
+#include "schemes/conventional.h"
+#include "schemes/dcw.h"
+#include "schemes/fnw.h"
+#include "schemes/minshift.h"
+
+namespace pnw::schemes {
+
+std::string_view SchemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kConventional:
+      return "Conventional";
+    case SchemeKind::kDcw:
+      return "DCW";
+    case SchemeKind::kFnw:
+      return "FNW";
+    case SchemeKind::kMinShift:
+      return "MinShift";
+    case SchemeKind::kCaptopril:
+      return "CAP16";
+  }
+  return "Unknown";
+}
+
+std::span<const SchemeKind> AllSchemeKinds() {
+  static constexpr std::array<SchemeKind, 5> kAll = {
+      SchemeKind::kConventional, SchemeKind::kDcw, SchemeKind::kFnw,
+      SchemeKind::kMinShift, SchemeKind::kCaptopril};
+  return kAll;
+}
+
+size_t SchemeMetadataBytes(SchemeKind kind, size_t data_bytes,
+                           size_t block_bytes) {
+  switch (kind) {
+    case SchemeKind::kConventional:
+    case SchemeKind::kDcw:
+      return 0;
+    case SchemeKind::kFnw:
+      return FnwScheme::MetadataBytes(data_bytes);
+    case SchemeKind::kMinShift:
+      return MinShiftScheme::MetadataBytes(data_bytes, block_bytes);
+    case SchemeKind::kCaptopril:
+      return CaptoprilScheme::MetadataBytes(data_bytes, block_bytes);
+  }
+  return 0;
+}
+
+std::unique_ptr<WriteScheme> CreateScheme(SchemeKind kind,
+                                          nvm::NvmDevice* device,
+                                          size_t data_region_bytes,
+                                          size_t block_bytes) {
+  switch (kind) {
+    case SchemeKind::kConventional:
+      return std::make_unique<ConventionalScheme>(device);
+    case SchemeKind::kDcw:
+      return std::make_unique<DcwScheme>(device);
+    case SchemeKind::kFnw:
+      return std::make_unique<FnwScheme>(device, data_region_bytes);
+    case SchemeKind::kMinShift:
+      return std::make_unique<MinShiftScheme>(device, data_region_bytes,
+                                              block_bytes);
+    case SchemeKind::kCaptopril:
+      return std::make_unique<CaptoprilScheme>(device, data_region_bytes,
+                                               block_bytes);
+  }
+  return nullptr;
+}
+
+}  // namespace pnw::schemes

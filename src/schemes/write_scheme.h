@@ -1,0 +1,79 @@
+#ifndef PNW_SCHEMES_WRITE_SCHEME_H_
+#define PNW_SCHEMES_WRITE_SCHEME_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "nvm/nvm_device.h"
+#include "util/status.h"
+
+namespace pnw::schemes {
+
+/// The baseline bit-flip-reduction techniques the paper compares against
+/// (Section III / Fig. 6), plus the conventional full rewrite.
+enum class SchemeKind {
+  /// Rewrite every cell of the block.
+  kConventional,
+  /// Data-Comparison Write: read-before-write, update only differing bits.
+  kDcw,
+  /// Flip-N-Write: DCW plus per-32-bit-chunk inversion flag; writes at most
+  /// half the chunk (+ the flag bit).
+  kFnw,
+  /// MinShift: rotate the new data to minimize Hamming distance against the
+  /// old content; stores a per-block shift field.
+  kMinShift,
+  /// Captopril with 16 segments (CAP16, the paper's best configuration):
+  /// statically profiled per-segment hot-bit masks + per-segment mask flags.
+  kCaptopril,
+};
+
+/// Human-readable scheme name ("FNW", "CAP16", ...), as used in the paper's
+/// figure legends.
+std::string_view SchemeName(SchemeKind kind);
+
+/// All kinds, in the order the paper's figures list them.
+std::span<const SchemeKind> AllSchemeKinds();
+
+/// NVM metadata bytes a scheme needs for a data region of `data_bytes`
+/// divided into blocks of `block_bytes` (flag bits, shift fields, ...).
+/// Callers size the device as data region + this.
+size_t SchemeMetadataBytes(SchemeKind kind, size_t data_bytes,
+                           size_t block_bytes);
+
+/// A write-placement-agnostic block write technique. Every scheme mutates
+/// memory exclusively through NvmDevice, so its bit/word/line costs --
+/// including its own metadata updates -- are accounted by the same code
+/// that scores PNW.
+class WriteScheme {
+ public:
+  virtual ~WriteScheme() = default;
+
+  virtual SchemeKind kind() const = 0;
+  std::string_view name() const { return SchemeName(kind()); }
+
+  /// Write `data` over the block starting at `addr` in the data region.
+  /// Returns combined accounting for the payload and any metadata updates.
+  virtual Result<nvm::WriteResult> Write(uint64_t addr,
+                                         std::span<const uint8_t> data) = 0;
+
+  /// Decoding hook: recover the logical value of a block (schemes that store
+  /// data transformed -- FNW inversion, MinShift rotation, Captopril masks --
+  /// must be able to undo the transform).
+  virtual Result<std::vector<uint8_t>> ReadDecoded(uint64_t addr,
+                                                   size_t len) = 0;
+};
+
+/// Factory. `device` must outlive the scheme and be sized at least
+/// `data_region_bytes + SchemeMetadataBytes(kind, data_region_bytes,
+/// block_bytes)`; metadata lives at the tail of the device.
+std::unique_ptr<WriteScheme> CreateScheme(SchemeKind kind,
+                                          nvm::NvmDevice* device,
+                                          size_t data_region_bytes,
+                                          size_t block_bytes);
+
+}  // namespace pnw::schemes
+
+#endif  // PNW_SCHEMES_WRITE_SCHEME_H_

@@ -1,0 +1,48 @@
+#include "util/bitvec.h"
+
+#include "util/hamming.h"
+
+namespace pnw {
+
+BitVector::BitVector(size_t num_bits)
+    : num_bits_(num_bits), bytes_((num_bits + 7) / 8, 0) {}
+
+BitVector::BitVector(std::span<const uint8_t> bytes)
+    : num_bits_(bytes.size() * 8), bytes_(bytes.begin(), bytes.end()) {}
+
+BitVector BitVector::FromString(const std::string& bits) {
+  BitVector v;
+  for (char c : bits) {
+    if (c == '0') {
+      v.PushBack(false);
+    } else if (c == '1') {
+      v.PushBack(true);
+    }
+  }
+  return v;
+}
+
+void BitVector::PushBack(bool v) {
+  if (num_bits_ % 8 == 0) {
+    bytes_.push_back(0);
+  }
+  ++num_bits_;
+  Set(num_bits_ - 1, v);
+}
+
+uint64_t BitVector::CountOnes() const { return PopCount(bytes_); }
+
+uint64_t BitVector::HammingDistanceTo(const BitVector& other) const {
+  return HammingDistance(bytes_, other.bytes_);
+}
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) {
+    out.push_back(Get(i) ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace pnw

@@ -1,0 +1,76 @@
+#ifndef PNW_UTIL_BITVEC_H_
+#define PNW_UTIL_BITVEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pnw {
+
+/// A resizable vector of bits stored in packed bytes (LSB-first within each
+/// byte). Values stored in the K/V store are arbitrary byte strings; the ML
+/// feature encoder and the worked Table II example view them through this
+/// class.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// All-zero vector of `num_bits` bits.
+  explicit BitVector(size_t num_bits);
+
+  /// Wrap a copy of raw bytes; bit count is bytes.size() * 8.
+  explicit BitVector(std::span<const uint8_t> bytes);
+
+  /// Parse from a string of '0'/'1' characters, e.g. "00010110".
+  /// Characters other than '0' or '1' are ignored (so "0,1, 1" works, which
+  /// makes transcribing the paper's Table II painless).
+  static BitVector FromString(const std::string& bits);
+
+  BitVector(const BitVector&) = default;
+  BitVector& operator=(const BitVector&) = default;
+  BitVector(BitVector&&) = default;
+  BitVector& operator=(BitVector&&) = default;
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool Get(size_t i) const {
+    return (bytes_[i >> 3] >> (i & 7)) & 1;
+  }
+  void Set(size_t i, bool v) {
+    if (v) {
+      bytes_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+    } else {
+      bytes_[i >> 3] &= static_cast<uint8_t>(~(1u << (i & 7)));
+    }
+  }
+
+  void PushBack(bool v);
+
+  /// Number of set bits.
+  uint64_t CountOnes() const;
+
+  /// Bit-level Hamming distance. Pre-condition: other.size() == size().
+  uint64_t HammingDistanceTo(const BitVector& other) const;
+
+  /// Underlying packed bytes (ceil(size()/8) of them; trailing pad bits are
+  /// zero).
+  std::span<const uint8_t> bytes() const { return bytes_; }
+
+  /// Human-readable '0'/'1' string, MSB of the vector first-at-index-0 order.
+  std::string ToString() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.num_bits_ == b.num_bits_ && a.bytes_ == b.bytes_;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace pnw
+
+#endif  // PNW_UTIL_BITVEC_H_

@@ -1,0 +1,64 @@
+#ifndef PNW_UTIL_HAMMING_H_
+#define PNW_UTIL_HAMMING_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace pnw {
+
+/// Bit-level distance kernels. These are the innermost loops of both the
+/// NVM simulator's differential-write accounting and the baseline write
+/// schemes, so they are header-only and branch-light.
+
+/// Number of set bits in a byte span.
+inline uint64_t PopCount(std::span<const uint8_t> data) {
+  uint64_t total = 0;
+  size_t i = 0;
+  // 8-byte strides via memcpy keep this alignment-safe and still vectorize.
+  for (; i + 8 <= data.size(); i += 8) {
+    uint64_t w;
+    std::memcpy(&w, data.data() + i, 8);
+    total += static_cast<uint64_t>(std::popcount(w));
+  }
+  for (; i < data.size(); ++i) {
+    total += static_cast<uint64_t>(std::popcount(data[i]));
+  }
+  return total;
+}
+
+/// Hamming distance between two equal-length byte spans, in bits.
+/// Pre-condition: a.size() == b.size().
+inline uint64_t HammingDistance(std::span<const uint8_t> a,
+                                std::span<const uint8_t> b) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 8 <= a.size(); i += 8) {
+    uint64_t wa;
+    uint64_t wb;
+    std::memcpy(&wa, a.data() + i, 8);
+    std::memcpy(&wb, b.data() + i, 8);
+    total += static_cast<uint64_t>(std::popcount(wa ^ wb));
+  }
+  for (; i < a.size(); ++i) {
+    total += static_cast<uint64_t>(
+        std::popcount(static_cast<uint8_t>(a[i] ^ b[i])));
+  }
+  return total;
+}
+
+/// Hamming distance between two 64-bit words.
+inline uint32_t HammingDistance64(uint64_t a, uint64_t b) {
+  return static_cast<uint32_t>(std::popcount(a ^ b));
+}
+
+/// Rotate a 64-bit word left by `s` bits (s may be 0..63).
+inline uint64_t RotateLeft64(uint64_t w, unsigned s) {
+  return std::rotl(w, static_cast<int>(s));
+}
+
+}  // namespace pnw
+
+#endif  // PNW_UTIL_HAMMING_H_

@@ -1,0 +1,57 @@
+#ifndef PNW_UTIL_RANDOM_H_
+#define PNW_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pnw {
+
+/// Deterministic, seedable PRNG (xoshiro256**) used everywhere in the
+/// library so that experiments are reproducible run-to-run. We deliberately
+/// avoid std::mt19937 on hot paths (slow, large state) and std::random_device
+/// (non-deterministic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). Pre-condition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  /// Bernoulli(p).
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Zipfian distribution over [0, n) with exponent `theta` (default 0.99, the
+/// YCSB convention). Used by the bag-of-words generator for term draws.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  /// Draw one rank in [0, n); rank 0 is the most popular item.
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n (n small)
+};
+
+}  // namespace pnw
+
+#endif  // PNW_UTIL_RANDOM_H_

@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+namespace pnw {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::ci95_half_width() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> observations)
+    : sorted_(std::move(observations)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::CumulativeProbability(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(sorted_.size());
+  size_t idx = static_cast<size_t>(std::ceil(target));
+  if (idx > 0) {
+    --idx;
+  }
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+std::vector<CdfPoint> EmpiricalCdf::Points() const {
+  std::vector<CdfPoint> points;
+  const double n = static_cast<double>(sorted_.size());
+  for (size_t i = 0; i < sorted_.size(); ++i) {
+    // Emit one point per distinct value, at its last occurrence.
+    if (i + 1 == sorted_.size() || sorted_[i + 1] != sorted_[i]) {
+      points.push_back({sorted_[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return points;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    std::cout << line << "\n";
+  };
+  print_row(headers_);
+  std::string sep;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep.append(widths[c], '-');
+    sep.append(2, ' ');
+  }
+  std::cout << sep << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TablePrinter::Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace pnw

@@ -1,0 +1,86 @@
+#ifndef PNW_UTIL_STATS_H_
+#define PNW_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnw {
+
+/// Streaming mean/variance accumulator (Welford). Used by benches to report
+/// means with 95% confidence intervals, matching the paper's reporting
+/// ("the confidence interval was less than 10^3 for 95% confidence level").
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Half-width of the 95% confidence interval of the mean (normal approx).
+  double ci95_half_width() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One (x, P(X <= x)) point of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double cumulative_probability;
+};
+
+/// Empirical CDF over integer-valued observations (write counts). Figures 12
+/// and 13 of the paper are exactly this over per-address / per-bit write
+/// counters.
+class EmpiricalCdf {
+ public:
+  /// Build from raw observations (copied and sorted internally).
+  explicit EmpiricalCdf(std::vector<double> observations);
+
+  /// P(X <= x).
+  double CumulativeProbability(double x) const;
+
+  /// Smallest observed x with P(X <= x) >= q, for q in (0, 1].
+  double Quantile(double q) const;
+
+  /// Distinct-value CDF points, suitable for printing a plot series.
+  std::vector<CdfPoint> Points() const;
+
+  size_t count() const { return sorted_.size(); }
+  double max_value() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width ASCII table printer shared by the bench harnesses so all
+/// figure reproductions print uniformly formatted series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Render to stdout.
+  void Print() const;
+
+  /// Format helper: fixed-point with `digits` decimals.
+  static std::string Fmt(double v, int digits = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pnw
+
+#endif  // PNW_UTIL_STATS_H_

@@ -1,0 +1,124 @@
+#ifndef PNW_UTIL_STATUS_H_
+#define PNW_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pnw {
+
+/// Error-handling vocabulary for the whole library. Fallible operations on
+/// hot paths return `Status` (or `Result<T>`) instead of throwing, in the
+/// style of RocksDB / Arrow. A default-constructed Status is OK and carries
+/// no allocation.
+class Status {
+ public:
+  /// Machine-readable error category.
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kAlreadyExists = 2,
+    kInvalidArgument = 3,
+    kOutOfSpace = 4,
+    kFailedPrecondition = 5,
+    kInternal = 6,
+    kUnimplemented = 7,
+  };
+
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory constructors, one per category.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status OutOfSpace(std::string_view msg) {
+    return Status(Code::kOutOfSpace, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(Code::kUnimplemented, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error holder. `ok()` must be checked before `value()`.
+/// Intentionally minimal: no exceptions, no variant overhead beyond the
+/// Status itself.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok(). Accessing the value of an error Result is a
+  /// programming error; we keep the check in debug builds only.
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+/// Propagate errors upward: `PNW_RETURN_IF_ERROR(DoThing());`
+#define PNW_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::pnw::Status pnw_status_macro_s = (expr);    \
+    if (!pnw_status_macro_s.ok()) {               \
+      return pnw_status_macro_s;                  \
+    }                                             \
+  } while (0)
+
+}  // namespace pnw
+
+#endif  // PNW_UTIL_STATUS_H_

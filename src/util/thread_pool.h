@@ -1,0 +1,53 @@
+#ifndef PNW_UTIL_THREAD_POOL_H_
+#define PNW_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pnw {
+
+/// A small fixed-size worker pool. K-means training parallelizes its
+/// assignment step across this pool (the paper's Fig. 11 compares 1-core vs
+/// 4-core training time), and the PNW model manager runs background
+/// retraining on it.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void Wait();
+
+  /// Run `fn(i)` for i in [0, n) across the pool, blocking until done.
+  /// Work is chunked so each worker receives a contiguous range.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pnw
+
+#endif  // PNW_UTIL_THREAD_POOL_H_

@@ -1,0 +1,68 @@
+#include "workloads/bag_of_words.h"
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace pnw::workloads {
+
+namespace {
+
+std::vector<uint8_t> MakeDocument(
+    const std::vector<std::vector<uint32_t>>& topic_term_order,
+    size_t topic, size_t vocabulary, size_t doc_length,
+    const ZipfianGenerator& zipf, Rng& rng) {
+  std::vector<uint8_t> counts(vocabulary, 0);
+  const auto& order = topic_term_order[topic];
+  for (size_t i = 0; i < doc_length; ++i) {
+    const uint64_t rank = zipf.Next(rng);
+    const uint32_t term = order[rank];
+    if (counts[term] < 255) {
+      ++counts[term];
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+Dataset GenerateBagOfWords(const BagOfWordsOptions& options) {
+  Rng rng(options.seed);
+  const ZipfianGenerator zipf(options.vocabulary, options.zipf_theta);
+
+  // Each topic ranks the vocabulary in its own order (a random permutation),
+  // so the Zipf head of each topic hits different terms.
+  std::vector<std::vector<uint32_t>> topic_term_order(options.topics);
+  for (auto& order : topic_term_order) {
+    order.resize(options.vocabulary);
+    for (uint32_t t = 0; t < options.vocabulary; ++t) {
+      order[t] = t;
+    }
+    // Fisher-Yates with our deterministic RNG.
+    for (size_t i = options.vocabulary - 1; i > 0; --i) {
+      const size_t j = rng.NextBelow(i + 1);
+      std::swap(order[i], order[j]);
+    }
+  }
+
+  Dataset ds;
+  ds.name = "pubmed-bow";
+  ds.value_bytes = options.vocabulary;
+  ds.old_data.reserve(options.num_old);
+  for (size_t i = 0; i < options.num_old; ++i) {
+    const size_t topic = rng.NextBelow(options.topics);
+    ds.old_data.push_back(MakeDocument(topic_term_order, topic,
+                                       options.vocabulary, options.doc_length,
+                                       zipf, rng));
+  }
+  ds.new_data.reserve(options.num_new);
+  for (size_t i = 0; i < options.num_new; ++i) {
+    const size_t topic = rng.NextBelow(options.topics);
+    ds.new_data.push_back(MakeDocument(topic_term_order, topic,
+                                       options.vocabulary, options.doc_length,
+                                       zipf, rng));
+  }
+  return ds;
+}
+
+}  // namespace pnw::workloads

@@ -1,0 +1,34 @@
+#ifndef PNW_WORKLOADS_BAG_OF_WORDS_H_
+#define PNW_WORKLOADS_BAG_OF_WORDS_H_
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace pnw::workloads {
+
+/// Stand-in for the DocWord / PubMed-abstract bags-of-words (paper Sections
+/// VI-B and VI-E): documents are sparse term-count vectors drawn from a
+/// topic-mixture model with Zipfian within-topic term popularity. Topic
+/// structure gives the bit-level clusters PNW needs; Zipf gives realistic
+/// sparsity.
+///
+/// Each item is `vocabulary` bytes: one saturating 8-bit count per term.
+struct BagOfWordsOptions {
+  size_t vocabulary = 1024;
+  size_t topics = 8;
+  /// Term draws per document. Kept well under the vocabulary so documents
+  /// are genuinely sparse (long zero runs are what lets cache lines stay
+  /// clean when same-topic documents overwrite each other).
+  size_t doc_length = 24;
+  double zipf_theta = 0.99;
+  size_t num_old = 2048;
+  size_t num_new = 4096;
+  uint64_t seed = 6;
+};
+
+Dataset GenerateBagOfWords(const BagOfWordsOptions& options);
+
+}  // namespace pnw::workloads
+
+#endif  // PNW_WORKLOADS_BAG_OF_WORDS_H_

@@ -1,0 +1,30 @@
+#ifndef PNW_WORKLOADS_DATASET_H_
+#define PNW_WORKLOADS_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnw::workloads {
+
+/// A generated workload, mirroring the paper's evaluation protocol: a set of
+/// "old data" items used to warm up the K/V store and train the initial
+/// model, and a stream of "new data" items that replace them.
+///
+/// All generators are synthetic, seeded stand-ins for the paper's external
+/// datasets; DESIGN.md section 3 documents each substitution and why it
+/// preserves the bit-level structure PNW exploits.
+struct Dataset {
+  std::string name;
+  /// Fixed size of every item.
+  size_t value_bytes = 0;
+  /// Warm-up items (pre-loaded into the data zone, used for initial
+  /// training).
+  std::vector<std::vector<uint8_t>> old_data;
+  /// Streamed items that overwrite the old ones.
+  std::vector<std::vector<uint8_t>> new_data;
+};
+
+}  // namespace pnw::workloads
+
+#endif  // PNW_WORKLOADS_DATASET_H_

@@ -1,0 +1,132 @@
+#include "workloads/image_dataset.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pnw::workloads {
+
+namespace {
+
+/// Profile-specific prototype construction. The prototype RNG stream is
+/// decoupled from the per-sample stream so kMnist and kFashionMnist always
+/// produce *disjoint* prototype sets regardless of the options seed.
+std::vector<uint8_t> MakePrototype(ImageProfile profile, size_t bytes,
+                                   Rng& rng) {
+  std::vector<uint8_t> proto(bytes, 0);
+  switch (profile) {
+    case ImageProfile::kMnist: {
+      // Sparse bright "strokes" on a zero background: a few random-walk
+      // runs of saturated pixels, like a digit's pen strokes.
+      const size_t strokes = 3 + rng.NextBelow(3);
+      for (size_t s = 0; s < strokes; ++s) {
+        size_t pos = rng.NextBelow(bytes);
+        const size_t len = 30 + rng.NextBelow(60);
+        for (size_t i = 0; i < len; ++i) {
+          proto[pos] = static_cast<uint8_t>(200 + rng.NextBelow(56));
+          // Walk mostly to adjacent pixels (28-wide rows).
+          const uint64_t dir = rng.NextBelow(4);
+          const size_t step = dir == 0 ? 1 : dir == 1 ? bytes - 1
+                              : dir == 2 ? 28 : bytes - 28;
+          pos = (pos + step) % bytes;
+        }
+      }
+      break;
+    }
+    case ImageProfile::kFashionMnist: {
+      // Dense filled silhouette: a rectangle of mid-gray texture on a zero
+      // background (garment-like coverage, clearly distinct from strokes).
+      const size_t w = 12 + rng.NextBelow(12);
+      const size_t h = 14 + rng.NextBelow(12);
+      const size_t x0 = rng.NextBelow(28 - std::min<size_t>(w, 27));
+      const size_t y0 = rng.NextBelow(28 - std::min<size_t>(h, 27));
+      const uint8_t shade = static_cast<uint8_t>(90 + rng.NextBelow(120));
+      for (size_t y = y0; y < y0 + h && y < 28; ++y) {
+        for (size_t x = x0; x < x0 + w && x < 28; ++x) {
+          proto[y * 28 + x] = static_cast<uint8_t>(
+              shade + static_cast<uint8_t>(rng.NextBelow(24)));
+        }
+      }
+      break;
+    }
+    case ImageProfile::kCifar: {
+      // Dense natural-image-like content: per-channel smooth gradients with
+      // block texture.
+      for (size_t c = 0; c < 3; ++c) {
+        const uint8_t base = static_cast<uint8_t>(rng.NextBelow(200));
+        for (size_t y = 0; y < 32; ++y) {
+          for (size_t x = 0; x < 32; ++x) {
+            proto[c * 1024 + y * 32 + x] = static_cast<uint8_t>(
+                base + (y * 2) + ((x / 8) * 5));
+          }
+        }
+      }
+      break;
+    }
+  }
+  return proto;
+}
+
+std::vector<uint8_t> MakeSample(const std::vector<uint8_t>& proto,
+                                double noise, Rng& rng) {
+  std::vector<uint8_t> sample = proto;
+  const size_t perturbed =
+      static_cast<size_t>(noise * static_cast<double>(sample.size()));
+  for (size_t i = 0; i < perturbed; ++i) {
+    const size_t pos = rng.NextBelow(sample.size());
+    const int delta = static_cast<int>(rng.NextBelow(61)) - 30;
+    sample[pos] = static_cast<uint8_t>(
+        std::clamp(static_cast<int>(sample[pos]) + delta, 0, 255));
+  }
+  return sample;
+}
+
+uint64_t ProfileStreamSeed(ImageProfile profile) {
+  switch (profile) {
+    case ImageProfile::kMnist:
+      return 0x6d6e697374ull;  // "mnist"
+    case ImageProfile::kFashionMnist:
+      return 0x66617368696f6eull;  // "fashion"
+    case ImageProfile::kCifar:
+      return 0x6369666172ull;  // "cifar"
+  }
+  return 0;
+}
+
+}  // namespace
+
+size_t ImageValueBytes(ImageProfile profile) {
+  return profile == ImageProfile::kCifar ? 32 * 32 * 3 : 28 * 28;
+}
+
+Dataset GenerateImages(const ImageDatasetOptions& options) {
+  const size_t bytes = ImageValueBytes(options.profile);
+
+  Rng proto_rng(ProfileStreamSeed(options.profile));
+  std::vector<std::vector<uint8_t>> prototypes;
+  prototypes.reserve(options.num_classes);
+  for (size_t c = 0; c < options.num_classes; ++c) {
+    prototypes.push_back(MakePrototype(options.profile, bytes, proto_rng));
+  }
+
+  Rng rng(options.seed);
+  Dataset ds;
+  ds.name = options.profile == ImageProfile::kMnist          ? "mnist-like"
+            : options.profile == ImageProfile::kFashionMnist ? "fashion-like"
+                                                             : "cifar-like";
+  ds.value_bytes = bytes;
+  ds.old_data.reserve(options.num_old);
+  for (size_t i = 0; i < options.num_old; ++i) {
+    const auto& proto = prototypes[rng.NextBelow(options.num_classes)];
+    ds.old_data.push_back(MakeSample(proto, options.noise, rng));
+  }
+  ds.new_data.reserve(options.num_new);
+  for (size_t i = 0; i < options.num_new; ++i) {
+    const auto& proto = prototypes[rng.NextBelow(options.num_classes)];
+    ds.new_data.push_back(MakeSample(proto, options.noise, rng));
+  }
+  return ds;
+}
+
+}  // namespace pnw::workloads

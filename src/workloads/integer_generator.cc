@@ -1,0 +1,49 @@
+#include "workloads/integer_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/random.h"
+
+namespace pnw::workloads {
+
+namespace {
+
+std::vector<uint8_t> EncodeU32(uint32_t v) {
+  std::vector<uint8_t> out(4);
+  std::memcpy(out.data(), &v, 4);
+  return out;
+}
+
+uint32_t DrawValue(const IntegerGeneratorOptions& options, Rng& rng) {
+  if (options.distribution == IntegerDistribution::kUniform) {
+    return static_cast<uint32_t>(rng.Next());
+  }
+  const double raw = options.mean + options.stddev * rng.NextGaussian();
+  const double clamped =
+      std::clamp(raw, 0.0, static_cast<double>(UINT32_MAX));
+  return static_cast<uint32_t>(clamped);
+}
+
+}  // namespace
+
+Dataset GenerateIntegers(const IntegerGeneratorOptions& options) {
+  Rng rng(options.seed);
+  Dataset ds;
+  ds.name = options.distribution == IntegerDistribution::kUniform
+                ? "uniform-u32"
+                : "normal-u32";
+  ds.value_bytes = 4;
+  ds.old_data.reserve(options.num_old);
+  for (size_t i = 0; i < options.num_old; ++i) {
+    ds.old_data.push_back(EncodeU32(DrawValue(options, rng)));
+  }
+  ds.new_data.reserve(options.num_new);
+  for (size_t i = 0; i < options.num_new; ++i) {
+    ds.new_data.push_back(EncodeU32(DrawValue(options, rng)));
+  }
+  return ds;
+}
+
+}  // namespace pnw::workloads

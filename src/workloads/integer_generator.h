@@ -1,0 +1,33 @@
+#ifndef PNW_WORKLOADS_INTEGER_GENERATOR_H_
+#define PNW_WORKLOADS_INTEGER_GENERATOR_H_
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace pnw::workloads {
+
+/// The paper's synthetic data (Section VI-D): 32-bit values, either
+/// uniformly random over [0, 2^32) -- the hard-to-cluster control -- or
+/// sampled from a normal distribution with mu = 2^31, sigma = 2^28.
+enum class IntegerDistribution {
+  kNormal,
+  kUniform,
+};
+
+struct IntegerGeneratorOptions {
+  IntegerDistribution distribution = IntegerDistribution::kNormal;
+  size_t num_old = 4096;
+  size_t num_new = 8192;
+  /// mu/sigma for the normal variant (paper values by default).
+  double mean = 2147483648.0;        // 2^31
+  double stddev = 268435456.0;       // 2^28
+  uint64_t seed = 1;
+};
+
+/// Generates the dataset; items are 4-byte little-endian values.
+Dataset GenerateIntegers(const IntegerGeneratorOptions& options);
+
+}  // namespace pnw::workloads
+
+#endif  // PNW_WORKLOADS_INTEGER_GENERATOR_H_

@@ -1,0 +1,70 @@
+#include "workloads/road_network.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/random.h"
+
+namespace pnw::workloads {
+
+namespace {
+
+struct RoadState {
+  double lat;
+  double lon;
+  double alt;
+};
+
+std::vector<uint8_t> EncodePoint(const RoadState& p) {
+  std::vector<uint8_t> out(24);
+  const int64_t lat_fp = static_cast<int64_t>(p.lat * 1e6);
+  const int64_t lon_fp = static_cast<int64_t>(p.lon * 1e6);
+  const int64_t alt_fp = static_cast<int64_t>(p.alt * 1e2);
+  std::memcpy(out.data(), &lat_fp, 8);
+  std::memcpy(out.data() + 8, &lon_fp, 8);
+  std::memcpy(out.data() + 16, &alt_fp, 8);
+  return out;
+}
+
+}  // namespace
+
+Dataset GenerateRoadNetwork(const RoadNetworkOptions& options) {
+  Rng rng(options.seed);
+
+  // Seed the roads at random positions inside the region.
+  std::vector<RoadState> roads(options.num_roads);
+  for (auto& r : roads) {
+    r.lat = options.lat_min +
+            rng.NextDouble() * (options.lat_max - options.lat_min);
+    r.lon = options.lon_min +
+            rng.NextDouble() * (options.lon_max - options.lon_min);
+    r.alt = 10.0 + 90.0 * rng.NextDouble();
+  }
+
+  auto advance = [&](RoadState& r) {
+    r.lat = std::clamp(r.lat + options.step * rng.NextGaussian(),
+                       options.lat_min, options.lat_max);
+    r.lon = std::clamp(r.lon + options.step * rng.NextGaussian(),
+                       options.lon_min, options.lon_max);
+    r.alt = std::clamp(r.alt + 0.5 * rng.NextGaussian(), 0.0, 200.0);
+  };
+
+  Dataset ds;
+  ds.name = "road-network";
+  ds.value_bytes = 24;
+  ds.old_data.reserve(options.num_old);
+  for (size_t i = 0; i < options.num_old; ++i) {
+    RoadState& r = roads[rng.NextBelow(options.num_roads)];
+    advance(r);
+    ds.old_data.push_back(EncodePoint(r));
+  }
+  ds.new_data.reserve(options.num_new);
+  for (size_t i = 0; i < options.num_new; ++i) {
+    RoadState& r = roads[rng.NextBelow(options.num_roads)];
+    advance(r);
+    ds.new_data.push_back(EncodePoint(r));
+  }
+  return ds;
+}
+
+}  // namespace pnw::workloads

@@ -1,0 +1,35 @@
+#ifndef PNW_WORKLOADS_ROAD_NETWORK_H_
+#define PNW_WORKLOADS_ROAD_NETWORK_H_
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace pnw::workloads {
+
+/// Stand-in for the 3D Road Network data set (paper Section VI-B): road
+/// segment points (latitude, longitude, altitude) from a bounded region
+/// (the real data covers 185 x 135 km^2 of North Jutland). Points are
+/// produced by random-walking a number of "roads" with small steps, so
+/// spatially adjacent records share high-order coordinate bits -- the
+/// property that makes the real data clusterable.
+///
+/// Each record is 24 bytes: three fixed-point signed 64-bit coordinates
+/// (degrees * 1e6 for lat/lon, meters * 1e2 for altitude).
+struct RoadNetworkOptions {
+  size_t num_roads = 32;
+  size_t num_old = 2048;
+  size_t num_new = 4096;
+  /// Region bounds, roughly North Jutland.
+  double lat_min = 56.5, lat_max = 57.8;
+  double lon_min = 8.2, lon_max = 10.9;
+  /// Walk step in degrees (~100 m).
+  double step = 0.001;
+  uint64_t seed = 3;
+};
+
+Dataset GenerateRoadNetwork(const RoadNetworkOptions& options);
+
+}  // namespace pnw::workloads
+
+#endif  // PNW_WORKLOADS_ROAD_NETWORK_H_

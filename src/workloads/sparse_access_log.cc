@@ -1,0 +1,57 @@
+#include "workloads/sparse_access_log.h"
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace pnw::workloads {
+
+namespace {
+
+std::vector<uint8_t> MakeRow(const std::vector<uint8_t>& profile,
+                             double churn, Rng& rng) {
+  std::vector<uint8_t> row = profile;
+  const size_t bits = row.size() * 8;
+  const size_t toggles = static_cast<size_t>(churn * static_cast<double>(bits));
+  for (size_t t = 0; t < toggles; ++t) {
+    const size_t bit = rng.NextBelow(bits);
+    row[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  return row;
+}
+
+}  // namespace
+
+Dataset GenerateSparseAccessLog(const SparseAccessLogOptions& options) {
+  Rng rng(options.seed);
+  const size_t bytes = options.attributes / 8;
+
+  // Group profiles: sparse random attribute sets.
+  std::vector<std::vector<uint8_t>> profiles(options.groups,
+                                             std::vector<uint8_t>(bytes, 0));
+  for (auto& profile : profiles) {
+    const size_t set_bits = static_cast<size_t>(
+        options.profile_density * static_cast<double>(options.attributes));
+    for (size_t s = 0; s < set_bits; ++s) {
+      const size_t bit = rng.NextBelow(options.attributes);
+      profile[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    }
+  }
+
+  Dataset ds;
+  ds.name = "sparse-access-log";
+  ds.value_bytes = bytes;
+  ds.old_data.reserve(options.num_old);
+  for (size_t i = 0; i < options.num_old; ++i) {
+    const auto& profile = profiles[rng.NextBelow(options.groups)];
+    ds.old_data.push_back(MakeRow(profile, options.row_churn, rng));
+  }
+  ds.new_data.reserve(options.num_new);
+  for (size_t i = 0; i < options.num_new; ++i) {
+    const auto& profile = profiles[rng.NextBelow(options.groups)];
+    ds.new_data.push_back(MakeRow(profile, options.row_churn, rng));
+  }
+  return ds;
+}
+
+}  // namespace pnw::workloads

@@ -1,0 +1,35 @@
+#ifndef PNW_WORKLOADS_SPARSE_ACCESS_LOG_H_
+#define PNW_WORKLOADS_SPARSE_ACCESS_LOG_H_
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace pnw::workloads {
+
+/// Stand-in for the Amazon Access Samples data set (paper Section VI-B):
+/// access-log rows over a large sparse binary attribute space where each
+/// row uses well under 10% of the attributes. Structure comes from user
+/// groups: each group has a characteristic attribute profile, and a row is
+/// its group's profile with a little per-row churn -- the same
+/// group-correlated sparsity that makes the real data clusterable.
+struct SparseAccessLogOptions {
+  /// Attribute-space width in bits; items are attributes/8 bytes.
+  size_t attributes = 1024;
+  /// Number of user groups (latent clusters).
+  size_t groups = 8;
+  /// Fraction of attributes set in a group profile (< 10%, per the paper's
+  /// description of the real data).
+  double profile_density = 0.06;
+  /// Fraction of profile bits toggled per individual row.
+  double row_churn = 0.01;
+  size_t num_old = 2048;
+  size_t num_new = 4096;
+  uint64_t seed = 2;
+};
+
+Dataset GenerateSparseAccessLog(const SparseAccessLogOptions& options);
+
+}  // namespace pnw::workloads
+
+#endif  // PNW_WORKLOADS_SPARSE_ACCESS_LOG_H_

@@ -1,0 +1,109 @@
+#include "workloads/video_frames.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pnw::workloads {
+
+namespace {
+
+struct MovingObject {
+  double x, y;     // top-left, pixels
+  double vx, vy;   // pixels per frame
+  size_t w, h;
+  uint8_t shade;
+};
+
+}  // namespace
+
+Dataset GenerateVideoFrames(const VideoFramesOptions& options) {
+  Rng rng(options.seed);
+  const size_t width = options.width;
+  const size_t height = options.height;
+  const size_t bytes = width * height;
+  const bool busy = options.profile == VideoProfile::kTraffic;
+
+  // Static background: smooth horizontal gradient with road texture.
+  std::vector<uint8_t> background(bytes);
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      background[y * width + x] = static_cast<uint8_t>(
+          60 + (y * 80) / height + ((x / 10) % 2) * 8);
+    }
+  }
+
+  const size_t num_objects = busy ? 8 : 3;
+  std::vector<MovingObject> objects(num_objects);
+  for (auto& o : objects) {
+    o.x = rng.NextDouble() * static_cast<double>(width);
+    o.y = rng.NextDouble() * static_cast<double>(height);
+    const double speed = busy ? 1.5 : 0.5;
+    o.vx = speed * (rng.NextDouble() * 2.0 - 1.0);
+    o.vy = speed * 0.3 * (rng.NextDouble() * 2.0 - 1.0);
+    o.w = 4 + rng.NextBelow(6);
+    o.h = 3 + rng.NextBelow(4);
+    o.shade = static_cast<uint8_t>(150 + rng.NextBelow(100));
+  }
+
+  size_t frame_number = 0;
+  auto render_frame = [&]() {
+    std::vector<uint8_t> frame = background;
+    // Lighting drift (daylight change on the busy profile).
+    if (busy) {
+      const int drift = static_cast<int>(
+          6.0 * std::sin(static_cast<double>(frame_number) / 300.0));
+      for (auto& px : frame) {
+        px = static_cast<uint8_t>(
+            std::clamp(static_cast<int>(px) + drift, 0, 255));
+      }
+    }
+    for (auto& o : objects) {
+      o.x += o.vx;
+      o.y += o.vy;
+      if (o.x < 0 || o.x >= static_cast<double>(width)) {
+        o.vx = -o.vx;
+        o.x = std::clamp(o.x, 0.0, static_cast<double>(width - 1));
+      }
+      if (o.y < 0 || o.y >= static_cast<double>(height)) {
+        o.vy = -o.vy;
+        o.y = std::clamp(o.y, 0.0, static_cast<double>(height - 1));
+      }
+      const size_t x0 = static_cast<size_t>(o.x);
+      const size_t y0 = static_cast<size_t>(o.y);
+      for (size_t dy = 0; dy < o.h && y0 + dy < height; ++dy) {
+        for (size_t dx = 0; dx < o.w && x0 + dx < width; ++dx) {
+          frame[(y0 + dy) * width + (x0 + dx)] = o.shade;
+        }
+      }
+    }
+    // Sensor noise.
+    const size_t noisy =
+        static_cast<size_t>(options.noise * static_cast<double>(bytes));
+    for (size_t i = 0; i < noisy; ++i) {
+      const size_t pos = rng.NextBelow(bytes);
+      const int delta = static_cast<int>(rng.NextBelow(21)) - 10;
+      frame[pos] = static_cast<uint8_t>(
+          std::clamp(static_cast<int>(frame[pos]) + delta, 0, 255));
+    }
+    ++frame_number;
+    return frame;
+  };
+
+  Dataset ds;
+  ds.name = busy ? "traffic-seq2" : "sherbrooke";
+  ds.value_bytes = bytes;
+  ds.old_data.reserve(options.num_old);
+  for (size_t i = 0; i < options.num_old; ++i) {
+    ds.old_data.push_back(render_frame());
+  }
+  ds.new_data.reserve(options.num_new);
+  for (size_t i = 0; i < options.num_new; ++i) {
+    ds.new_data.push_back(render_frame());
+  }
+  return ds;
+}
+
+}  // namespace pnw::workloads

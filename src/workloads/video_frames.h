@@ -1,0 +1,43 @@
+#ifndef PNW_WORKLOADS_VIDEO_FRAMES_H_
+#define PNW_WORKLOADS_VIDEO_FRAMES_H_
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace pnw::workloads {
+
+/// Stand-ins for the paper's CCTV video workloads (Section VI-C): the
+/// Sherbrooke urban-tracker sequence and the AAU traffic-surveillance "day
+/// sequence 2". Frames are a static background plus a handful of moving
+/// rectangular objects plus sensor noise, so consecutive frames are almost
+/// bit-identical -- the property that makes a CCTV recorder an ideal PNW
+/// workload. Frames are downscaled (the real sequences are 800x600 /
+/// 640x480; we default to 80x60 grayscale) to keep simulation tractable;
+/// similarity structure is resolution-independent.
+enum class VideoProfile {
+  /// Calm intersection: few objects, slow motion (Sherbrooke-like).
+  kSherbrooke,
+  /// Busy intersection: more objects, faster motion, lighting drift
+  /// (traffic "day seq 2"-like).
+  kTraffic,
+};
+
+struct VideoFramesOptions {
+  VideoProfile profile = VideoProfile::kSherbrooke;
+  size_t width = 80;
+  size_t height = 60;
+  /// Frames in the warm-up segment ("we stored the first 30 seconds ... as
+  /// the old data") and in the streamed remainder.
+  size_t num_old = 600;
+  size_t num_new = 1200;
+  /// Per-pixel sensor noise probability.
+  double noise = 0.01;
+  uint64_t seed = 5;
+};
+
+Dataset GenerateVideoFrames(const VideoFramesOptions& options);
+
+}  // namespace pnw::workloads
+
+#endif  // PNW_WORKLOADS_VIDEO_FRAMES_H_

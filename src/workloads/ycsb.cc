@@ -1,0 +1,63 @@
+#include "workloads/ycsb.h"
+
+namespace pnw::workloads {
+
+std::string_view YcsbWorkloadName(YcsbWorkload workload) {
+  switch (workload) {
+    case YcsbWorkload::kA:
+      return "A (50r/50u)";
+    case YcsbWorkload::kB:
+      return "B (95r/5u)";
+    case YcsbWorkload::kC:
+      return "C (100r)";
+    case YcsbWorkload::kD:
+      return "D (95r/5i latest)";
+    case YcsbWorkload::kF:
+      return "F (50r/50rmw)";
+  }
+  return "unknown";
+}
+
+YcsbGenerator::YcsbGenerator(const YcsbOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(options.record_count, options.zipf_theta),
+      next_insert_key_(options.record_count) {}
+
+uint64_t YcsbGenerator::ChooseKey() {
+  if (options_.workload == YcsbWorkload::kD) {
+    // Latest-skewed: popular ranks map backwards from the newest key.
+    const uint64_t rank = zipf_.Next(rng_);
+    return next_insert_key_ - 1 - (rank % next_insert_key_);
+  }
+  // Zipf rank over the preloaded key space (hot keys are small ranks),
+  // scattered with a multiplicative hash so hot keys are not adjacent.
+  const uint64_t rank = zipf_.Next(rng_);
+  return (rank * 0x9e3779b97f4a7c15ull) % options_.record_count;
+}
+
+YcsbOp YcsbGenerator::Next() {
+  const double p = rng_.NextDouble();
+  switch (options_.workload) {
+    case YcsbWorkload::kA:
+      return {p < 0.5 ? YcsbOp::Type::kRead : YcsbOp::Type::kUpdate,
+              ChooseKey()};
+    case YcsbWorkload::kB:
+      return {p < 0.95 ? YcsbOp::Type::kRead : YcsbOp::Type::kUpdate,
+              ChooseKey()};
+    case YcsbWorkload::kC:
+      return {YcsbOp::Type::kRead, ChooseKey()};
+    case YcsbWorkload::kD:
+      if (p < 0.95) {
+        return {YcsbOp::Type::kRead, ChooseKey()};
+      }
+      return {YcsbOp::Type::kInsert, next_insert_key_++};
+    case YcsbWorkload::kF:
+      return {p < 0.5 ? YcsbOp::Type::kRead
+                      : YcsbOp::Type::kReadModifyWrite,
+              ChooseKey()};
+  }
+  return {YcsbOp::Type::kRead, 0};
+}
+
+}  // namespace pnw::workloads

@@ -1,0 +1,62 @@
+#ifndef PNW_WORKLOADS_YCSB_H_
+#define PNW_WORKLOADS_YCSB_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace pnw::workloads {
+
+/// YCSB-style core operation mixes (Cooper et al., SoCC'10), minus scans
+/// (PNW's indexes are hash-based, as in the paper). These drive end-to-end
+/// store experiments beyond the paper's replace-old-with-new protocol.
+enum class YcsbWorkload {
+  kA,  // 50% read / 50% update        ("update heavy")
+  kB,  // 95% read /  5% update        ("read mostly")
+  kC,  // 100% read
+  kD,  // 95% read /  5% insert, latest-skewed reads
+  kF,  // 50% read / 50% read-modify-write
+};
+
+std::string_view YcsbWorkloadName(YcsbWorkload workload);
+
+/// One generated operation.
+struct YcsbOp {
+  enum class Type : uint8_t { kRead, kUpdate, kInsert, kReadModifyWrite };
+  Type type;
+  uint64_t key;
+};
+
+struct YcsbOptions {
+  YcsbWorkload workload = YcsbWorkload::kA;
+  /// Keys 0..record_count-1 are assumed pre-loaded.
+  size_t record_count = 1000;
+  double zipf_theta = 0.99;
+  uint64_t seed = 99;
+};
+
+/// Stateful generator: tracks inserted keys so latest-skewed choosers and
+/// inserts stay consistent.
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(const YcsbOptions& options);
+
+  /// Produce the next operation.
+  YcsbOp Next();
+
+  /// Keys in existence (preloaded + inserted so far).
+  uint64_t live_keys() const { return next_insert_key_; }
+
+ private:
+  uint64_t ChooseKey();
+
+  YcsbOptions options_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  uint64_t next_insert_key_;
+};
+
+}  // namespace pnw::workloads
+
+#endif  // PNW_WORKLOADS_YCSB_H_

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace pnw::core {
+namespace {
+
+TEST(StoreMetricsTest, ZeroedByDefault) {
+  StoreMetrics m;
+  EXPECT_EQ(m.BitUpdatesPer512(), 0.0);
+  EXPECT_EQ(m.AvgPutLatencyNs(), 0.0);
+  EXPECT_EQ(m.AvgLinesPerPut(), 0.0);
+  EXPECT_EQ(m.AvgPredictNs(), 0.0);
+}
+
+TEST(StoreMetricsTest, BitUpdatesPer512IsNormalized) {
+  StoreMetrics m;
+  m.put_bits_written = 100;
+  m.put_payload_bits = 1024;  // two 512-bit payloads
+  EXPECT_DOUBLE_EQ(m.BitUpdatesPer512(), 50.0);
+}
+
+TEST(StoreMetricsTest, ConventionalWriteScoresExactly512) {
+  // Writing every bit of the payload must score exactly 512/512.
+  StoreMetrics m;
+  m.put_bits_written = 4096;
+  m.put_payload_bits = 4096;
+  EXPECT_DOUBLE_EQ(m.BitUpdatesPer512(), 512.0);
+}
+
+TEST(StoreMetricsTest, LatencyCombinesDeviceAndPrediction) {
+  StoreMetrics m;
+  m.puts = 4;
+  m.put_device_ns = 4000.0;
+  m.predict_wall_ns = 2000.0;
+  EXPECT_DOUBLE_EQ(m.AvgPutLatencyNs(), 1500.0);
+  EXPECT_DOUBLE_EQ(m.AvgPredictNs(), 500.0);
+}
+
+TEST(StoreMetricsTest, LinesPerPut) {
+  StoreMetrics m;
+  m.puts = 10;
+  m.put_lines_written = 35;
+  EXPECT_DOUBLE_EQ(m.AvgLinesPerPut(), 3.5);
+}
+
+TEST(StoreMetricsTest, ToStringMentionsKeyCounters) {
+  StoreMetrics m;
+  m.puts = 7;
+  m.retrains = 2;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("puts=7"), std::string::npos);
+  EXPECT_NE(s.find("retrains=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pnw::core

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/dynamic_address_pool.h"
+
+namespace pnw::core {
+namespace {
+
+TEST(DynamicAddressPoolTest, InsertAcquireRoundTrip) {
+  DynamicAddressPool pool(3);
+  pool.Insert(1, 100);
+  pool.Insert(1, 200);
+  EXPECT_EQ(pool.FreeCount(), 2u);
+  EXPECT_EQ(pool.FreeCount(1), 2u);
+  auto a = pool.Acquire(1);
+  ASSERT_TRUE(a.has_value());
+  auto b = pool.Acquire(1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(pool.FreeCount(), 0u);
+}
+
+TEST(DynamicAddressPoolTest, AcquireFromEmptyClusterFails) {
+  DynamicAddressPool pool(2);
+  pool.Insert(0, 7);
+  EXPECT_FALSE(pool.Acquire(1).has_value());
+  EXPECT_TRUE(pool.Acquire(0).has_value());
+}
+
+TEST(DynamicAddressPoolTest, RankedFallbackUsesNextNearest) {
+  DynamicAddressPool pool(3);
+  pool.Insert(2, 42);
+  const std::vector<size_t> ranked = {0, 1, 2};
+  bool fallback = false;
+  auto addr = pool.AcquireRanked(ranked, &fallback);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, 42u);
+  EXPECT_TRUE(fallback);
+}
+
+TEST(DynamicAddressPoolTest, RankedNoFallbackWhenFirstHasAddresses) {
+  DynamicAddressPool pool(3);
+  pool.Insert(0, 1);
+  pool.Insert(2, 2);
+  const std::vector<size_t> ranked = {0, 1, 2};
+  bool fallback = true;
+  auto addr = pool.AcquireRanked(ranked, &fallback);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, 1u);
+  EXPECT_FALSE(fallback);
+}
+
+TEST(DynamicAddressPoolTest, RankedAllEmpty) {
+  DynamicAddressPool pool(2);
+  const std::vector<size_t> ranked = {0, 1};
+  bool fallback = false;
+  EXPECT_FALSE(pool.AcquireRanked(ranked, &fallback).has_value());
+}
+
+TEST(DynamicAddressPoolTest, DrainReturnsEverythingOnce) {
+  DynamicAddressPool pool(4);
+  for (uint64_t a = 0; a < 10; ++a) {
+    pool.Insert(a % 4, a);
+  }
+  auto all = pool.Drain();
+  EXPECT_EQ(all.size(), 10u);
+  std::sort(all.begin(), all.end());
+  for (uint64_t a = 0; a < 10; ++a) {
+    EXPECT_EQ(all[a], a);
+  }
+  EXPECT_EQ(pool.FreeCount(), 0u);
+}
+
+TEST(DynamicAddressPoolTest, ClearEmptiesAllClusters) {
+  DynamicAddressPool pool(2);
+  pool.Insert(0, 1);
+  pool.Insert(1, 2);
+  pool.Clear();
+  EXPECT_EQ(pool.FreeCount(), 0u);
+  EXPECT_FALSE(pool.Acquire(0).has_value());
+  EXPECT_FALSE(pool.Acquire(1).has_value());
+}
+
+}  // namespace
+}  // namespace pnw::core

@@ -1,0 +1,308 @@
+// Tests for the extension substrates beyond the paper's core design:
+// Start-Gap wear leveling, mini-batch K-means, parameterized FNW chunk
+// sizes / Captopril segments, encode-stride sampling, and the YCSB
+// operation-mix generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "ml/feature_encoder.h"
+#include "ml/kmeans.h"
+#include "nvm/start_gap.h"
+#include "schemes/captopril.h"
+#include "schemes/fnw.h"
+#include "util/random.h"
+#include "workloads/ycsb.h"
+
+namespace pnw {
+namespace {
+
+// ----------------------------------------------------------- Start-Gap
+
+nvm::NvmConfig GapConfig(size_t blocks, size_t block_bytes) {
+  nvm::NvmConfig config;
+  config.size_bytes = nvm::StartGapRemapper::StorageBytes(blocks, block_bytes);
+  return config;
+}
+
+TEST(StartGapTest, ReadBackAfterWrite) {
+  nvm::NvmDevice device(GapConfig(8, 64));
+  nvm::StartGapRemapper gap(&device, 0, 8, 64, /*gap_write_interval=*/3);
+  Rng rng(1);
+  std::vector<std::vector<uint8_t>> shadow(8, std::vector<uint8_t>(64, 0));
+  for (int round = 0; round < 200; ++round) {
+    const size_t block = rng.NextBelow(8);
+    for (auto& b : shadow[block]) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    ASSERT_TRUE(gap.WriteBlock(block, shadow[block]).ok());
+    // Every block must still read back its latest content across gap moves.
+    for (size_t check = 0; check < 8; ++check) {
+      std::vector<uint8_t> out(64);
+      ASSERT_TRUE(gap.ReadBlock(check, out).ok());
+      ASSERT_EQ(out, shadow[check]) << "round " << round << " block "
+                                    << check;
+    }
+  }
+  EXPECT_GT(gap.gap_moves(), 0u);
+}
+
+TEST(StartGapTest, TranslationIsBijective) {
+  nvm::NvmDevice device(GapConfig(16, 8));
+  nvm::StartGapRemapper gap(&device, 0, 16, 8, 1);
+  std::vector<uint8_t> data(8, 0xab);
+  for (int moves = 0; moves < 40; ++moves) {
+    std::vector<uint64_t> seen;
+    for (size_t b = 0; b < 16; ++b) {
+      seen.push_back(gap.Translate(b));
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end())
+        << "two logical blocks share a physical slot after " << moves
+        << " moves";
+    ASSERT_TRUE(gap.WriteBlock(0, data).ok());  // interval 1: moves the gap
+  }
+  EXPECT_GT(gap.rotations(), 0u);
+}
+
+TEST(StartGapTest, SpreadsAHotBlockAcrossSlots) {
+  // A pathological workload hammering one logical block: without start-gap
+  // one physical line takes every write; with it, wear spreads.
+  constexpr size_t kBlocks = 16;
+  constexpr size_t kBlockBytes = 64;
+  nvm::NvmDevice device(GapConfig(kBlocks, kBlockBytes));
+  nvm::StartGapRemapper gap(&device, 0, kBlocks, kBlockBytes,
+                            /*gap_write_interval=*/4);
+  Rng rng(2);
+  std::vector<uint8_t> data(kBlockBytes);
+  for (int i = 0; i < 800; ++i) {
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    ASSERT_TRUE(gap.WriteBlock(0, data).ok());
+  }
+  // Count how many distinct physical lines received substantial wear.
+  size_t worn_lines = 0;
+  for (uint32_t c : device.line_write_counts()) {
+    if (c > 10) {
+      ++worn_lines;
+    }
+  }
+  EXPECT_GT(worn_lines, kBlocks / 2) << "hot block should rotate through "
+                                        "most physical slots";
+}
+
+TEST(StartGapTest, RejectsBadArguments) {
+  nvm::NvmDevice device(GapConfig(4, 8));
+  nvm::StartGapRemapper gap(&device, 0, 4, 8);
+  std::vector<uint8_t> wrong_size(4);
+  EXPECT_TRUE(gap.WriteBlock(0, wrong_size).status().IsInvalidArgument());
+  std::vector<uint8_t> ok_size(8);
+  EXPECT_TRUE(gap.WriteBlock(99, ok_size).status().IsInvalidArgument());
+  EXPECT_TRUE(gap.ReadBlock(99, ok_size).IsInvalidArgument());
+}
+
+// ----------------------------------------------------- mini-batch k-means
+
+ml::Matrix Blobs3(size_t per_blob, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  ml::Matrix data(per_blob * 3, dims);
+  const float centers[3] = {0.0f, 10.0f, 20.0f};
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      auto row = data.Row(b * per_blob + i);
+      for (size_t d = 0; d < dims; ++d) {
+        row[d] = centers[b] + static_cast<float>(rng.NextGaussian()) * 0.3f;
+      }
+    }
+  }
+  return data;
+}
+
+TEST(MiniBatchKMeansTest, SeparatesBlobs) {
+  ml::Matrix data = Blobs3(100, 4, 7);
+  ml::KMeansOptions options;
+  options.k = 3;
+  options.mini_batch_size = 32;
+  options.seed = 5;
+  auto model = ml::KMeansTrainer(options).Fit(data).value();
+  auto labels = ml::KMeansTrainer::Label(model, data);
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 1; i < 100; ++i) {
+      EXPECT_EQ(labels[b * 100 + i], labels[b * 100]) << "blob " << b;
+    }
+  }
+}
+
+TEST(MiniBatchKMeansTest, SseCloseToFullBatch) {
+  ml::Matrix data = Blobs3(100, 8, 9);
+  ml::KMeansOptions full;
+  full.k = 3;
+  full.seed = 3;
+  ml::KMeansOptions mini = full;
+  mini.mini_batch_size = 64;
+  const double full_sse = ml::KMeansTrainer(full).Fit(data).value().sse();
+  const double mini_sse = ml::KMeansTrainer(mini).Fit(data).value().sse();
+  // Mini-batch trades a bounded amount of quality for speed.
+  EXPECT_LT(mini_sse, full_sse * 1.5);
+}
+
+// ------------------------------------------------ parameterized schemes
+
+class FnwChunkTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FnwChunkTest, RoundTripAndWorstCaseBound) {
+  const size_t chunk_bits = GetParam();
+  constexpr size_t kBlock = 64;
+  constexpr size_t kRegion = 16 * kBlock;
+  nvm::NvmConfig config;
+  config.size_bytes =
+      kRegion + schemes::FnwScheme::MetadataBytes(kRegion, chunk_bits);
+  nvm::NvmDevice device(config);
+  schemes::FnwScheme scheme(&device, kRegion, chunk_bits);
+  EXPECT_EQ(scheme.chunk_bits(), chunk_bits);
+
+  Rng rng(chunk_bits);
+  std::vector<uint8_t> data(kBlock);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(scheme.Write(0, data).ok());
+  EXPECT_EQ(scheme.ReadDecoded(0, kBlock).value(), data);
+
+  // Complement write: per chunk at most 1 flag bit flips.
+  std::vector<uint8_t> complement(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    complement[i] = static_cast<uint8_t>(~data[i]);
+  }
+  auto result = scheme.Write(0, complement);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().bits_written, kBlock * 8 / chunk_bits);
+  EXPECT_EQ(scheme.ReadDecoded(0, kBlock).value(), complement);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, FnwChunkTest,
+                         ::testing::Values(8, 16, 32, 64),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+class CaptoprilSegmentsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CaptoprilSegmentsTest, RoundTripAfterProfiling) {
+  const size_t segments = GetParam();
+  constexpr size_t kBlock = 64;
+  constexpr size_t kRegion = 16 * kBlock;
+  nvm::NvmConfig config;
+  config.size_bytes = kRegion + schemes::CaptoprilScheme::MetadataBytes(
+                                    kRegion, kBlock, segments);
+  nvm::NvmDevice device(config);
+  schemes::CaptoprilScheme scheme(&device, kRegion, kBlock,
+                                  /*profile_writes=*/8, segments);
+  Rng rng(segments * 11);
+  std::vector<uint8_t> data(kBlock);
+  for (int round = 0; round < 30; ++round) {
+    const uint64_t addr = rng.NextBelow(16) * kBlock;
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    ASSERT_TRUE(scheme.Write(addr, data).ok());
+    EXPECT_EQ(scheme.ReadDecoded(addr, kBlock).value(), data)
+        << "segments=" << segments << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentCounts, CaptoprilSegmentsTest,
+                         ::testing::Values(4, 8, 16, 32),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "seg" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------------- encode stride
+
+TEST(EncodeStrideTest, StridePreservesSimilarityOrdering) {
+  Rng rng(21);
+  std::vector<uint8_t> base(4096);
+  for (auto& b : base) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  std::vector<uint8_t> near = base;
+  for (int i = 0; i < 40; ++i) {
+    near[rng.NextBelow(near.size())] ^= 0xff;
+  }
+  std::vector<uint8_t> far(4096);
+  for (auto& b : far) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ml::BitFeatureEncoder encoder(4096, 256, /*byte_stride=*/4);
+  std::vector<float> fb(encoder.dims()), fn(encoder.dims()),
+      ff(encoder.dims());
+  encoder.Encode(base, fb);
+  encoder.Encode(near, fn);
+  encoder.Encode(far, ff);
+  EXPECT_LT(ml::SquaredDistance(fb, fn), ml::SquaredDistance(fb, ff));
+}
+
+TEST(EncodeStrideTest, DimsRoundedToMultipleOf8) {
+  ml::BitFeatureEncoder encoder(128, 100);
+  EXPECT_EQ(encoder.dims() % 8, 0u);
+  EXPECT_LE(encoder.dims(), 100u);
+}
+
+// --------------------------------------------------------------- YCSB
+
+TEST(YcsbTest, WorkloadCIsReadOnly) {
+  workloads::YcsbOptions options;
+  options.workload = workloads::YcsbWorkload::kC;
+  workloads::YcsbGenerator gen(options);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(gen.Next().type, workloads::YcsbOp::Type::kRead);
+  }
+}
+
+TEST(YcsbTest, WorkloadAMixesRoughlyFiftyFifty) {
+  workloads::YcsbOptions options;
+  options.workload = workloads::YcsbWorkload::kA;
+  workloads::YcsbGenerator gen(options);
+  int updates = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    updates += gen.Next().type == workloads::YcsbOp::Type::kUpdate;
+  }
+  EXPECT_NEAR(static_cast<double>(updates) / n, 0.5, 0.05);
+}
+
+TEST(YcsbTest, WorkloadDInsertsGrowKeySpace) {
+  workloads::YcsbOptions options;
+  options.workload = workloads::YcsbWorkload::kD;
+  options.record_count = 100;
+  workloads::YcsbGenerator gen(options);
+  for (int i = 0; i < 2000; ++i) {
+    const auto op = gen.Next();
+    EXPECT_LT(op.key, gen.live_keys());
+  }
+  EXPECT_GT(gen.live_keys(), 100u);
+}
+
+TEST(YcsbTest, ZipfKeysAreSkewed) {
+  workloads::YcsbOptions options;
+  options.workload = workloads::YcsbWorkload::kA;
+  options.record_count = 1000;
+  workloads::YcsbGenerator gen(options);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[gen.Next().key];
+  }
+  int max_count = 0;
+  for (const auto& [key, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // The hottest key should far exceed the uniform expectation (20).
+  EXPECT_GT(max_count, 200);
+}
+
+}  // namespace
+}  // namespace pnw

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kvstore/fptree.h"
+#include "kvstore/kv_interface.h"
+#include "kvstore/novelsm.h"
+#include "kvstore/path_kv.h"
+#include "util/random.h"
+
+namespace pnw::kvstore {
+namespace {
+
+constexpr size_t kValueBytes = 32;
+
+std::vector<uint8_t> ValueFor(uint64_t key) {
+  std::vector<uint8_t> v(kValueBytes, 0);
+  std::memcpy(v.data(), &key, 8);
+  v[20] = static_cast<uint8_t>(key * 7);
+  return v;
+}
+
+enum class StoreKind { kPath, kFpTree, kNoveLsm };
+
+std::unique_ptr<KvComparatorStore> MakeStore(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kPath:
+      return std::make_unique<PathKvStore>(4096, kValueBytes);
+    case StoreKind::kFpTree:
+      return std::make_unique<FpTreeStore>(2048, kValueBytes);
+    case StoreKind::kNoveLsm:
+      return std::make_unique<NoveLsmStore>(kValueBytes);
+  }
+  return nullptr;
+}
+
+class KvComparatorTest : public ::testing::TestWithParam<StoreKind> {};
+
+TEST_P(KvComparatorTest, PutGetRoundTrip) {
+  auto store = MakeStore(GetParam());
+  ASSERT_TRUE(store->Put(1, ValueFor(1)).ok());
+  auto got = store->Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), ValueFor(1));
+}
+
+TEST_P(KvComparatorTest, GetMissingIsNotFound) {
+  auto store = MakeStore(GetParam());
+  EXPECT_TRUE(store->Get(12345).status().IsNotFound());
+}
+
+TEST_P(KvComparatorTest, OverwriteReturnsLatest) {
+  auto store = MakeStore(GetParam());
+  ASSERT_TRUE(store->Put(9, ValueFor(9)).ok());
+  ASSERT_TRUE(store->Put(9, ValueFor(10)).ok());
+  EXPECT_EQ(store->Get(9).value(), ValueFor(10));
+}
+
+TEST_P(KvComparatorTest, DeleteHidesKey) {
+  auto store = MakeStore(GetParam());
+  ASSERT_TRUE(store->Put(5, ValueFor(5)).ok());
+  ASSERT_TRUE(store->Delete(5).ok());
+  EXPECT_TRUE(store->Get(5).status().IsNotFound());
+}
+
+TEST_P(KvComparatorTest, ManyKeysSurviveChurn) {
+  auto store = MakeStore(GetParam());
+  Rng rng(88);
+  // Insert 600 keys, delete every third, verify the rest.
+  for (uint64_t k = 0; k < 600; ++k) {
+    ASSERT_TRUE(store->Put(k, ValueFor(k)).ok()) << "k=" << k;
+  }
+  for (uint64_t k = 0; k < 600; k += 3) {
+    ASSERT_TRUE(store->Delete(k).ok()) << "k=" << k;
+  }
+  for (uint64_t k = 0; k < 600; ++k) {
+    auto got = store->Get(k);
+    if (k % 3 == 0) {
+      EXPECT_TRUE(got.status().IsNotFound()) << "k=" << k;
+    } else {
+      ASSERT_TRUE(got.ok()) << "k=" << k;
+      EXPECT_EQ(got.value(), ValueFor(k));
+    }
+  }
+}
+
+TEST_P(KvComparatorTest, WritesAreAccounted) {
+  auto store = MakeStore(GetParam());
+  ASSERT_TRUE(store->Put(1, ValueFor(1)).ok());
+  EXPECT_GT(store->device().counters().total_lines_written, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllComparators, KvComparatorTest,
+    ::testing::Values(StoreKind::kPath, StoreKind::kFpTree,
+                      StoreKind::kNoveLsm),
+    [](const ::testing::TestParamInfo<StoreKind>& info) {
+      switch (info.param) {
+        case StoreKind::kPath:
+          return "PathHashing";
+        case StoreKind::kFpTree:
+          return "FPTree";
+        case StoreKind::kNoveLsm:
+          return "NoveLSM";
+      }
+      return "Unknown";
+    });
+
+// --------------------------------------------------------- FPTree details
+
+TEST(FpTreeTest, SplitsPreserveOrderAndContent) {
+  FpTreeStore store(64, kValueBytes);
+  // More than kLeafSlots inserts force at least one split.
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(store.Put(k * 17 % 101, ValueFor(k * 17 % 101)).ok());
+  }
+  for (uint64_t k = 0; k < 100; ++k) {
+    const uint64_t key = k * 17 % 101;
+    EXPECT_EQ(store.Get(key).value(), ValueFor(key)) << key;
+  }
+}
+
+TEST(FpTreeTest, DeleteIsBitmapOnly) {
+  FpTreeStore store(64, kValueBytes);
+  ASSERT_TRUE(store.Put(1, ValueFor(1)).ok());
+  const uint64_t before = store.device().counters().total_bits_written;
+  ASSERT_TRUE(store.Delete(1).ok());
+  // Clearing one bitmap bit flips exactly one NVM bit.
+  EXPECT_EQ(store.device().counters().total_bits_written - before, 1u);
+}
+
+// --------------------------------------------------------- NoveLSM details
+
+TEST(NoveLsmTest, CompactionTriggersAndPreservesData) {
+  NoveLsmStore store(kValueBytes, /*memtable_entries=*/16);
+  for (uint64_t k = 0; k < 16 * 4 * 2; ++k) {  // enough to compact L0
+    ASSERT_TRUE(store.Put(k, ValueFor(k)).ok());
+  }
+  EXPECT_GT(store.compactions(), 0u);
+  for (uint64_t k = 0; k < 16 * 4 * 2; ++k) {
+    EXPECT_EQ(store.Get(k).value(), ValueFor(k)) << k;
+  }
+}
+
+TEST(NoveLsmTest, TombstonesSurviveCompaction) {
+  NoveLsmStore store(kValueBytes, /*memtable_entries=*/8);
+  for (uint64_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(store.Put(k, ValueFor(k)).ok());
+  }
+  ASSERT_TRUE(store.Delete(3).ok());
+  // Push enough traffic to seal + compact several times.
+  for (uint64_t k = 100; k < 180; ++k) {
+    ASSERT_TRUE(store.Put(k, ValueFor(k)).ok());
+  }
+  EXPECT_TRUE(store.Get(3).status().IsNotFound());
+  EXPECT_EQ(store.Get(4).value(), ValueFor(4));
+}
+
+TEST(NoveLsmTest, LsmWritesMoreLinesThanPathHashing) {
+  // The Fig. 9 ordering by construction: LSM write amplification
+  // (memtable persist + runs + compaction) exceeds in-place hashing.
+  NoveLsmStore lsm(kValueBytes, 16);
+  PathKvStore path(4096, kValueBytes);
+  const size_t n = 512;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(lsm.Put(k, ValueFor(k)).ok());
+    ASSERT_TRUE(path.Put(k, ValueFor(k)).ok());
+  }
+  EXPECT_GT(lsm.device().counters().total_lines_written,
+            path.device().counters().total_lines_written);
+}
+
+}  // namespace
+}  // namespace pnw::kvstore

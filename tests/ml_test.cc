@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ml/elbow.h"
+#include "ml/feature_encoder.h"
+#include "ml/kmeans.h"
+#include "ml/matrix.h"
+#include "ml/pca.h"
+#include "util/random.h"
+
+namespace pnw::ml {
+namespace {
+
+/// Three tight, well-separated blobs in `dims` dimensions.
+Matrix MakeBlobs(size_t per_blob, size_t dims, Rng& rng) {
+  Matrix data(per_blob * 3, dims);
+  const float centers[3] = {0.0f, 10.0f, 20.0f};
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      auto row = data.Row(b * per_blob + i);
+      for (size_t d = 0; d < dims; ++d) {
+        row[d] = centers[b] + static_cast<float>(rng.NextGaussian()) * 0.3f;
+      }
+    }
+  }
+  return data;
+}
+
+TEST(MatrixTest, AppendRowSetsShape) {
+  Matrix m;
+  std::vector<float> row = {1.0f, 2.0f, 3.0f};
+  m.AppendRow(row);
+  m.AppendRow(row);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.At(1, 2), 3.0f);
+}
+
+TEST(MatrixTest, SquaredDistance) {
+  std::vector<float> a = {0.0f, 0.0f};
+  std::vector<float> b = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(SquaredDistance(a, b), 25.0f);
+}
+
+// ------------------------------------------------------------------ KMeans
+
+TEST(KMeansTest, RejectsEmptyInput) {
+  KMeansOptions options;
+  EXPECT_TRUE(
+      KMeansTrainer(options).Fit(Matrix()).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, RejectsZeroK) {
+  KMeansOptions options;
+  options.k = 0;
+  Matrix data(4, 2);
+  EXPECT_TRUE(KMeansTrainer(options).Fit(data).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, SeparatesObviousBlobs) {
+  Rng rng(101);
+  Matrix data = MakeBlobs(50, 4, rng);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 5;
+  auto model = KMeansTrainer(options).Fit(data).value();
+  ASSERT_EQ(model.k(), 3u);
+  // All points of one blob must share a label, and blobs must not mix.
+  auto labels = KMeansTrainer::Label(model, data);
+  for (size_t b = 0; b < 3; ++b) {
+    const size_t first = labels[b * 50];
+    for (size_t i = 1; i < 50; ++i) {
+      EXPECT_EQ(labels[b * 50 + i], first) << "blob " << b;
+    }
+  }
+  EXPECT_NE(labels[0], labels[50]);
+  EXPECT_NE(labels[50], labels[100]);
+  EXPECT_NE(labels[0], labels[100]);
+}
+
+TEST(KMeansTest, SseDecreasesWithK) {
+  Rng rng(103);
+  Matrix data = MakeBlobs(40, 3, rng);
+  double prev = 1e300;
+  for (size_t k : {1, 2, 3}) {
+    KMeansOptions options;
+    options.k = k;
+    const double sse = KMeansTrainer(options).Fit(data).value().sse();
+    EXPECT_LT(sse, prev + 1e-9) << "k=" << k;
+    prev = sse;
+  }
+}
+
+TEST(KMeansTest, PredictReturnsNearestCentroid) {
+  Matrix centroids(2, 1);
+  centroids.At(0, 0) = 0.0f;
+  centroids.At(1, 0) = 10.0f;
+  KMeansModel model(std::move(centroids), 0.0);
+  std::vector<float> near_zero = {1.0f};
+  std::vector<float> near_ten = {9.0f};
+  EXPECT_EQ(model.Predict(near_zero), 0u);
+  EXPECT_EQ(model.Predict(near_ten), 1u);
+}
+
+TEST(KMeansTest, RankClustersOrdersByDistance) {
+  Matrix centroids(3, 1);
+  centroids.At(0, 0) = 0.0f;
+  centroids.At(1, 0) = 5.0f;
+  centroids.At(2, 0) = 100.0f;
+  KMeansModel model(std::move(centroids), 0.0);
+  std::vector<float> q = {6.0f};
+  auto ranked = model.RankClusters(q);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], 1u);
+  EXPECT_EQ(ranked[1], 0u);
+  EXPECT_EQ(ranked[2], 2u);
+}
+
+TEST(KMeansTest, MultiThreadedMatchesSingleThreaded) {
+  Rng rng(107);
+  Matrix data = MakeBlobs(60, 6, rng);
+  KMeansOptions single;
+  single.k = 3;
+  single.seed = 9;
+  KMeansOptions multi = single;
+  multi.num_threads = 4;
+  auto m1 = KMeansTrainer(single).Fit(data).value();
+  auto m4 = KMeansTrainer(multi).Fit(data).value();
+  // Same seed, deterministic assignment; centroids must agree.
+  ASSERT_EQ(m1.k(), m4.k());
+  for (size_t c = 0; c < m1.k(); ++c) {
+    for (size_t d = 0; d < m1.dims(); ++d) {
+      EXPECT_NEAR(m1.Centroid(c)[d], m4.Centroid(c)[d], 1e-4);
+    }
+  }
+}
+
+TEST(KMeansTest, MoreClustersThanSamplesClamped) {
+  Matrix data(3, 2);
+  data.At(0, 0) = 1.0f;
+  data.At(1, 0) = 2.0f;
+  data.At(2, 0) = 3.0f;
+  KMeansOptions options;
+  options.k = 10;
+  auto model = KMeansTrainer(options).Fit(data).value();
+  EXPECT_LE(model.k(), 3u);
+}
+
+// --------------------------------------------------------------------- PCA
+
+TEST(PcaTest, RejectsEmptyInput) {
+  PcaOptions options;
+  EXPECT_TRUE(PcaTrainer(options).Fit(Matrix()).status().IsInvalidArgument());
+}
+
+TEST(PcaTest, FindsDominantDirection) {
+  // Points along the diagonal y = x with tiny off-axis noise.
+  Rng rng(201);
+  Matrix data(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    const float t = static_cast<float>(rng.NextGaussian());
+    data.At(i, 0) = t + 0.01f * static_cast<float>(rng.NextGaussian());
+    data.At(i, 1) = t + 0.01f * static_cast<float>(rng.NextGaussian());
+  }
+  PcaOptions options;
+  options.num_components = 2;
+  auto model = PcaTrainer(options).Fit(data).value();
+  // First component ~ (1,1)/sqrt(2): both coordinates near-equal magnitude.
+  const float c0 = model.components().At(0, 0);
+  const float c1 = model.components().At(0, 1);
+  EXPECT_NEAR(std::abs(c0), std::abs(c1), 0.05);
+  EXPECT_NEAR(std::abs(c0), 1.0f / std::sqrt(2.0f), 0.05);
+  // And it explains nearly all the variance.
+  EXPECT_GT(model.explained_variance_ratio(0), 0.95);
+}
+
+TEST(PcaTest, CumulativeVarianceIsMonotone) {
+  Rng rng(203);
+  Matrix data = MakeBlobs(50, 8, rng);
+  PcaOptions options;
+  options.num_components = 4;
+  auto model = PcaTrainer(options).Fit(data).value();
+  double prev = 0.0;
+  for (size_t m = 1; m <= 4; ++m) {
+    const double ratio = model.CumulativeVarianceRatio(m);
+    EXPECT_GE(ratio, prev - 1e-12);
+    EXPECT_LE(ratio, 1.0 + 1e-9);
+    prev = ratio;
+  }
+}
+
+TEST(PcaTest, TransformPreservesClusterSeparation) {
+  Rng rng(205);
+  Matrix data = MakeBlobs(40, 16, rng);
+  PcaOptions options;
+  options.num_components = 2;
+  auto pca = PcaTrainer(options).Fit(data).value();
+  Matrix reduced = pca.TransformBatch(data);
+  ASSERT_EQ(reduced.cols(), 2u);
+  // K-means in the reduced space still separates the blobs.
+  KMeansOptions kopts;
+  kopts.k = 3;
+  auto model = KMeansTrainer(kopts).Fit(reduced).value();
+  auto labels = KMeansTrainer::Label(model, reduced);
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 1; i < 40; ++i) {
+      EXPECT_EQ(labels[b * 40 + i], labels[b * 40]);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- Elbow
+
+TEST(ElbowTest, CurveIsNonIncreasing) {
+  Rng rng(301);
+  Matrix data = MakeBlobs(40, 4, rng);
+  KMeansOptions base;
+  base.seed = 3;
+  auto curve = ComputeElbowCurve(data, {1, 2, 3, 4, 5, 6}, base);
+  ASSERT_EQ(curve.size(), 6u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].sse, curve[i - 1].sse * 1.05)
+        << "k=" << curve[i].k;  // small tolerance: k-means++ is stochastic
+  }
+}
+
+TEST(ElbowTest, FindsKneeAtTrueClusterCount) {
+  Rng rng(303);
+  Matrix data = MakeBlobs(60, 4, rng);  // exactly 3 blobs
+  KMeansOptions base;
+  base.seed = 4;
+  auto curve = ComputeElbowCurve(data, {1, 2, 3, 4, 5, 6, 7, 8}, base);
+  EXPECT_EQ(FindElbowK(curve), 3u);
+}
+
+TEST(ElbowTest, DegenerateCurves) {
+  EXPECT_EQ(FindElbowK({}), 0u);
+  EXPECT_EQ(FindElbowK({{2, 5.0}}), 2u);
+}
+
+// --------------------------------------------------------- FeatureEncoder
+
+TEST(FeatureEncoderTest, UnfoldedOneFeaturePerBit) {
+  BitFeatureEncoder encoder(2, 0);
+  EXPECT_EQ(encoder.dims(), 16u);
+  std::vector<uint8_t> value = {0x03, 0x80};
+  std::vector<float> out(16);
+  encoder.Encode(value, out);
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[1], 1.0f);
+  EXPECT_EQ(out[2], 0.0f);
+  EXPECT_EQ(out[15], 1.0f);
+}
+
+TEST(FeatureEncoderTest, FoldedAccumulatesPopcount) {
+  BitFeatureEncoder encoder(4, 8);  // 32 bits folded into 8 features
+  EXPECT_EQ(encoder.dims(), 8u);
+  std::vector<uint8_t> value = {0xff, 0xff, 0xff, 0xff};
+  std::vector<float> out(8);
+  encoder.Encode(value, out);
+  for (float f : out) {
+    EXPECT_EQ(f, 4.0f);  // each folded feature sees 4 set bits
+  }
+}
+
+TEST(FeatureEncoderTest, FoldingPreservesSimilarity) {
+  // Two values with small Hamming distance must be closer in folded
+  // feature space than two random values.
+  Rng rng(401);
+  std::vector<uint8_t> base(64);
+  for (auto& b : base) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  std::vector<uint8_t> near = base;
+  near[3] ^= 0x01;  // 1 flipped bit
+  std::vector<uint8_t> far(64);
+  for (auto& b : far) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  BitFeatureEncoder encoder(64, 128);
+  std::vector<float> fb(128), fn(128), ff(128);
+  encoder.Encode(base, fb);
+  encoder.Encode(near, fn);
+  encoder.Encode(far, ff);
+  EXPECT_LT(SquaredDistance(fb, fn), SquaredDistance(fb, ff));
+}
+
+TEST(FeatureEncoderTest, BatchMatchesSingle) {
+  std::vector<std::vector<uint8_t>> values = {{0x01, 0x02}, {0xff, 0x00}};
+  BitFeatureEncoder encoder(2, 0);
+  Matrix batch = encoder.EncodeBatch(values);
+  std::vector<float> single(encoder.dims());
+  encoder.Encode(values[1], single);
+  for (size_t d = 0; d < encoder.dims(); ++d) {
+    EXPECT_EQ(batch.At(1, d), single[d]);
+  }
+}
+
+}  // namespace
+}  // namespace pnw::ml

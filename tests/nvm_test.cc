@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "nvm/nvm_device.h"
+#include "nvm/wear_tracker.h"
+
+namespace pnw::nvm {
+namespace {
+
+NvmConfig SmallConfig(bool bit_wear = false) {
+  NvmConfig config;
+  config.size_bytes = 4096;
+  config.track_bit_wear = bit_wear;
+  return config;
+}
+
+TEST(NvmDeviceTest, StartsZeroed) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(device.Read(0, out).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(NvmDeviceTest, OutOfBoundsRejected) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> buf(64);
+  EXPECT_TRUE(device.Read(4096 - 32, buf).IsInvalidArgument());
+  EXPECT_TRUE(
+      device.WriteConventional(4090, buf).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      device.WriteDifferential(1u << 30, buf).status().IsInvalidArgument());
+}
+
+TEST(NvmDeviceTest, ConventionalWriteChargesEveryBit) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> data(64, 0x00);  // same value as current content
+  auto result = device.WriteConventional(0, data);
+  ASSERT_TRUE(result.ok());
+  // Even an identical rewrite wears every cell.
+  EXPECT_EQ(result.value().bits_written, 64u * 8);
+  EXPECT_EQ(result.value().lines_written, 1u);
+  EXPECT_EQ(result.value().words_written, 8u);
+}
+
+TEST(NvmDeviceTest, DifferentialWriteChargesOnlyFlips) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> data(64, 0x00);
+  data[5] = 0x03;   // 2 bits
+  data[40] = 0x80;  // 1 bit
+  auto result = device.WriteDifferential(0, data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().bits_written, 3u);
+  EXPECT_EQ(result.value().words_written, 2u);  // bytes 5 and 40
+  EXPECT_EQ(result.value().lines_written, 1u);
+  EXPECT_EQ(result.value().lines_read, 1u);  // RBW read of the covered line
+
+  // Re-writing identical data flips nothing and dirties no lines.
+  auto again = device.WriteDifferential(0, data);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().bits_written, 0u);
+  EXPECT_EQ(again.value().lines_written, 0u);
+}
+
+TEST(NvmDeviceTest, DifferentialWriteStoresData) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(device.WriteDifferential(100, data).ok());
+  std::vector<uint8_t> out(8);
+  ASSERT_TRUE(device.Read(100, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(NvmDeviceTest, CrossLineWriteCountsBothLines) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> data(16, 0xff);
+  // Straddle the line boundary at byte 64.
+  auto result = device.WriteDifferential(56, data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().lines_written, 2u);
+  EXPECT_EQ(result.value().lines_read, 2u);
+}
+
+TEST(NvmDeviceTest, CountersAccumulate) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> data(8, 0xff);
+  ASSERT_TRUE(device.WriteDifferential(0, data).ok());
+  ASSERT_TRUE(device.WriteDifferential(128, data).ok());
+  const auto& counters = device.counters();
+  EXPECT_EQ(counters.total_write_ops, 2u);
+  EXPECT_EQ(counters.total_bits_written, 128u);
+  EXPECT_EQ(counters.total_payload_bits, 128u);
+  EXPECT_GT(counters.total_latency_ns, 0.0);
+}
+
+TEST(NvmDeviceTest, ResetCountersClearsEverything) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> data(8, 0xff);
+  ASSERT_TRUE(device.WriteDifferential(0, data).ok());
+  device.ResetCounters();
+  EXPECT_EQ(device.counters().total_bits_written, 0u);
+  EXPECT_EQ(device.word_write_counts()[0], 0u);
+  EXPECT_EQ(device.line_write_counts()[0], 0u);
+  // Content survives a counter reset.
+  std::vector<uint8_t> out(8);
+  ASSERT_TRUE(device.Read(0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(NvmDeviceTest, WordCountersTrackDirtiedWords) {
+  NvmDevice device(SmallConfig());
+  std::vector<uint8_t> data(24, 0);
+  data[0] = 1;   // word 0
+  data[17] = 1;  // word 2
+  ASSERT_TRUE(device.WriteDifferential(0, data).ok());
+  EXPECT_EQ(device.word_write_counts()[0], 1u);
+  EXPECT_EQ(device.word_write_counts()[1], 0u);
+  EXPECT_EQ(device.word_write_counts()[2], 1u);
+}
+
+TEST(NvmDeviceTest, BitWearTracking) {
+  NvmDevice device(SmallConfig(/*bit_wear=*/true));
+  std::vector<uint8_t> one = {0x01};
+  std::vector<uint8_t> zero = {0x00};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(device.WriteDifferential(10, one).ok());
+    ASSERT_TRUE(device.WriteDifferential(10, zero).ok());
+  }
+  // Bit 80 (byte 10, bit 0) was updated 6 times; its neighbors never.
+  EXPECT_EQ(device.bit_write_counts()[80], 6u);
+  EXPECT_EQ(device.bit_write_counts()[81], 0u);
+}
+
+TEST(NvmDeviceTest, LatencyModelChargesPerLine) {
+  NvmConfig config = SmallConfig();
+  config.latency.nvm_write_ns = 600.0;
+  config.latency.nvm_read_ns = 70.0;
+  NvmDevice device(config);
+  std::vector<uint8_t> data(64, 0xff);
+  auto result = device.WriteDifferential(0, data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().latency_ns, 600.0 + 70.0);
+}
+
+TEST(NvmDeviceTest, PeekDoesNotAffectCounters) {
+  NvmDevice device(SmallConfig());
+  (void)device.Peek(0, 64);
+  EXPECT_EQ(device.counters().total_read_ops, 0u);
+  EXPECT_EQ(device.counters().total_lines_read, 0u);
+}
+
+TEST(WearTrackerTest, BucketWritesAndCdf) {
+  NvmDevice device(SmallConfig());
+  WearTracker tracker(&device, /*bucket_bytes=*/64);  // 64 buckets
+  tracker.RecordBucketWrite(0);
+  tracker.RecordBucketWrite(0);
+  tracker.RecordBucketWrite(64);
+  EXPECT_EQ(tracker.MaxBucketWrites(), 2u);
+  auto cdf = tracker.AddressWriteCdf();
+  EXPECT_EQ(cdf.count(), 64u);
+  // 62 of 64 buckets have zero writes.
+  EXPECT_NEAR(cdf.CumulativeProbability(0), 62.0 / 64.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeProbability(2), 1.0);
+}
+
+TEST(WearTrackerTest, BitCdfRequiresTracking) {
+  NvmDevice no_tracking(SmallConfig(false));
+  WearTracker tracker(&no_tracking, 64);
+  EXPECT_EQ(tracker.BitWriteCdf().count(), 0u);
+
+  NvmDevice tracking(SmallConfig(true));
+  WearTracker tracker2(&tracking, 64);
+  std::vector<uint8_t> data = {0xff};
+  ASSERT_TRUE(tracking.WriteDifferential(0, data).ok());
+  auto cdf = tracker2.BitWriteCdf();
+  EXPECT_EQ(cdf.count(), 4096u * 8);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace pnw::nvm

@@ -1,0 +1,223 @@
+// Property-style parameterized sweeps over the library's core invariants:
+// accounting conservation on the NVM device, scheme decode correctness
+// under random traffic, and PNW store consistency under random op mixes.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "core/pnw_store.h"
+#include "schemes/write_scheme.h"
+#include "util/hamming.h"
+#include "util/random.h"
+
+namespace pnw {
+namespace {
+
+// ---------------------------------------------------------------------
+// Device invariants, swept over (write size, alignment).
+// ---------------------------------------------------------------------
+
+class DeviceInvariantTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(DeviceInvariantTest, DifferentialAccountingConserved) {
+  const auto [size, offset] = GetParam();
+  nvm::NvmConfig config;
+  config.size_bytes = 8192;
+  nvm::NvmDevice device(config);
+  Rng rng(size * 1000 + offset);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<uint8_t> data(size);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    const std::vector<uint8_t> before(
+        device.Peek(offset, size).begin(), device.Peek(offset, size).end());
+    const uint64_t expected_flips = HammingDistance(before, data);
+    auto result = device.WriteDifferential(offset, data);
+    ASSERT_TRUE(result.ok());
+    // (1) Flip count equals Hamming distance of old vs new.
+    EXPECT_EQ(result.value().bits_written, expected_flips);
+    // (2) Content equals the new data afterwards.
+    std::vector<uint8_t> after(size);
+    ASSERT_TRUE(device.Read(offset, after).ok());
+    EXPECT_EQ(after, data);
+    // (3) Words/lines are bounded by the covered ranges.
+    EXPECT_LE(result.value().words_written, size / 8 + 2);
+    EXPECT_LE(result.value().lines_written, size / 64 + 2);
+    // (4) A write never dirties more lines than it reads back (RBW).
+    EXPECT_LE(result.value().lines_written, result.value().lines_read);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndOffsets, DeviceInvariantTest,
+    ::testing::Combine(::testing::Values(1, 4, 8, 24, 64, 200, 784),
+                       ::testing::Values(0, 8, 60, 129)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& info) {
+      return "size" + std::to_string(std::get<0>(info.param)) + "_off" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Scheme invariants under random traffic, swept over (scheme, block size).
+// ---------------------------------------------------------------------
+
+class SchemeInvariantTest
+    : public ::testing::TestWithParam<
+          std::tuple<schemes::SchemeKind, size_t>> {};
+
+TEST_P(SchemeInvariantTest, DecodeAlwaysRecoversLastWrite) {
+  const auto [kind, block] = GetParam();
+  const size_t blocks = 16;
+  const size_t data_region = blocks * block;
+  nvm::NvmConfig config;
+  config.size_bytes =
+      data_region + schemes::SchemeMetadataBytes(kind, data_region, block);
+  nvm::NvmDevice device(config);
+  auto scheme = schemes::CreateScheme(kind, &device, data_region, block);
+
+  Rng rng(static_cast<uint64_t>(block) * 31 + static_cast<uint64_t>(kind));
+  std::vector<std::optional<std::vector<uint8_t>>> shadow(blocks);
+  for (int round = 0; round < 120; ++round) {
+    const size_t b = rng.NextBelow(blocks);
+    std::vector<uint8_t> data(block);
+    for (auto& byte : data) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    ASSERT_TRUE(scheme->Write(b * block, data).ok());
+    shadow[b] = data;
+    // Every previously written block still decodes to its latest value.
+    for (size_t check = 0; check < blocks; ++check) {
+      if (!shadow[check].has_value()) {
+        continue;
+      }
+      auto decoded = scheme->ReadDecoded(check * block, block);
+      ASSERT_TRUE(decoded.ok());
+      ASSERT_EQ(decoded.value(), *shadow[check])
+          << schemes::SchemeName(kind) << " block " << check << " round "
+          << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndBlocks, SchemeInvariantTest,
+    ::testing::Combine(
+        ::testing::Values(schemes::SchemeKind::kConventional,
+                          schemes::SchemeKind::kDcw,
+                          schemes::SchemeKind::kFnw,
+                          schemes::SchemeKind::kMinShift,
+                          schemes::SchemeKind::kCaptopril),
+        ::testing::Values(16, 64, 256)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<schemes::SchemeKind, size_t>>& info) {
+      return std::string(schemes::SchemeName(std::get<0>(info.param))) +
+             "_b" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// PNW store consistency under a random op mix, swept over (k, index
+// placement).
+// ---------------------------------------------------------------------
+
+class StoreFuzzTest
+    : public ::testing::TestWithParam<
+          std::tuple<size_t, core::IndexPlacement>> {};
+
+TEST_P(StoreFuzzTest, MatchesShadowMapUnderRandomOps) {
+  const auto [k, placement] = GetParam();
+  core::PnwOptions options;
+  options.value_bytes = 16;
+  options.initial_buckets = 128;
+  options.capacity_buckets = 256;
+  options.num_clusters = k;
+  options.max_features = 0;
+  options.training_sample_cap = 128;
+  options.index_placement = placement;
+  auto store = core::PnwStore::Open(options).value();
+
+  Rng rng(k * 7919 + static_cast<uint64_t>(placement));
+  auto random_value = [&]() {
+    std::vector<uint8_t> v(16);
+    for (auto& b : v) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    return v;
+  };
+
+  std::vector<uint64_t> keys(64);
+  std::vector<std::vector<uint8_t>> values(64);
+  std::map<uint64_t, std::vector<uint8_t>> shadow;
+  for (size_t i = 0; i < 64; ++i) {
+    keys[i] = i;
+    values[i] = random_value();
+    shadow[i] = values[i];
+  }
+  ASSERT_TRUE(store->Bootstrap(keys, values).ok());
+
+  for (int op = 0; op < 400; ++op) {
+    const uint64_t key = rng.NextBelow(96);
+    switch (rng.NextBelow(3)) {
+      case 0: {  // PUT / UPDATE
+        auto v = random_value();
+        auto s = store->Put(key, v);
+        if (s.ok()) {
+          shadow[key] = v;
+        } else {
+          ASSERT_TRUE(s.IsOutOfSpace()) << s.ToString();
+        }
+        break;
+      }
+      case 1: {  // DELETE
+        auto s = store->Delete(key);
+        if (shadow.count(key)) {
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          shadow.erase(key);
+        } else {
+          ASSERT_TRUE(s.IsNotFound());
+        }
+        break;
+      }
+      case 2: {  // GET
+        auto got = store->Get(key);
+        if (shadow.count(key)) {
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(got.value(), shadow[key]);
+        } else {
+          EXPECT_TRUE(got.status().IsNotFound());
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(store->size(), shadow.size());
+  // Full final audit.
+  for (const auto& [key, value] : shadow) {
+    auto got = store->Get(key);
+    ASSERT_TRUE(got.ok()) << "key " << key;
+    EXPECT_EQ(got.value(), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KsAndPlacements, StoreFuzzTest,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(core::IndexPlacement::kDram,
+                                         core::IndexPlacement::kNvmPathHash)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<size_t, core::IndexPlacement>>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == core::IndexPlacement::kDram
+                  ? "_Dram"
+                  : "_NvmIndex");
+    });
+
+}  // namespace
+}  // namespace pnw

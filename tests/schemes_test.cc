@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "schemes/captopril.h"
+#include "schemes/fnw.h"
+#include "schemes/minshift.h"
+#include "schemes/write_scheme.h"
+#include "util/hamming.h"
+#include "util/random.h"
+
+namespace pnw::schemes {
+namespace {
+
+constexpr size_t kBlock = 64;
+constexpr size_t kDataRegion = 64 * kBlock;
+
+struct SchemeFixture {
+  explicit SchemeFixture(SchemeKind kind) {
+    nvm::NvmConfig config;
+    config.size_bytes =
+        kDataRegion + SchemeMetadataBytes(kind, kDataRegion, kBlock);
+    device = std::make_unique<nvm::NvmDevice>(config);
+    scheme = CreateScheme(kind, device.get(), kDataRegion, kBlock);
+  }
+  std::unique_ptr<nvm::NvmDevice> device;
+  std::unique_ptr<WriteScheme> scheme;
+};
+
+std::vector<uint8_t> RandomBlock(Rng& rng) {
+  std::vector<uint8_t> block(kBlock);
+  for (auto& b : block) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return block;
+}
+
+// ------------------------------------------------------- round-trip (all)
+
+class SchemeRoundTripTest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(SchemeRoundTripTest, WriteThenDecodedReadRecoversValue) {
+  SchemeFixture fx(GetParam());
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    const uint64_t addr = (rng.NextBelow(64)) * kBlock;
+    const auto data = RandomBlock(rng);
+    ASSERT_TRUE(fx.scheme->Write(addr, data).ok());
+    auto read = fx.scheme->ReadDecoded(addr, kBlock);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), data) << SchemeName(GetParam()) << " round "
+                                  << round;
+  }
+}
+
+TEST_P(SchemeRoundTripTest, RepeatedIdenticalWritesRemainReadable) {
+  SchemeFixture fx(GetParam());
+  Rng rng(43);
+  const auto data = RandomBlock(rng);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fx.scheme->Write(0, data).ok());
+  }
+  EXPECT_EQ(fx.scheme->ReadDecoded(0, kBlock).value(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeRoundTripTest,
+    ::testing::Values(SchemeKind::kConventional, SchemeKind::kDcw,
+                      SchemeKind::kFnw, SchemeKind::kMinShift,
+                      SchemeKind::kCaptopril),
+    [](const ::testing::TestParamInfo<SchemeKind>& info) {
+      return std::string(SchemeName(info.param));
+    });
+
+// ------------------------------------------------- cost-bound properties
+
+class SchemeCostTest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(SchemeCostTest, NeverExceedsConventionalCost) {
+  SchemeFixture fx(GetParam());
+  SchemeFixture conventional(SchemeKind::kConventional);
+  Rng rng(44);
+  uint64_t scheme_bits = 0;
+  uint64_t conventional_bits = 0;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t addr = rng.NextBelow(64) * kBlock;
+    const auto data = RandomBlock(rng);
+    scheme_bits += fx.scheme->Write(addr, data).value().bits_written;
+    conventional_bits +=
+        conventional.scheme->Write(addr, data).value().bits_written;
+  }
+  EXPECT_LE(scheme_bits, conventional_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeCostTest,
+    ::testing::Values(SchemeKind::kDcw, SchemeKind::kFnw,
+                      SchemeKind::kMinShift, SchemeKind::kCaptopril),
+    [](const ::testing::TestParamInfo<SchemeKind>& info) {
+      return std::string(SchemeName(info.param));
+    });
+
+// ------------------------------------------------------------------- DCW
+
+TEST(DcwSchemeTest, CostEqualsHammingDistance) {
+  SchemeFixture fx(SchemeKind::kDcw);
+  Rng rng(45);
+  const auto first = RandomBlock(rng);
+  ASSERT_TRUE(fx.scheme->Write(0, first).ok());
+  const auto second = RandomBlock(rng);
+  const uint64_t expected = HammingDistance(first, second);
+  auto result = fx.scheme->Write(0, second);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().bits_written, expected);
+}
+
+TEST(DcwSchemeTest, IdenticalWriteIsFree) {
+  SchemeFixture fx(SchemeKind::kDcw);
+  Rng rng(46);
+  const auto data = RandomBlock(rng);
+  ASSERT_TRUE(fx.scheme->Write(0, data).ok());
+  auto result = fx.scheme->Write(0, data);
+  EXPECT_EQ(result.value().bits_written, 0u);
+  EXPECT_EQ(result.value().lines_written, 0u);
+}
+
+// ------------------------------------------------------------------- FNW
+
+TEST(FnwSchemeTest, BoundsCostToHalfChunkPlusFlag) {
+  SchemeFixture fx(SchemeKind::kFnw);
+  Rng rng(47);
+  // Worst case for DCW: complement data. FNW must stay under
+  // (chunk/2 + 1) per 32-bit chunk.
+  const auto first = RandomBlock(rng);
+  ASSERT_TRUE(fx.scheme->Write(0, first).ok());
+  std::vector<uint8_t> complement(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    complement[i] = static_cast<uint8_t>(~first[i]);
+  }
+  auto result = fx.scheme->Write(0, complement);
+  ASSERT_TRUE(result.ok());
+  const uint64_t chunks = kBlock * 8 / FnwScheme::kChunkBits;
+  EXPECT_LE(result.value().bits_written,
+            chunks * (FnwScheme::kChunkBits / 2 + 1));
+  // A complement write should be nearly free: only flag bits flip.
+  EXPECT_LE(result.value().bits_written, chunks);
+}
+
+TEST(FnwSchemeTest, BeatsDcwOnAntiCorrelatedData) {
+  SchemeFixture fnw(SchemeKind::kFnw);
+  SchemeFixture dcw(SchemeKind::kDcw);
+  Rng rng(48);
+  uint64_t fnw_bits = 0;
+  uint64_t dcw_bits = 0;
+  // Alternate value and complement: pathological for DCW, ideal for FNW.
+  const auto base = RandomBlock(rng);
+  std::vector<uint8_t> inverted(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    inverted[i] = static_cast<uint8_t>(~base[i]);
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto& data = (i % 2 == 0) ? inverted : base;
+    fnw_bits += fnw.scheme->Write(0, data).value().bits_written;
+    dcw_bits += dcw.scheme->Write(0, data).value().bits_written;
+  }
+  EXPECT_LT(fnw_bits, dcw_bits / 4);
+}
+
+TEST(FnwSchemeTest, RejectsUnalignedWrites) {
+  SchemeFixture fx(SchemeKind::kFnw);
+  std::vector<uint8_t> data(6);  // not a chunk multiple
+  EXPECT_TRUE(fx.scheme->Write(0, data).status().IsInvalidArgument());
+  std::vector<uint8_t> ok_size(8);
+  EXPECT_TRUE(fx.scheme->Write(2, ok_size).status().IsInvalidArgument());
+}
+
+// -------------------------------------------------------------- MinShift
+
+TEST(MinShiftSchemeTest, RotateBitsRoundTrip) {
+  Rng rng(49);
+  std::vector<uint8_t> data(16);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  const size_t bits = data.size() * 8;
+  for (size_t shift : {0ul, 1ul, 7ul, 8ul, 13ul, 64ul, 127ul}) {
+    std::vector<uint8_t> rotated(16);
+    std::vector<uint8_t> back(16);
+    RotateBitsLeft(data, shift, rotated);
+    RotateBitsLeft(rotated, (bits - shift % bits) % bits, back);
+    EXPECT_EQ(back, data) << "shift=" << shift;
+  }
+}
+
+TEST(MinShiftSchemeTest, FindsPerfectRotation) {
+  SchemeFixture fx(SchemeKind::kMinShift);
+  Rng rng(50);
+  const auto base = RandomBlock(rng);
+  ASSERT_TRUE(fx.scheme->Write(0, base).ok());
+  const uint64_t baseline =
+      fx.device->counters().total_bits_written;
+  // Write the same logical data rotated: MinShift should find the rotation
+  // that re-aligns it with the stored image, costing ~only the shift field.
+  std::vector<uint8_t> rotated(kBlock);
+  RotateBitsLeft(base, 24, rotated);  // rotated by 3 bytes
+  auto result = fx.scheme->Write(0, rotated);
+  ASSERT_TRUE(result.ok());
+  (void)baseline;
+  EXPECT_LE(result.value().bits_written, 16u);  // shift field update only
+  EXPECT_EQ(fx.scheme->ReadDecoded(0, kBlock).value(), rotated);
+}
+
+TEST(MinShiftSchemeTest, RejectsPartialBlocks) {
+  SchemeFixture fx(SchemeKind::kMinShift);
+  std::vector<uint8_t> small(kBlock / 2);
+  EXPECT_TRUE(fx.scheme->Write(0, small).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------- Captopril
+
+TEST(CaptoprilSchemeTest, ProfilesThenFreezesMask) {
+  nvm::NvmConfig config;
+  config.size_bytes = kDataRegion + CaptoprilScheme::MetadataBytes(
+                                        kDataRegion, kBlock);
+  nvm::NvmDevice device(config);
+  CaptoprilScheme scheme(&device, kDataRegion, kBlock,
+                         /*profile_writes=*/8);
+  Rng rng(51);
+  EXPECT_FALSE(scheme.profiling_done());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(scheme.Write(0, RandomBlock(rng)).ok());
+  }
+  EXPECT_TRUE(scheme.profiling_done());
+  EXPECT_EQ(scheme.mask().size(), kBlock);
+}
+
+TEST(CaptoprilSchemeTest, MaskTargetsHotBits) {
+  nvm::NvmConfig config;
+  config.size_bytes = kDataRegion + CaptoprilScheme::MetadataBytes(
+                                        kDataRegion, kBlock);
+  nvm::NvmDevice device(config);
+  CaptoprilScheme scheme(&device, kDataRegion, kBlock,
+                         /*profile_writes=*/16);
+  // During profiling, toggle only byte 0 every write: bit positions 0..7
+  // become hot, everything else stays cold.
+  std::vector<uint8_t> block(kBlock, 0);
+  for (int i = 0; i < 16; ++i) {
+    block[0] = (i % 2 == 0) ? 0xff : 0x00;
+    ASSERT_TRUE(scheme.Write(0, block).ok());
+  }
+  ASSERT_TRUE(scheme.profiling_done());
+  EXPECT_NE(scheme.mask()[0], 0);  // hot byte masked
+  for (size_t i = 1; i < kBlock; ++i) {
+    EXPECT_EQ(scheme.mask()[i], 0) << "cold byte " << i;
+  }
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(SchemeRegistryTest, NamesAndMetadataSizes) {
+  EXPECT_EQ(SchemeName(SchemeKind::kConventional), "Conventional");
+  EXPECT_EQ(SchemeName(SchemeKind::kCaptopril), "CAP16");
+  EXPECT_EQ(AllSchemeKinds().size(), 5u);
+  EXPECT_EQ(SchemeMetadataBytes(SchemeKind::kDcw, 1024, 64), 0u);
+  // FNW: 1 flag bit per 32-bit chunk.
+  EXPECT_EQ(SchemeMetadataBytes(SchemeKind::kFnw, 1024, 64), 1024u / 4 / 8);
+  // MinShift: 2 bytes per block.
+  EXPECT_EQ(SchemeMetadataBytes(SchemeKind::kMinShift, 1024, 64),
+            (1024u / 64) * 2);
+}
+
+}  // namespace
+}  // namespace pnw::schemes

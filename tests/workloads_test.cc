@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/hamming.h"
+#include "workloads/bag_of_words.h"
+#include "workloads/image_dataset.h"
+#include "workloads/integer_generator.h"
+#include "workloads/road_network.h"
+#include "workloads/sparse_access_log.h"
+#include "workloads/video_frames.h"
+
+namespace pnw::workloads {
+namespace {
+
+double AvgPairwiseHamming(const std::vector<std::vector<uint8_t>>& items,
+                          size_t pairs) {
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i + 1 < items.size() && counted < pairs; i += 2) {
+    total += static_cast<double>(HammingDistance(items[i], items[i + 1]));
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+TEST(IntegerGeneratorTest, ShapesAndDeterminism) {
+  IntegerGeneratorOptions options;
+  options.num_old = 100;
+  options.num_new = 200;
+  auto a = GenerateIntegers(options);
+  auto b = GenerateIntegers(options);
+  EXPECT_EQ(a.value_bytes, 4u);
+  EXPECT_EQ(a.old_data.size(), 100u);
+  EXPECT_EQ(a.new_data.size(), 200u);
+  EXPECT_EQ(a.old_data, b.old_data);
+  EXPECT_EQ(a.new_data, b.new_data);
+}
+
+TEST(IntegerGeneratorTest, NormalValuesConcentrateNearMean) {
+  IntegerGeneratorOptions options;
+  options.num_old = 0;
+  options.num_new = 5000;
+  auto ds = GenerateIntegers(options);
+  size_t within_2_sigma = 0;
+  for (const auto& item : ds.new_data) {
+    uint32_t v;
+    std::memcpy(&v, item.data(), 4);
+    const double d = std::abs(static_cast<double>(v) - options.mean);
+    if (d < 2.0 * options.stddev) {
+      ++within_2_sigma;
+    }
+  }
+  EXPECT_GT(within_2_sigma, ds.new_data.size() * 90 / 100);
+}
+
+TEST(IntegerGeneratorTest, NormalDataIsClusterableUniformIsNot) {
+  // Raw adjacent-pair Hamming distance does NOT separate the two
+  // distributions (values straddling 2^31 flip every bit under two's
+  // complement). What PNW exploits is that normal data becomes bit-similar
+  // *once grouped* -- here by the top nibble, a crude stand-in for a
+  // cluster -- while uniform data stays ~16 bits apart in any group.
+  IntegerGeneratorOptions normal;
+  normal.num_old = 0;
+  normal.num_new = 4000;
+  IntegerGeneratorOptions uniform = normal;
+  uniform.distribution = IntegerDistribution::kUniform;
+  auto within_group_hamming = [](const Dataset& ds) {
+    std::vector<std::vector<std::vector<uint8_t>>> groups(16);
+    for (const auto& item : ds.new_data) {
+      groups[item[3] >> 4].push_back(item);
+    }
+    double total = 0.0;
+    size_t pairs = 0;
+    for (const auto& g : groups) {
+      for (size_t i = 0; i + 1 < g.size() && pairs < 1000; i += 2) {
+        total += static_cast<double>(HammingDistance(g[i], g[i + 1]));
+        ++pairs;
+      }
+    }
+    return pairs ? total / static_cast<double>(pairs) : 1e9;
+  };
+  EXPECT_LT(within_group_hamming(GenerateIntegers(normal)),
+            within_group_hamming(GenerateIntegers(uniform)));
+}
+
+TEST(SparseAccessLogTest, RowsAreSparse) {
+  SparseAccessLogOptions options;
+  options.num_old = 50;
+  options.num_new = 50;
+  auto ds = GenerateSparseAccessLog(options);
+  EXPECT_EQ(ds.value_bytes, options.attributes / 8);
+  for (const auto& row : ds.new_data) {
+    const double density = static_cast<double>(PopCount(row)) /
+                           static_cast<double>(options.attributes);
+    EXPECT_LT(density, 0.10) << "paper: <10% of attributes per sample";
+  }
+}
+
+TEST(SparseAccessLogTest, WithinGroupCloserThanAcross) {
+  // The generator draws rows from group profiles, so the *minimum* pairwise
+  // distance among a handful of rows (likely same group) must be far below
+  // the maximum (different groups).
+  SparseAccessLogOptions options;
+  options.num_old = 0;
+  options.num_new = 64;
+  auto ds = GenerateSparseAccessLog(options);
+  uint64_t min_h = UINT64_MAX;
+  uint64_t max_h = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t j = i + 1; j < 16; ++j) {
+      const uint64_t h = HammingDistance(ds.new_data[i], ds.new_data[j]);
+      min_h = std::min(min_h, h);
+      max_h = std::max(max_h, h);
+    }
+  }
+  EXPECT_LT(min_h * 3, max_h);
+}
+
+TEST(RoadNetworkTest, PointsStayInRegion) {
+  RoadNetworkOptions options;
+  options.num_old = 10;
+  options.num_new = 200;
+  auto ds = GenerateRoadNetwork(options);
+  EXPECT_EQ(ds.value_bytes, 24u);
+  for (const auto& item : ds.new_data) {
+    int64_t lat_fp = 0;
+    int64_t lon_fp = 0;
+    std::memcpy(&lat_fp, item.data(), 8);
+    std::memcpy(&lon_fp, item.data() + 8, 8);
+    const double lat = static_cast<double>(lat_fp) / 1e6;
+    const double lon = static_cast<double>(lon_fp) / 1e6;
+    EXPECT_GE(lat, options.lat_min - 1e-6);
+    EXPECT_LE(lat, options.lat_max + 1e-6);
+    EXPECT_GE(lon, options.lon_min - 1e-6);
+    EXPECT_LE(lon, options.lon_max + 1e-6);
+  }
+}
+
+TEST(ImageDatasetTest, ProfilesHaveExpectedSizes) {
+  ImageDatasetOptions options;
+  options.num_old = 4;
+  options.num_new = 4;
+  auto mnist = GenerateImages(options);
+  EXPECT_EQ(mnist.value_bytes, 784u);
+  options.profile = ImageProfile::kCifar;
+  auto cifar = GenerateImages(options);
+  EXPECT_EQ(cifar.value_bytes, 3072u);
+}
+
+TEST(ImageDatasetTest, MnistLikeIsMostlyBackground) {
+  ImageDatasetOptions options;
+  options.num_old = 0;
+  options.num_new = 20;
+  options.noise = 0.0;
+  auto ds = GenerateImages(options);
+  for (const auto& img : ds.new_data) {
+    size_t zeros = 0;
+    for (uint8_t px : img) {
+      zeros += px == 0;
+    }
+    EXPECT_GT(zeros, img.size() / 2) << "digit images are mostly background";
+  }
+}
+
+TEST(ImageDatasetTest, MnistAndFashionPrototypesDiffer) {
+  ImageDatasetOptions options;
+  options.num_old = 0;
+  options.num_new = 32;
+  options.noise = 0.0;
+  auto mnist = GenerateImages(options);
+  options.profile = ImageProfile::kFashionMnist;
+  auto fashion = GenerateImages(options);
+  // Cross-domain distance must dwarf within-domain distance (Fig. 10 hinges
+  // on this).
+  double within = AvgPairwiseHamming(mnist.new_data, 8);
+  double across = 0.0;
+  for (size_t i = 0; i < 8; ++i) {
+    across += static_cast<double>(
+        HammingDistance(mnist.new_data[i], fashion.new_data[i]));
+  }
+  across /= 8.0;
+  EXPECT_GT(across, within);
+}
+
+TEST(VideoFramesTest, ConsecutiveFramesAreNearIdentical) {
+  VideoFramesOptions options;
+  options.num_old = 0;
+  options.num_new = 50;
+  auto ds = GenerateVideoFrames(options);
+  const size_t frame_bits = ds.value_bytes * 8;
+  for (size_t i = 0; i + 1 < ds.new_data.size(); ++i) {
+    const uint64_t h =
+        HammingDistance(ds.new_data[i], ds.new_data[i + 1]);
+    // Under 15% of bits change frame-to-frame on the calm profile.
+    EXPECT_LT(h, frame_bits * 15 / 100) << "frame " << i;
+  }
+}
+
+TEST(VideoFramesTest, TrafficProfileChangesMoreThanSherbrooke) {
+  VideoFramesOptions calm;
+  calm.num_old = 0;
+  calm.num_new = 100;
+  VideoFramesOptions busy = calm;
+  busy.profile = VideoProfile::kTraffic;
+  auto calm_ds = GenerateVideoFrames(calm);
+  auto busy_ds = GenerateVideoFrames(busy);
+  uint64_t calm_h = 0;
+  uint64_t busy_h = 0;
+  for (size_t i = 0; i + 1 < 100; ++i) {
+    calm_h += HammingDistance(calm_ds.new_data[i], calm_ds.new_data[i + 1]);
+    busy_h += HammingDistance(busy_ds.new_data[i], busy_ds.new_data[i + 1]);
+  }
+  EXPECT_GT(busy_h, calm_h);
+}
+
+TEST(BagOfWordsTest, DocumentsAreSparseCounts) {
+  BagOfWordsOptions options;
+  options.num_old = 0;
+  options.num_new = 100;
+  auto ds = GenerateBagOfWords(options);
+  EXPECT_EQ(ds.value_bytes, options.vocabulary);
+  for (const auto& doc : ds.new_data) {
+    size_t total = 0;
+    size_t nonzero = 0;
+    for (uint8_t c : doc) {
+      total += c;
+      nonzero += c > 0;
+    }
+    EXPECT_EQ(total, options.doc_length);
+    EXPECT_LT(nonzero, options.vocabulary / 2) << "Zipf head concentration";
+  }
+}
+
+TEST(BagOfWordsTest, Deterministic) {
+  BagOfWordsOptions options;
+  options.num_old = 10;
+  options.num_new = 10;
+  EXPECT_EQ(GenerateBagOfWords(options).new_data,
+            GenerateBagOfWords(options).new_data);
+}
+
+}  // namespace
+}  // namespace pnw::workloads
