@@ -12,11 +12,11 @@
 #include <vector>
 
 #include "bench/harness.h"
-#include "core/pnw_store.h"
-#include "ml/kmeans.h"
-#include "schemes/captopril.h"
-#include "schemes/fnw.h"
-#include "util/stats.h"
+#include "src/core/pnw_store.h"
+#include "src/ml/kmeans.h"
+#include "src/schemes/captopril.h"
+#include "src/schemes/fnw.h"
+#include "src/util/stats.h"
 
 namespace {
 

@@ -6,9 +6,9 @@
 #include <vector>
 
 #include "bench/harness.h"
-#include "ml/feature_encoder.h"
-#include "ml/pca.h"
-#include "util/stats.h"
+#include "src/ml/feature_encoder.h"
+#include "src/ml/pca.h"
+#include "src/util/stats.h"
 
 int main() {
   std::printf("=== Fig. 3: PCA variance ratio vs principal components "

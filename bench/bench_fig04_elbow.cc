@@ -5,9 +5,9 @@
 #include <vector>
 
 #include "bench/harness.h"
-#include "ml/elbow.h"
-#include "ml/feature_encoder.h"
-#include "util/stats.h"
+#include "src/ml/elbow.h"
+#include "src/ml/feature_encoder.h"
+#include "src/util/stats.h"
 
 int main() {
   std::printf("=== Fig. 4: SSE elbow curve (MNIST-like) ===\n");

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench/harness.h"
-#include "util/stats.h"
+#include "src/util/stats.h"
 
 int main(int argc, char** argv) {
   using pnw::bench::RunStats;

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "bench/harness.h"
-#include "util/stats.h"
+#include "src/util/stats.h"
 
 int main() {
   const std::vector<std::string> names = {"normal", "uniform",    "amazon",

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "bench/harness.h"
-#include "util/stats.h"
+#include "src/util/stats.h"
 
 int main() {
   std::printf("=== Fig. 8: average write latency vs K (PubMed-like bag of "

@@ -9,11 +9,11 @@
 #include <vector>
 
 #include "bench/harness.h"
-#include "core/pnw_store.h"
-#include "kvstore/fptree.h"
-#include "kvstore/novelsm.h"
-#include "kvstore/path_kv.h"
-#include "util/stats.h"
+#include "src/core/pnw_store.h"
+#include "src/kvstore/fptree.h"
+#include "src/kvstore/novelsm.h"
+#include "src/kvstore/path_kv.h"
+#include "src/util/stats.h"
 
 namespace {
 

@@ -10,14 +10,17 @@
 #include <string>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "util/stats.h"
-#include "workloads/image_dataset.h"
+#include "bench/harness.h"
+#include "src/core/pnw_store.h"
+#include "src/util/stats.h"
+#include "src/workloads/image_dataset.h"
 
 namespace {
 
-constexpr size_t kZone = 1400;      // warm-up images (paper: 28K, scaled)
-constexpr size_t kWindow = 150;     // writes per reported point
+// Warm-up images and reporting window (paper: 28K zone, scaled); both
+// shrink further under the bench_smoke fixture.
+const size_t kZone = pnw::bench::SmokeScaled(1400);
+const size_t kWindow = pnw::bench::SmokeScaled(150, 16);
 
 struct Phase {
   const char* label;
@@ -43,10 +46,11 @@ int main() {
 
   // Phase traffic (paper: 27K / 45K mixed / 12K / 28K, scaled 1:20).
   std::vector<Phase> phases;
-  phases.push_back({"P1 mnist", TakeImages(ImageProfile::kMnist, 1350, 21)});
+  phases.push_back({"P1 mnist", TakeImages(ImageProfile::kMnist, pnw::bench::SmokeScaled(1350), 21)});
   {
-    auto fashion = TakeImages(ImageProfile::kFashionMnist, 1500, 22);
-    auto mnist = TakeImages(ImageProfile::kMnist, 750, 23);
+    auto fashion = TakeImages(ImageProfile::kFashionMnist,
+                            pnw::bench::SmokeScaled(1500), 22);
+    auto mnist = TakeImages(ImageProfile::kMnist, pnw::bench::SmokeScaled(750), 23);
     std::vector<std::vector<uint8_t>> mix;
     size_t f = 0;
     size_t m = 0;
@@ -58,10 +62,11 @@ int main() {
     phases.push_back({"P2 mix2:1", std::move(mix)});
   }
   phases.push_back(
-      {"P3 fashion", TakeImages(ImageProfile::kFashionMnist, 600, 24)});
+      {"P3 fashion", TakeImages(ImageProfile::kFashionMnist,
+                              pnw::bench::SmokeScaled(600), 24)});
   phases.push_back(
-      {"P4 fashion+retrain", TakeImages(ImageProfile::kFashionMnist, 1400,
-                                        25)});
+      {"P4 fashion+retrain", TakeImages(ImageProfile::kFashionMnist,
+                                        pnw::bench::SmokeScaled(1400), 25)});
 
   pnw::core::PnwOptions options;
   options.value_bytes = 784;

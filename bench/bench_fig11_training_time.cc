@@ -11,10 +11,10 @@
 #include <vector>
 
 #include "bench/harness.h"
-#include "ml/feature_encoder.h"
-#include "ml/kmeans.h"
-#include "util/stats.h"
-#include "workloads/video_frames.h"
+#include "src/ml/feature_encoder.h"
+#include "src/ml/kmeans.h"
+#include "src/util/stats.h"
+#include "src/workloads/video_frames.h"
 
 namespace {
 
@@ -37,7 +37,10 @@ double TrainSeconds(const pnw::ml::Matrix& data, size_t k, size_t threads) {
 
 int main() {
   std::printf("=== Fig. 11: K-means training time, 1 core vs 4 cores ===\n");
-  const std::vector<size_t> sample_sizes = {500, 1000, 2000, 4000};
+  std::vector<size_t> sample_sizes = {500, 1000, 2000, 4000};
+  for (size_t& n : sample_sizes) {
+    n = pnw::bench::SmokeScaled(n);
+  }
   const std::vector<size_t> ks = {2, 4, 8, 16};
 
   for (const char* name : {"traffic", "sherbrooke"}) {

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "bench/wear_common.h"
-#include "util/stats.h"
+#include "src/util/stats.h"
 
 int main() {
   std::printf("=== Fig. 13: per-bit write-count CDF (MNIST+Fashion mix, "

@@ -6,12 +6,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "ml/feature_encoder.h"
-#include "ml/kmeans.h"
-#include "util/hamming.h"
-#include "util/random.h"
-#include "workloads/integer_generator.h"
+#include "src/core/pnw_store.h"
+#include "src/ml/feature_encoder.h"
+#include "src/ml/kmeans.h"
+#include "src/util/hamming.h"
+#include "src/util/random.h"
+#include "src/workloads/integer_generator.h"
 
 namespace {
 

@@ -4,8 +4,8 @@
 
 #include <cstdio>
 
-#include "nvm/latency_model.h"
-#include "util/stats.h"
+#include "src/nvm/latency_model.h"
+#include "src/util/stats.h"
 
 int main() {
   std::printf("=== Table I: memory technology comparison (as cited by the "

@@ -1,17 +1,19 @@
 #include "bench/harness.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
 
-#include "core/pnw_store.h"
-#include "nvm/nvm_device.h"
-#include "workloads/bag_of_words.h"
-#include "workloads/image_dataset.h"
-#include "workloads/integer_generator.h"
-#include "workloads/road_network.h"
-#include "workloads/sparse_access_log.h"
-#include "workloads/video_frames.h"
+#include "src/core/pnw_store.h"
+#include "src/nvm/nvm_device.h"
+#include "src/workloads/bag_of_words.h"
+#include "src/workloads/image_dataset.h"
+#include "src/workloads/integer_generator.h"
+#include "src/workloads/road_network.h"
+#include "src/workloads/sparse_access_log.h"
+#include "src/workloads/video_frames.h"
 
 namespace pnw::bench {
 
@@ -104,19 +106,28 @@ RunStats RunPnw(const workloads::Dataset& dataset,
   return stats;
 }
 
+bool SmokeMode() { return std::getenv("PNW_BENCH_SMOKE") != nullptr; }
+
+size_t SmokeScaled(size_t n, size_t floor) {
+  if (!SmokeMode()) {
+    return n;
+  }
+  return std::min(n, std::max(floor, n / 8));
+}
+
 workloads::Dataset GetDataset(const std::string& name) {
   if (name == "amazon") {
     workloads::SparseAccessLogOptions options;
-    options.num_old = 1024;
-    options.num_new = 2048;
+    options.num_old = SmokeScaled(1024);
+    options.num_new = SmokeScaled(2048);
     auto ds = GenerateSparseAccessLog(options);
     ds.name = "amazon-like";
     return ds;
   }
   if (name == "road") {
     workloads::RoadNetworkOptions options;
-    options.num_old = 2048;
-    options.num_new = 4096;
+    options.num_old = SmokeScaled(2048);
+    options.num_new = SmokeScaled(4096);
     return GenerateRoadNetwork(options);
   }
   if (name == "pubmed") {
@@ -130,16 +141,16 @@ workloads::Dataset GetDataset(const std::string& name) {
     // exponent concentrates each topic's mass so same-topic documents are
     // line-level similar.
     options.zipf_theta = 1.25;
-    options.num_old = 1024;
-    options.num_new = 2048;
+    options.num_old = SmokeScaled(1024);
+    options.num_new = SmokeScaled(2048);
     return GenerateBagOfWords(options);
   }
   if (name == "sherbrooke" || name == "traffic") {
     workloads::VideoFramesOptions options;
     options.profile = name == "traffic" ? workloads::VideoProfile::kTraffic
                                         : workloads::VideoProfile::kSherbrooke;
-    options.num_old = 400;
-    options.num_new = 800;
+    options.num_old = SmokeScaled(400);
+    options.num_new = SmokeScaled(800);
     options.noise = 0.005;  // sensor noise; 1% would dirty nearly every line
     return GenerateVideoFrames(options);
   }
@@ -149,8 +160,8 @@ workloads::Dataset GetDataset(const std::string& name) {
                       : name == "fashion"
                           ? workloads::ImageProfile::kFashionMnist
                           : workloads::ImageProfile::kCifar;
-    options.num_old = name == "cifar" ? 512 : 1024;
-    options.num_new = name == "cifar" ? 1024 : 2048;
+    options.num_old = SmokeScaled(name == "cifar" ? 512 : 1024);
+    options.num_new = SmokeScaled(name == "cifar" ? 1024 : 2048);
     return GenerateImages(options);
   }
   if (name == "normal" || name == "uniform") {
@@ -158,8 +169,8 @@ workloads::Dataset GetDataset(const std::string& name) {
     options.distribution = name == "uniform"
                                ? workloads::IntegerDistribution::kUniform
                                : workloads::IntegerDistribution::kNormal;
-    options.num_old = 4096;
-    options.num_new = 8192;
+    options.num_old = SmokeScaled(4096);
+    options.num_new = SmokeScaled(8192);
     return GenerateIntegers(options);
   }
   throw std::runtime_error("unknown dataset: " + name);

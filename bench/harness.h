@@ -5,9 +5,9 @@
 #include <string>
 #include <vector>
 
-#include "core/pnw_options.h"
-#include "schemes/write_scheme.h"
-#include "workloads/dataset.h"
+#include "src/core/pnw_options.h"
+#include "src/schemes/write_scheme.h"
+#include "src/workloads/dataset.h"
 
 namespace pnw::bench {
 
@@ -57,6 +57,15 @@ std::vector<std::string> Fig6DatasetNames();
 /// True if `--dataset=<name>` appears in argv and does not match `name`
 /// (harnesses use this to let CI filter one sub-plot).
 bool DatasetFilteredOut(int argc, char** argv, const std::string& name);
+
+/// True when the PNW_BENCH_SMOKE environment variable is set -- the CTest
+/// `bench_smoke` fixture runs every bench this way so the binaries are
+/// exercised on every verify without paying full figure-quality sizes.
+bool SmokeMode();
+
+/// `n` in full runs; roughly n/8 (never below `floor`, never above n) under
+/// smoke mode. Benches route every workload size through this.
+size_t SmokeScaled(size_t n, size_t floor = 64);
 
 }  // namespace pnw::bench
 

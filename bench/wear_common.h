@@ -9,8 +9,9 @@
 #include <memory>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "workloads/image_dataset.h"
+#include "bench/harness.h"
+#include "src/core/pnw_store.h"
+#include "src/workloads/image_dataset.h"
 
 namespace pnw::bench {
 
@@ -21,7 +22,7 @@ struct WearExperiment {
 };
 
 inline WearExperiment RunWearExperiment(size_t k, bool track_bit_wear) {
-  const size_t zone = 1024;        // paper: 28K items, scaled
+  const size_t zone = SmokeScaled(1024);  // paper: 28K items, scaled
   const size_t stream = zone * 4;  // each address rewritten 4x on average
 
   auto take = [](workloads::ImageProfile profile, size_t count,

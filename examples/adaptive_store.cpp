@@ -10,8 +10,8 @@
 #include <thread>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "workloads/image_dataset.h"
+#include "src/core/pnw_store.h"
+#include "src/workloads/image_dataset.h"
 
 namespace {
 

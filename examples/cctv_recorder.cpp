@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "schemes/write_scheme.h"
-#include "workloads/video_frames.h"
+#include "src/core/pnw_store.h"
+#include "src/schemes/write_scheme.h"
+#include "src/workloads/video_frames.h"
 
 namespace {
 

@@ -19,7 +19,7 @@
 #include <string>
 
 #include "bench/harness.h"
-#include "util/stats.h"
+#include "src/util/stats.h"
 
 namespace {
 

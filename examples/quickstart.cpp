@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "util/bitvec.h"
-#include "workloads/sparse_access_log.h"
+#include "src/core/pnw_store.h"
+#include "src/util/bitvec.h"
+#include "src/workloads/sparse_access_log.h"
 
 int main() {
   using pnw::core::PnwOptions;
@@ -71,6 +71,12 @@ int main() {
   std::printf("  avg lines per PUT     : %.2f\n", m.AvgLinesPerPut());
   std::printf("  avg PUT latency       : %.0f ns (model predict: %.0f ns)\n",
               m.AvgPutLatencyNs(), m.AvgPredictNs());
+  // Placement attribution: with prediction ~2/3 of PUT latency, make sure
+  // the numbers above actually came from the model and not from the
+  // silent model-less DCW fallback.
+  std::printf("  placements            : %llu predicted, %llu model-less\n",
+              static_cast<unsigned long long>(m.predicted_placements),
+              static_cast<unsigned long long>(m.fallback_placements));
 
   // ----------------------------------------------------------------------
   // 2. GET round-trip sanity.

@@ -8,8 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "workloads/image_dataset.h"
+#include "src/core/pnw_store.h"
+#include "src/workloads/image_dataset.h"
 
 int main() {
   constexpr size_t kZone = 512;

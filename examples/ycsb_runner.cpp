@@ -2,21 +2,45 @@
 // core mixes (A, B, C, D, F) over a Zipf-skewed key space and reports
 // throughput-relevant store metrics per mix.
 //
-//   ./build/examples/ycsb_runner
+//   ./build/examples/ycsb_runner [--records=N] [--ops=N]
+//
+// The flags exist so CTest can smoke-run the binary with tiny parameters.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "util/random.h"
-#include "workloads/ycsb.h"
+#include "src/core/pnw_store.h"
+#include "src/util/random.h"
+#include "src/workloads/ycsb.h"
 
 namespace {
 
-constexpr size_t kRecords = 2048;
-constexpr size_t kOps = 8192;
+size_t kRecords = 2048;
+size_t kOps = 8192;
 constexpr size_t kValueBytes = 128;
+
+size_t FlagOr(int argc, char** argv, const std::string& name,
+              size_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      const std::string digits = arg.substr(prefix.size());
+      char* end = nullptr;
+      const long parsed = std::strtol(digits.c_str(), &end, 10);
+      if (digits.empty() || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr, "invalid --%s value '%s' (want a positive "
+                             "integer)\n", name.c_str(), digits.c_str());
+        std::exit(2);
+      }
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
+}
 
 /// Structured values: a handful of latent "record templates" so the
 /// clustering has something to learn (uniform random values would be the
@@ -39,9 +63,12 @@ std::vector<uint8_t> MakeValue(uint64_t key, uint64_t version,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using pnw::workloads::YcsbOp;
   using pnw::workloads::YcsbWorkload;
+
+  kRecords = FlagOr(argc, argv, "records", kRecords);
+  kOps = FlagOr(argc, argv, "ops", kOps);
 
   std::printf("YCSB core mixes on PNW (%zu records, %zu ops, %zuB values)\n",
               kRecords, kOps, kValueBytes);

@@ -1,4 +1,4 @@
-#include "core/dynamic_address_pool.h"
+#include "src/core/dynamic_address_pool.h"
 
 namespace pnw::core {
 

@@ -1,4 +1,4 @@
-#include "core/metrics.h"
+#include "src/core/metrics.h"
 
 #include <sstream>
 
@@ -40,7 +40,10 @@ std::string StoreMetrics::ToString() const {
      << " bit_updates/512b=" << BitUpdatesPer512()
      << " avg_put_ns=" << AvgPutLatencyNs()
      << " lines/put=" << AvgLinesPerPut()
+     << " predicted_placements=" << predicted_placements
+     << " fallback_placements=" << fallback_placements
      << " fallbacks=" << pool_fallbacks << " retrains=" << retrains
+     << " failed_retrains=" << failed_retrains
      << " extensions=" << extensions;
   return os.str();
 }

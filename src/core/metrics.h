@@ -32,9 +32,19 @@ struct StoreMetrics {
   /// reports "the latency of prediction per item").
   double predict_wall_ns = 0.0;
 
+  /// Placement attribution: PUTs placed by a trained model's prediction vs
+  /// PUTs placed model-less (cluster 0, i.e. DCW behaviour). A store whose
+  /// bootstrap model never trained shows up here instead of silently
+  /// serving DCW while the operator reads PNW numbers.
+  uint64_t predicted_placements = 0;
+  uint64_t fallback_placements = 0;
+
   /// Pool behaviour.
   uint64_t pool_fallbacks = 0;   // predicted cluster empty, used next-nearest
   uint64_t retrains = 0;
+  /// Background retraining runs that completed with an error (the stale
+  /// model stays in service; see ModelManager::last_background_status()).
+  uint64_t failed_retrains = 0;
   uint64_t extensions = 0;
 
   /// Average bit updates per 512 payload bits written (paper Fig. 6 y-axis).

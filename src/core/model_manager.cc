@@ -1,4 +1,4 @@
-#include "core/model_manager.h"
+#include "src/core/model_manager.h"
 
 #include <algorithm>
 #include <chrono>
@@ -44,6 +44,17 @@ void ModelManager::JoinWorker() {
 
 std::shared_ptr<const ValueModel> ModelManager::TrainInternal(
     const std::vector<std::vector<uint8_t>>& samples, Status* status) {
+  // The encoder zero-pads short samples and truncates long ones, so a size
+  // mismatch would not crash -- it would silently train the model on data
+  // that looks nothing like what the store serves. Treat it as a caller
+  // bug instead.
+  for (const auto& sample : samples) {
+    if (sample.size() != config_.value_bytes) {
+      *status = Status::InvalidArgument(
+          "training sample size does not match value_bytes");
+      return nullptr;
+    }
+  }
   const auto start = std::chrono::steady_clock::now();
 
   const size_t stride =
@@ -122,13 +133,22 @@ bool ModelManager::StartBackgroundTrain(
     auto model = TrainInternal(samples, &status);
     {
       std::lock_guard<std::mutex> lock(mu_);
+      last_background_status_ = status;
       if (status.ok()) {
         ready_model_ = std::move(model);
       }
     }
+    if (!status.ok()) {
+      background_failures_.fetch_add(1, std::memory_order_acq_rel);
+    }
     training_in_flight_.store(false, std::memory_order_release);
   });
   return true;
+}
+
+Status ModelManager::last_background_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_background_status_;
 }
 
 std::shared_ptr<const ValueModel> ModelManager::TakeTrainedModel() {

@@ -10,10 +10,10 @@
 #include <thread>
 #include <vector>
 
-#include "ml/feature_encoder.h"
-#include "ml/kmeans.h"
-#include "ml/pca.h"
-#include "util/status.h"
+#include "src/ml/feature_encoder.h"
+#include "src/ml/kmeans.h"
+#include "src/ml/pca.h"
+#include "src/util/status.h"
 
 namespace pnw::core {
 
@@ -94,6 +94,17 @@ class ModelManager {
   /// Collect the finished background model, if any (nullptr otherwise).
   std::shared_ptr<const ValueModel> TakeTrainedModel();
 
+  /// Status of the most recently *completed* background run. OK until the
+  /// first background run finishes; a failed run leaves its error here (and
+  /// bumps background_failures()) instead of vanishing inside the worker --
+  /// the store would otherwise keep serving a stale model with no signal.
+  Status last_background_status() const;
+
+  /// Background runs that completed with a non-OK status.
+  uint64_t background_failures() const {
+    return background_failures_.load(std::memory_order_acquire);
+  }
+
   /// Wall-clock seconds of the most recent completed training run
   /// (Fig. 11's y-axis).
   double last_training_seconds() const { return last_training_seconds_; }
@@ -108,8 +119,10 @@ class ModelManager {
   ModelTrainingConfig config_;
   std::thread worker_;
   std::atomic<bool> training_in_flight_{false};
-  std::mutex mu_;
-  std::shared_ptr<const ValueModel> ready_model_;  // guarded by mu_
+  mutable std::mutex mu_;
+  std::shared_ptr<const ValueModel> ready_model_;   // guarded by mu_
+  Status last_background_status_;                   // guarded by mu_
+  std::atomic<uint64_t> background_failures_{0};
   std::atomic<double> last_training_seconds_{0.0};
 };
 

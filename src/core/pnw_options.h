@@ -4,7 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "nvm/latency_model.h"
+#include "src/nvm/latency_model.h"
 
 namespace pnw::core {
 
@@ -75,6 +75,12 @@ struct PnwOptions {
   /// Retrain on a background thread and hot-swap the model (paper
   /// Section VI-F); if false, retraining blocks the triggering operation.
   bool background_retrain = false;
+  /// Train the bootstrap model (Algorithm 1) at the end of Bootstrap().
+  /// With false the store starts model-less and every PUT places like DCW
+  /// (counted in StoreMetrics::fallback_placements) until TrainModel() or a
+  /// background run succeeds -- also the state a store is left in when
+  /// bootstrap training fails.
+  bool train_on_bootstrap = true;
 
   IndexPlacement index_placement = IndexPlacement::kDram;
   UpdateMode update_mode = UpdateMode::kEnduranceFirst;

@@ -1,11 +1,11 @@
-#include "core/pnw_store.h"
+#include "src/core/pnw_store.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstring>
 
-#include "index/dram_hash_index.h"
-#include "index/path_hash_index.h"
+#include "src/index/dram_hash_index.h"
+#include "src/index/path_hash_index.h"
 
 namespace pnw::core {
 
@@ -221,6 +221,13 @@ Status PnwStore::Bootstrap(std::span<const uint64_t> keys,
   }
   used_buckets_ = values.size();
   bootstrapped_ = true;
+  if (!options_.train_on_bootstrap) {
+    // Model-less operation: rebuild the pool from the occupancy bitmap with
+    // every free address in cluster 0 (pure DCW placement) until
+    // TrainModel() or a background run installs a model.
+    AdoptModel(nullptr);
+    return Status::OK();
+  }
   // Algorithm 1: train on the data zone and build the dynamic address pool.
   return TrainModel();
 }
@@ -244,13 +251,15 @@ void PnwStore::AdoptModel(std::shared_ptr<const ValueModel> model) {
   model_ = std::move(model);
   // Algorithm 1 lines 4-5: rebuild the pool from the *available* addresses
   // (the occupancy bitmap is authoritative), labeling each by the stale
-  // content resident at it.
+  // content resident at it. With no model every free address lands in
+  // cluster 0 (DCW placement, the paper's k=1 behaviour).
   pool_.Clear();
   for (size_t b = 0; b < active_buckets_; ++b) {
     if (GetBucketFlag(b)) {
       continue;
     }
-    const size_t label = model_->Predict(PeekBucketValue(b));
+    const size_t label =
+        model_ != nullptr ? model_->Predict(PeekBucketValue(b)) : 0;
     pool_.Insert(label, BucketAddr(b));
   }
 }
@@ -268,6 +277,14 @@ Status PnwStore::TrainModel() {
 }
 
 void PnwStore::PollBackgroundModel() {
+  // Surface background-training failures: the worker records its status in
+  // the manager; fold any new failures into the store's metrics so a stale
+  // model in service is visible to operators.
+  const uint64_t failures = manager_->background_failures();
+  if (failures > background_failures_seen_) {
+    metrics_.failed_retrains += failures - background_failures_seen_;
+    background_failures_seen_ = failures;
+  }
   if (auto model = manager_->TakeTrainedModel(); model != nullptr) {
     AdoptModel(std::move(model));
     ++metrics_.retrains;
@@ -312,6 +329,10 @@ Status PnwStore::MaybeExtendAndRetrain() {
 }
 
 Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
+  // Attribution is decided here -- the retry path below may install a model
+  // mid-operation, but this placement was steered by the model (or lack of
+  // one) present at prediction time.
+  const bool placed_by_model = model_ != nullptr;
   // Fast path: one Predict (Algorithm 2 line 1) and a pop from that
   // cluster's free-list. Only when the predicted cluster is empty do we pay
   // for the full nearest-centroid ranking.
@@ -354,6 +375,15 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
     const size_t bucket_index = *addr / bucket_bytes_;
     PNW_RETURN_IF_ERROR(SetBucketFlag(bucket_index, true));
     PNW_RETURN_IF_ERROR(index_->Put(key, *addr));
+  }
+  // Attribute only successful placements (counted alongside `puts` so the
+  // predicted/fallback split always sums to the placed PUTs): a trained
+  // model steered this PUT, or the store was serving model-less and the
+  // address came from the DCW-style cluster 0.
+  if (placed_by_model) {
+    ++metrics_.predicted_placements;
+  } else {
+    ++metrics_.fallback_placements;
   }
   metrics_.put_payload_bits += value.size() * 8;
   wear_->RecordBucketWrite(*addr);

@@ -6,14 +6,14 @@
 #include <span>
 #include <vector>
 
-#include "core/dynamic_address_pool.h"
-#include "core/metrics.h"
-#include "core/model_manager.h"
-#include "core/pnw_options.h"
-#include "index/key_index.h"
-#include "nvm/nvm_device.h"
-#include "nvm/wear_tracker.h"
-#include "util/status.h"
+#include "src/core/dynamic_address_pool.h"
+#include "src/core/metrics.h"
+#include "src/core/model_manager.h"
+#include "src/core/pnw_options.h"
+#include "src/index/key_index.h"
+#include "src/nvm/nvm_device.h"
+#include "src/nvm/wear_tracker.h"
+#include "src/util/status.h"
 
 namespace pnw::core {
 
@@ -147,6 +147,9 @@ class PnwStore {
   size_t active_buckets_ = 0;
   size_t used_buckets_ = 0;
   size_t puts_since_retrain_ = 0;
+  /// ModelManager::background_failures() already folded into
+  /// metrics_.failed_retrains (see PollBackgroundModel).
+  uint64_t background_failures_seen_ = 0;
   /// DRAM-side occupancy bitmap, used when !options_.occupancy_flags_on_nvm.
   std::vector<uint8_t> dram_flags_;
   bool bootstrapped_ = false;

@@ -1,4 +1,4 @@
-#include "index/dram_hash_index.h"
+#include "src/index/dram_hash_index.h"
 
 namespace pnw::index {
 

@@ -3,7 +3,7 @@
 
 #include <unordered_map>
 
-#include "index/key_index.h"
+#include "src/index/key_index.h"
 
 namespace pnw::index {
 

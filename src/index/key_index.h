@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "util/status.h"
+#include "src/util/status.h"
 
 namespace pnw::index {
 

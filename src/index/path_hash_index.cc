@@ -1,4 +1,4 @@
-#include "index/path_hash_index.h"
+#include "src/index/path_hash_index.h"
 
 #include <bit>
 #include <cstring>

@@ -5,8 +5,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "index/key_index.h"
-#include "nvm/nvm_device.h"
+#include "src/index/key_index.h"
+#include "src/nvm/nvm_device.h"
 
 namespace pnw::index {
 

@@ -1,4 +1,4 @@
-#include "kvstore/fptree.h"
+#include "src/kvstore/fptree.h"
 
 #include <algorithm>
 #include <cstring>

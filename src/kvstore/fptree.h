@@ -6,7 +6,7 @@
 #include <memory>
 #include <vector>
 
-#include "kvstore/kv_interface.h"
+#include "src/kvstore/kv_interface.h"
 
 namespace pnw::kvstore {
 

@@ -6,8 +6,8 @@
 #include <string_view>
 #include <vector>
 
-#include "nvm/nvm_device.h"
-#include "util/status.h"
+#include "src/nvm/nvm_device.h"
+#include "src/util/status.h"
 
 namespace pnw::kvstore {
 

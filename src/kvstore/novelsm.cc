@@ -1,4 +1,4 @@
-#include "kvstore/novelsm.h"
+#include "src/kvstore/novelsm.h"
 
 #include <algorithm>
 #include <cstring>

@@ -1,4 +1,4 @@
-#include "kvstore/path_kv.h"
+#include "src/kvstore/path_kv.h"
 
 #include <bit>
 #include <cstring>

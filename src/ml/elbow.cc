@@ -1,4 +1,4 @@
-#include "ml/elbow.h"
+#include "src/ml/elbow.h"
 
 #include <cmath>
 

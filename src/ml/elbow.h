@@ -4,8 +4,8 @@
 #include <cstddef>
 #include <vector>
 
-#include "ml/kmeans.h"
-#include "ml/matrix.h"
+#include "src/ml/kmeans.h"
+#include "src/ml/matrix.h"
 
 namespace pnw::ml {
 

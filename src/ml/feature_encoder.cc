@@ -1,4 +1,4 @@
-#include "ml/feature_encoder.h"
+#include "src/ml/feature_encoder.h"
 
 #include <algorithm>
 #include <array>

@@ -5,7 +5,7 @@
 #include <span>
 #include <vector>
 
-#include "ml/matrix.h"
+#include "src/ml/matrix.h"
 
 namespace pnw::ml {
 

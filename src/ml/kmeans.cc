@@ -1,4 +1,4 @@
-#include "ml/kmeans.h"
+#include "src/ml/kmeans.h"
 
 #include <algorithm>
 #include <atomic>
@@ -6,8 +6,8 @@
 #include <limits>
 #include <numeric>
 
-#include "util/random.h"
-#include "util/thread_pool.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
 
 namespace pnw::ml {
 

@@ -6,8 +6,8 @@
 #include <span>
 #include <vector>
 
-#include "ml/matrix.h"
-#include "util/status.h"
+#include "src/ml/matrix.h"
+#include "src/util/status.h"
 
 namespace pnw::ml {
 

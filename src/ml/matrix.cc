@@ -1,4 +1,4 @@
-#include "ml/matrix.h"
+#include "src/ml/matrix.h"
 
 namespace pnw::ml {
 

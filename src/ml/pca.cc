@@ -1,9 +1,9 @@
-#include "ml/pca.h"
+#include "src/ml/pca.h"
 
 #include <algorithm>
 #include <cmath>
 
-#include "util/random.h"
+#include "src/util/random.h"
 
 namespace pnw::ml {
 

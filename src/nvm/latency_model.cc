@@ -1,4 +1,4 @@
-#include "nvm/latency_model.h"
+#include "src/nvm/latency_model.h"
 
 // LatencyModel is header-only today; this TU anchors the library target and
 // reserves a home for future trace-driven latency models.

@@ -1,9 +1,9 @@
-#include "nvm/nvm_device.h"
+#include "src/nvm/nvm_device.h"
 
 #include <bit>
 #include <cstring>
 
-#include "util/hamming.h"
+#include "src/util/hamming.h"
 
 namespace pnw::nvm {
 

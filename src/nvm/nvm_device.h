@@ -6,8 +6,8 @@
 #include <span>
 #include <vector>
 
-#include "nvm/latency_model.h"
-#include "util/status.h"
+#include "src/nvm/latency_model.h"
+#include "src/util/status.h"
 
 namespace pnw::nvm {
 

@@ -1,4 +1,4 @@
-#include "nvm/start_gap.h"
+#include "src/nvm/start_gap.h"
 
 #include <vector>
 

@@ -4,8 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "nvm/nvm_device.h"
-#include "util/status.h"
+#include "src/nvm/nvm_device.h"
+#include "src/util/status.h"
 
 namespace pnw::nvm {
 

@@ -1,4 +1,4 @@
-#include "nvm/wear_tracker.h"
+#include "src/nvm/wear_tracker.h"
 
 #include <algorithm>
 

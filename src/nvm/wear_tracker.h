@@ -5,8 +5,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "nvm/nvm_device.h"
-#include "util/stats.h"
+#include "src/nvm/nvm_device.h"
+#include "src/util/stats.h"
 
 namespace pnw::nvm {
 

@@ -1,4 +1,4 @@
-#include "schemes/captopril.h"
+#include "src/schemes/captopril.h"
 
 #include <algorithm>
 

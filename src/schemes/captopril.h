@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "schemes/write_scheme.h"
+#include "src/schemes/write_scheme.h"
 
 namespace pnw::schemes {
 

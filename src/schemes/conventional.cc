@@ -1,3 +1,3 @@
-#include "schemes/conventional.h"
+#include "src/schemes/conventional.h"
 
 // ConventionalScheme is fully defined inline; this TU anchors the target.

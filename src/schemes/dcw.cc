@@ -1,3 +1,3 @@
-#include "schemes/dcw.h"
+#include "src/schemes/dcw.h"
 
 // DcwScheme is fully defined inline; this TU anchors the target.

@@ -1,7 +1,7 @@
 #ifndef PNW_SCHEMES_DCW_H_
 #define PNW_SCHEMES_DCW_H_
 
-#include "schemes/write_scheme.h"
+#include "src/schemes/write_scheme.h"
 
 namespace pnw::schemes {
 

@@ -1,9 +1,9 @@
-#include "schemes/fnw.h"
+#include "src/schemes/fnw.h"
 
 #include <bit>
 #include <cstring>
 
-#include "util/hamming.h"
+#include "src/util/hamming.h"
 
 namespace pnw::schemes {
 

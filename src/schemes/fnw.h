@@ -3,7 +3,7 @@
 
 #include <cstddef>
 
-#include "schemes/write_scheme.h"
+#include "src/schemes/write_scheme.h"
 
 namespace pnw::schemes {
 

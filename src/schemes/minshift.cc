@@ -1,10 +1,10 @@
-#include "schemes/minshift.h"
+#include "src/schemes/minshift.h"
 
 #include <algorithm>
 #include <cstring>
 #include <vector>
 
-#include "util/hamming.h"
+#include "src/util/hamming.h"
 
 namespace pnw::schemes {
 

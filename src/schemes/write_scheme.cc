@@ -1,12 +1,12 @@
-#include "schemes/write_scheme.h"
+#include "src/schemes/write_scheme.h"
 
 #include <array>
 
-#include "schemes/captopril.h"
-#include "schemes/conventional.h"
-#include "schemes/dcw.h"
-#include "schemes/fnw.h"
-#include "schemes/minshift.h"
+#include "src/schemes/captopril.h"
+#include "src/schemes/conventional.h"
+#include "src/schemes/dcw.h"
+#include "src/schemes/fnw.h"
+#include "src/schemes/minshift.h"
 
 namespace pnw::schemes {
 

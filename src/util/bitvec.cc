@@ -1,6 +1,6 @@
-#include "util/bitvec.h"
+#include "src/util/bitvec.h"
 
-#include "util/hamming.h"
+#include "src/util/hamming.h"
 
 namespace pnw {
 

@@ -1,4 +1,4 @@
-#include "util/random.h"
+#include "src/util/random.h"
 
 #include <cmath>
 

@@ -1,4 +1,4 @@
-#include "util/stats.h"
+#include "src/util/stats.h"
 
 #include <algorithm>
 #include <cmath>

@@ -1,8 +1,8 @@
-#include "workloads/bag_of_words.h"
+#include "src/workloads/bag_of_words.h"
 
 #include <vector>
 
-#include "util/random.h"
+#include "src/util/random.h"
 
 namespace pnw::workloads {
 

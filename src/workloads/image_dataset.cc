@@ -1,9 +1,9 @@
-#include "workloads/image_dataset.h"
+#include "src/workloads/image_dataset.h"
 
 #include <algorithm>
 #include <vector>
 
-#include "util/random.h"
+#include "src/util/random.h"
 
 namespace pnw::workloads {
 

@@ -1,10 +1,10 @@
-#include "workloads/integer_generator.h"
+#include "src/workloads/integer_generator.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstring>
 
-#include "util/random.h"
+#include "src/util/random.h"
 
 namespace pnw::workloads {
 

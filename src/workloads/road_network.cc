@@ -1,9 +1,9 @@
-#include "workloads/road_network.h"
+#include "src/workloads/road_network.h"
 
 #include <algorithm>
 #include <cstring>
 
-#include "util/random.h"
+#include "src/util/random.h"
 
 namespace pnw::workloads {
 

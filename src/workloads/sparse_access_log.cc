@@ -1,8 +1,8 @@
-#include "workloads/sparse_access_log.h"
+#include "src/workloads/sparse_access_log.h"
 
 #include <vector>
 
-#include "util/random.h"
+#include "src/util/random.h"
 
 namespace pnw::workloads {
 

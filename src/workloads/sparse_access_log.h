@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "workloads/dataset.h"
+#include "src/workloads/dataset.h"
 
 namespace pnw::workloads {
 

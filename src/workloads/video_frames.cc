@@ -1,10 +1,10 @@
-#include "workloads/video_frames.h"
+#include "src/workloads/video_frames.h"
 
 #include <algorithm>
 #include <cmath>
 #include <vector>
 
-#include "util/random.h"
+#include "src/util/random.h"
 
 namespace pnw::workloads {
 

@@ -1,4 +1,4 @@
-#include "workloads/ycsb.h"
+#include "src/workloads/ycsb.h"
 
 namespace pnw::workloads {
 

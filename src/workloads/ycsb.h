@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <string_view>
 
-#include "util/random.h"
+#include "src/util/random.h"
 
 namespace pnw::workloads {
 

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "core/metrics.h"
+#include "src/core/metrics.h"
 
 namespace pnw::core {
 namespace {

@@ -5,8 +5,8 @@
 #include <thread>
 #include <vector>
 
-#include "core/model_manager.h"
-#include "util/random.h"
+#include "src/core/model_manager.h"
+#include "src/util/random.h"
 
 namespace pnw::core {
 namespace {
@@ -92,6 +92,45 @@ TEST(ModelManagerTest, BackgroundTrainingDeliversModel) {
   EXPECT_EQ(model->k(), 2u);
   // A taken model is not delivered twice.
   EXPECT_EQ(manager.TakeTrainedModel(), nullptr);
+}
+
+TEST(ModelManagerTest, TrainRejectsMismatchedSampleSizes) {
+  ModelManager manager(SmallConfig());
+  // Samples shorter than value_bytes would be zero-padded by the encoder
+  // and train on garbage; the manager must reject them instead.
+  std::vector<std::vector<uint8_t>> bad(8, std::vector<uint8_t>(4, 0xab));
+  EXPECT_TRUE(manager.Train(bad).status().IsInvalidArgument());
+}
+
+TEST(ModelManagerTest, BackgroundTrainingFailureIsRecorded) {
+  ModelManager manager(SmallConfig());
+  EXPECT_TRUE(manager.last_background_status().ok());
+  EXPECT_EQ(manager.background_failures(), 0u);
+
+  // Force a failing background run: mismatched sample sizes.
+  std::vector<std::vector<uint8_t>> bad(8, std::vector<uint8_t>(4, 0xab));
+  ASSERT_TRUE(manager.StartBackgroundTrain(bad));
+  for (int spin = 0; spin < 500 && manager.background_training_in_progress();
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_FALSE(manager.background_training_in_progress());
+
+  // The failed run delivered no model but left its status behind.
+  EXPECT_EQ(manager.TakeTrainedModel(), nullptr);
+  EXPECT_TRUE(manager.last_background_status().IsInvalidArgument());
+  EXPECT_EQ(manager.background_failures(), 1u);
+
+  // A later successful run clears the status but the counter sticks.
+  ASSERT_TRUE(manager.StartBackgroundTrain(TwoGroupSamples(16, 16)));
+  std::shared_ptr<const ValueModel> model;
+  for (int spin = 0; spin < 500 && model == nullptr; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    model = manager.TakeTrainedModel();
+  }
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(manager.last_background_status().ok());
+  EXPECT_EQ(manager.background_failures(), 1u);
 }
 
 TEST(ModelManagerTest, BackgroundTrainingRestartableAfterCompletion) {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/dynamic_address_pool.h"
+#include "src/core/dynamic_address_pool.h"
 
 namespace pnw::core {
 namespace {

@@ -6,9 +6,9 @@
 #include <thread>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "util/bitvec.h"
-#include "util/random.h"
+#include "src/core/pnw_store.h"
+#include "src/util/bitvec.h"
+#include "src/util/random.h"
 
 namespace pnw::core {
 namespace {
@@ -239,6 +239,68 @@ TEST(PnwStoreTest, BackgroundRetrainSwapsModelEventually) {
   ASSERT_TRUE(store->Delete(2063).ok());  // newest key is definitely live
   EXPECT_GE(store->metrics().retrains + store->metrics().extensions,
             retrains_before);
+}
+
+TEST(PnwStoreTest, PlacementsAttributedToModelWhenTrained) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  ASSERT_NE(store->model(), nullptr);
+  for (uint64_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(store->Put(1000 + k, GroupValue(k % 2, 3)).ok());
+  }
+  const auto& m = store->metrics();
+  // Every placement went through the trained model; none fell back to the
+  // model-less DCW path.
+  EXPECT_EQ(m.predicted_placements, 8u);
+  EXPECT_EQ(m.fallback_placements, 0u);
+}
+
+TEST(PnwStoreTest, ModelLessStoreCountsFallbackPlacements) {
+  // The state a store lands in when its bootstrap model never trains
+  // (train_on_bootstrap=false models a bootstrap-time training failure):
+  // it serves DCW placements, and the metrics must say so instead of
+  // letting the operator read DCW numbers as PNW numbers.
+  PnwOptions options = SmallOptions();
+  options.train_on_bootstrap = false;
+  options.auto_retrain = false;
+  auto store = MakeBootstrappedStore(options);
+  ASSERT_EQ(store->model(), nullptr);
+  for (uint64_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(store->Put(1000 + k, GroupValue(k % 2, 3)).ok());
+  }
+  EXPECT_EQ(store->metrics().predicted_placements, 0u);
+  EXPECT_EQ(store->metrics().fallback_placements, 8u);
+  EXPECT_EQ(store->metrics().predict_wall_ns, 0.0);
+
+  // TrainModel() recovers the store into predicted placements.
+  ASSERT_TRUE(store->TrainModel().ok());
+  ASSERT_NE(store->model(), nullptr);
+  ASSERT_TRUE(store->Put(2000, GroupValue(0, 4)).ok());
+  EXPECT_EQ(store->metrics().predicted_placements, 1u);
+  EXPECT_EQ(store->metrics().fallback_placements, 8u);
+}
+
+TEST(PnwStoreTest, FailedBackgroundRetrainSurfacesInMetrics) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  EXPECT_EQ(store->metrics().failed_retrains, 0u);
+  // Force a failing background run through the manager (mismatched sample
+  // size), as a training failure inside the store would.
+  std::vector<std::vector<uint8_t>> bad(4, std::vector<uint8_t>(4, 0x55));
+  ASSERT_TRUE(store->model_manager().StartBackgroundTrain(bad));
+  for (int spin = 0; spin < 500; ++spin) {
+    if (!store->model_manager().background_training_in_progress()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_FALSE(store->model_manager().background_training_in_progress());
+  EXPECT_TRUE(
+      store->model_manager().last_background_status().IsInvalidArgument());
+  // The next operation polls the background trainer and folds the failure
+  // into the store's metrics; the stale model stays in service.
+  auto model_before = store->model();
+  ASSERT_TRUE(store->Delete(0).ok());
+  EXPECT_EQ(store->metrics().failed_retrains, 1u);
+  EXPECT_EQ(store->model(), model_before);
 }
 
 // ------------------------------------------------------- Table II example

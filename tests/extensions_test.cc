@@ -9,13 +9,13 @@
 #include <map>
 #include <vector>
 
-#include "ml/feature_encoder.h"
-#include "ml/kmeans.h"
-#include "nvm/start_gap.h"
-#include "schemes/captopril.h"
-#include "schemes/fnw.h"
-#include "util/random.h"
-#include "workloads/ycsb.h"
+#include "src/ml/feature_encoder.h"
+#include "src/ml/kmeans.h"
+#include "src/nvm/start_gap.h"
+#include "src/schemes/captopril.h"
+#include "src/schemes/fnw.h"
+#include "src/util/random.h"
+#include "src/workloads/ycsb.h"
 
 namespace pnw {
 namespace {

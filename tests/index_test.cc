@@ -4,11 +4,11 @@
 #include <memory>
 #include <vector>
 
-#include "index/dram_hash_index.h"
-#include "index/key_index.h"
-#include "index/path_hash_index.h"
-#include "nvm/nvm_device.h"
-#include "util/random.h"
+#include "src/index/dram_hash_index.h"
+#include "src/index/key_index.h"
+#include "src/index/path_hash_index.h"
+#include "src/nvm/nvm_device.h"
+#include "src/util/random.h"
 
 namespace pnw::index {
 namespace {

@@ -9,11 +9,11 @@
 #include <memory>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "schemes/write_scheme.h"
-#include "workloads/image_dataset.h"
-#include "workloads/integer_generator.h"
-#include "workloads/sparse_access_log.h"
+#include "src/core/pnw_store.h"
+#include "src/schemes/write_scheme.h"
+#include "src/workloads/image_dataset.h"
+#include "src/workloads/integer_generator.h"
+#include "src/workloads/sparse_access_log.h"
 
 namespace pnw {
 namespace {

@@ -6,11 +6,11 @@
 #include <memory>
 #include <vector>
 
-#include "kvstore/fptree.h"
-#include "kvstore/kv_interface.h"
-#include "kvstore/novelsm.h"
-#include "kvstore/path_kv.h"
-#include "util/random.h"
+#include "src/kvstore/fptree.h"
+#include "src/kvstore/kv_interface.h"
+#include "src/kvstore/novelsm.h"
+#include "src/kvstore/path_kv.h"
+#include "src/util/random.h"
 
 namespace pnw::kvstore {
 namespace {

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "ml/elbow.h"
-#include "ml/feature_encoder.h"
-#include "ml/kmeans.h"
-#include "ml/matrix.h"
-#include "ml/pca.h"
-#include "util/random.h"
+#include "src/ml/elbow.h"
+#include "src/ml/feature_encoder.h"
+#include "src/ml/kmeans.h"
+#include "src/ml/matrix.h"
+#include "src/ml/pca.h"
+#include "src/util/random.h"
 
 namespace pnw::ml {
 namespace {

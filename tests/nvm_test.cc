@@ -4,8 +4,8 @@
 #include <numeric>
 #include <vector>
 
-#include "nvm/nvm_device.h"
-#include "nvm/wear_tracker.h"
+#include "src/nvm/nvm_device.h"
+#include "src/nvm/wear_tracker.h"
 
 namespace pnw::nvm {
 namespace {

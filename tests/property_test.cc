@@ -11,10 +11,10 @@
 #include <tuple>
 #include <vector>
 
-#include "core/pnw_store.h"
-#include "schemes/write_scheme.h"
-#include "util/hamming.h"
-#include "util/random.h"
+#include "src/core/pnw_store.h"
+#include "src/schemes/write_scheme.h"
+#include "src/util/hamming.h"
+#include "src/util/random.h"
 
 namespace pnw {
 namespace {
@@ -213,10 +213,14 @@ INSTANTIATE_TEST_SUITE_P(
                                          core::IndexPlacement::kNvmPathHash)),
     [](const ::testing::TestParamInfo<
         std::tuple<size_t, core::IndexPlacement>>& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) == core::IndexPlacement::kDram
+      // Built with += (not operator+ chains), which GCC 12's -Wrestrict
+      // misdiagnoses under -O2 (GCC PR105651).
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += std::get<1>(info.param) == core::IndexPlacement::kDram
                   ? "_Dram"
-                  : "_NvmIndex");
+                  : "_NvmIndex";
+      return name;
     });
 
 }  // namespace

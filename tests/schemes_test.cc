@@ -5,12 +5,12 @@
 #include <memory>
 #include <vector>
 
-#include "schemes/captopril.h"
-#include "schemes/fnw.h"
-#include "schemes/minshift.h"
-#include "schemes/write_scheme.h"
-#include "util/hamming.h"
-#include "util/random.h"
+#include "src/schemes/captopril.h"
+#include "src/schemes/fnw.h"
+#include "src/schemes/minshift.h"
+#include "src/schemes/write_scheme.h"
+#include "src/util/hamming.h"
+#include "src/util/random.h"
 
 namespace pnw::schemes {
 namespace {

@@ -3,12 +3,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "util/bitvec.h"
-#include "util/hamming.h"
-#include "util/random.h"
-#include "util/stats.h"
-#include "util/status.h"
-#include "util/thread_pool.h"
+#include "src/util/bitvec.h"
+#include "src/util/hamming.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace pnw {
 namespace {

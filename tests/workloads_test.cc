@@ -4,13 +4,13 @@
 #include <cstring>
 #include <vector>
 
-#include "util/hamming.h"
-#include "workloads/bag_of_words.h"
-#include "workloads/image_dataset.h"
-#include "workloads/integer_generator.h"
-#include "workloads/road_network.h"
-#include "workloads/sparse_access_log.h"
-#include "workloads/video_frames.h"
+#include "src/util/hamming.h"
+#include "src/workloads/bag_of_words.h"
+#include "src/workloads/image_dataset.h"
+#include "src/workloads/integer_generator.h"
+#include "src/workloads/road_network.h"
+#include "src/workloads/sparse_access_log.h"
+#include "src/workloads/video_frames.h"
 
 namespace pnw::workloads {
 namespace {
