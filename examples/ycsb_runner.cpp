@@ -2,17 +2,31 @@
 // core mixes (A, B, C, D, F) over a Zipf-skewed key space and reports
 // throughput-relevant store metrics per mix.
 //
-//   ./build/examples/ycsb_runner [--records=N] [--ops=N]
+//   ./build/examples/ycsb_runner [--records=N] [--ops=N] [--threads=N]
+//                                [--shards=N]
+//
+// (--flag N is accepted as well as --flag=N.)
+//
+// --threads/--shards drive the concurrent ShardedPnwStore front-end: each
+// thread runs its own operation stream (own generator seed, own value RNG)
+// and the per-shard metrics are merged into one report. Two throughput
+// numbers are printed: wall-clock kops/s (honest about this machine's core
+// count) and simulated kops/s, which divides the summed simulated
+// device+prediction busy time by the parallelism the shards allow -- the
+// number the rest of this repo's latency accounting speaks in.
 //
 // The flags exist so CTest can smoke-run the binary with tiny parameters.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "src/core/pnw_store.h"
+#include "src/core/sharded_store.h"
 #include "src/util/random.h"
 #include "src/workloads/ycsb.h"
 
@@ -20,24 +34,36 @@ namespace {
 
 size_t kRecords = 2048;
 size_t kOps = 8192;
+size_t kThreads = 1;
+size_t kShards = 1;
 constexpr size_t kValueBytes = 128;
 
 size_t FlagOr(int argc, char** argv, const std::string& name,
               size_t fallback) {
   const std::string prefix = "--" + name + "=";
+  const std::string bare = "--" + name;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string digits;
     if (arg.rfind(prefix, 0) == 0) {
-      const std::string digits = arg.substr(prefix.size());
-      char* end = nullptr;
-      const long parsed = std::strtol(digits.c_str(), &end, 10);
-      if (digits.empty() || *end != '\0' || parsed <= 0) {
-        std::fprintf(stderr, "invalid --%s value '%s' (want a positive "
-                             "integer)\n", name.c_str(), digits.c_str());
+      digits = arg.substr(prefix.size());
+    } else if (arg == bare) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--%s needs a value\n", name.c_str());
         std::exit(2);
       }
-      return static_cast<size_t>(parsed);
+      digits = argv[i + 1];
+    } else {
+      continue;
     }
+    char* end = nullptr;
+    const long parsed = std::strtol(digits.c_str(), &end, 10);
+    if (digits.empty() || *end != '\0' || parsed <= 0) {
+      std::fprintf(stderr, "invalid --%s value '%s' (want a positive "
+                           "integer)\n", name.c_str(), digits.c_str());
+      std::exit(2);
+    }
+    return static_cast<size_t>(parsed);
   }
   return fallback;
 }
@@ -61,31 +87,115 @@ std::vector<uint8_t> MakeValue(uint64_t key, uint64_t version,
   return v;
 }
 
+struct ThreadCounts {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t inserts = 0;
+  /// Statuses that are not ok and not a legal NotFound race outcome.
+  uint64_t hard_failures = 0;
+};
+
+/// One thread's share of the run: its own generator (offset seed), its own
+/// value RNG, its own version counters -- no cross-thread state besides the
+/// store itself.
+ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
+                         pnw::workloads::YcsbWorkload workload,
+                         size_t thread_id, size_t ops) {
+  using pnw::workloads::YcsbOp;
+  ThreadCounts counts;
+  pnw::workloads::YcsbOptions gen_options;
+  gen_options.workload = workload;
+  gen_options.record_count = kRecords;
+  gen_options.seed = 99 + 7919 * thread_id;
+  pnw::workloads::YcsbGenerator gen(gen_options);
+  pnw::Rng rng(1234 + thread_id);
+  // Version tags carry the thread id so concurrent streams never write
+  // byte-identical payloads.
+  const uint64_t version_tag = static_cast<uint64_t>(thread_id) << 48;
+  // Per-key write versions; sized generously and indexed modulo so
+  // long-running insert-heavy streams stay in bounds (a version collision
+  // only makes two payloads more similar, never incorrect).
+  std::vector<uint64_t> versions(kRecords * 4, 0);
+  auto version_slot = [&versions](uint64_t key) -> uint64_t& {
+    return versions[key % versions.size()];
+  };
+
+  auto check = [&counts](const pnw::Status& s) {
+    if (!s.ok() && !s.IsNotFound()) {
+      ++counts.hard_failures;
+    }
+  };
+  for (size_t i = 0; i < ops; ++i) {
+    const YcsbOp op = gen.Next();
+    switch (op.type) {
+      case YcsbOp::Type::kRead:
+        if (const auto got = store.Get(op.key);
+            !got.ok() && !got.status().IsNotFound()) {
+          ++counts.hard_failures;
+        }
+        ++counts.reads;
+        break;
+      case YcsbOp::Type::kUpdate:
+        check(store.Put(
+            op.key,
+            MakeValue(op.key, version_tag | ++version_slot(op.key), rng)));
+        ++counts.writes;
+        break;
+      case YcsbOp::Type::kInsert:
+        check(store.Put(op.key, MakeValue(op.key, version_tag, rng)));
+        ++counts.inserts;
+        break;
+      case YcsbOp::Type::kReadModifyWrite: {
+        auto current = store.Get(op.key);
+        (void)current;
+        check(store.Put(
+            op.key,
+            MakeValue(op.key, version_tag | ++version_slot(op.key), rng)));
+        ++counts.reads;
+        ++counts.writes;
+        break;
+      }
+    }
+  }
+  return counts;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using pnw::workloads::YcsbOp;
   using pnw::workloads::YcsbWorkload;
 
   kRecords = FlagOr(argc, argv, "records", kRecords);
   kOps = FlagOr(argc, argv, "ops", kOps);
+  kThreads = FlagOr(argc, argv, "threads", kThreads);
+  kShards = FlagOr(argc, argv, "shards", kShards);
 
-  std::printf("YCSB core mixes on PNW (%zu records, %zu ops, %zuB values)\n",
-              kRecords, kOps, kValueBytes);
-  std::printf("%-18s %8s %8s %8s %10s %10s\n", "workload", "reads",
-              "writes", "inserts", "bits/512b", "us/write");
+  std::printf("YCSB core mixes on PNW (%zu records, %zu ops, %zuB values, "
+              "%zu threads, %zu shards)\n",
+              kRecords, kOps, kValueBytes, kThreads, kShards);
+  std::printf("%-18s %8s %8s %8s %7s %10s %10s %10s %11s %7s\n", "workload",
+              "reads", "writes", "inserts", "failed", "bits/512b",
+              "us/write", "kops/s", "kops/s(sim)", "imbal");
 
+  bool any_failures = false;
   for (YcsbWorkload workload :
        {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
         YcsbWorkload::kD, YcsbWorkload::kF}) {
-    pnw::core::PnwOptions options;
-    options.value_bytes = kValueBytes;
-    options.initial_buckets = kRecords;
-    options.capacity_buckets = kRecords * 2;
-    options.num_clusters = 8;
-    options.max_features = 256;
-    options.load_factor = 0.85;
-    auto store = pnw::core::PnwStore::Open(options).value();
+    pnw::core::ShardedOptions options;
+    options.num_shards = kShards;
+    options.store.value_bytes = kValueBytes;
+    options.store.initial_buckets = kRecords;
+    options.store.capacity_buckets = kRecords * 2;
+    options.store.num_clusters = 8;
+    options.store.max_features = 256;
+    options.store.load_factor = 0.85;
+    auto opened = pnw::core::ShardedPnwStore::Open(options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    auto store = std::move(opened.value());
 
     pnw::Rng rng(1234);
     std::vector<uint64_t> keys(kRecords);
@@ -100,49 +210,68 @@ int main(int argc, char** argv) {
     }
     store->ResetWearAndMetrics();
 
-    pnw::workloads::YcsbOptions gen_options;
-    gen_options.workload = workload;
-    gen_options.record_count = kRecords;
-    pnw::workloads::YcsbGenerator gen(gen_options);
-
-    uint64_t reads = 0;
-    uint64_t writes = 0;
-    uint64_t inserts = 0;
-    std::vector<uint64_t> versions(kRecords * 4, 0);
-    for (size_t i = 0; i < kOps; ++i) {
-      const YcsbOp op = gen.Next();
-      switch (op.type) {
-        case YcsbOp::Type::kRead:
-          (void)store->Get(op.key);
-          ++reads;
-          break;
-        case YcsbOp::Type::kUpdate:
-          (void)store->Put(op.key, MakeValue(op.key, ++versions[op.key], rng));
-          ++writes;
-          break;
-        case YcsbOp::Type::kInsert:
-          (void)store->Put(op.key, MakeValue(op.key, 0, rng));
-          ++inserts;
-          break;
-        case YcsbOp::Type::kReadModifyWrite: {
-          auto current = store->Get(op.key);
-          (void)current;
-          (void)store->Put(op.key, MakeValue(op.key, ++versions[op.key], rng));
-          ++reads;
-          ++writes;
-          break;
-        }
+    std::vector<ThreadCounts> counts(kThreads);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (kThreads == 1) {
+      counts[0] = RunOpStream(*store, workload, 0, kOps);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      const size_t per_thread = (kOps + kThreads - 1) / kThreads;
+      for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&store, &counts, workload, t, per_thread] {
+          counts[t] = RunOpStream(*store, workload, t, per_thread);
+        });
+      }
+      for (auto& thread : threads) {
+        thread.join();
       }
     }
-    const auto& m = store->metrics();
-    std::printf("%-18s %8llu %8llu %8llu %10.1f %10.2f\n",
-                std::string(pnw::workloads::YcsbWorkloadName(workload)).c_str(),
-                static_cast<unsigned long long>(reads),
-                static_cast<unsigned long long>(writes),
-                static_cast<unsigned long long>(inserts),
-                m.BitUpdatesPer512(), m.AvgPutLatencyNs() / 1000.0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+    ThreadCounts total;
+    for (const auto& c : counts) {
+      total.reads += c.reads;
+      total.writes += c.writes;
+      total.inserts += c.inserts;
+      total.hard_failures += c.hard_failures;
+    }
+    const pnw::core::ShardedMetrics agg = store->AggregatedMetrics();
+    // Client-observed failures subsume the store's failed_ops (every failed
+    // write surfaced its status to the issuing thread), so don't sum them.
+    const uint64_t failed = total.hard_failures;
+    any_failures =
+        any_failures || failed != 0 || agg.totals.failed_ops != 0;
+    const double ops_done = static_cast<double>(
+        total.reads + total.writes + total.inserts);
+    // Simulated elapsed time: shards serve in parallel, bounded both by the
+    // busiest shard and by the thread count driving them (makespan lower
+    // bound).
+    double busy_ns = 0.0;
+    for (const auto& s : agg.shards) {
+      busy_ns += s.device_ns;
+    }
+    const double parallelism =
+        static_cast<double>(std::min(kThreads, kShards));
+    const double sim_elapsed_ns =
+        std::max(agg.MaxShardDeviceNs(), busy_ns / parallelism);
+    std::printf(
+        "%-18s %8llu %8llu %8llu %7llu %10.1f %10.2f %10.1f %11.1f %7.2f\n",
+        std::string(pnw::workloads::YcsbWorkloadName(workload)).c_str(),
+        static_cast<unsigned long long>(total.reads),
+        static_cast<unsigned long long>(total.writes),
+        static_cast<unsigned long long>(total.inserts),
+        static_cast<unsigned long long>(failed),
+        agg.totals.BitUpdatesPer512(),
+        agg.totals.AvgPutLatencyNs() / 1000.0,
+        ops_done / wall_s / 1000.0,
+        sim_elapsed_ns > 0.0 ? ops_done / (sim_elapsed_ns / 1e9) / 1000.0
+                             : 0.0,
+        agg.PutImbalance());
   }
   std::printf("\n(update-heavy mixes benefit most from PNW: every update is "
-              "re-steered to a similar residue)\n");
-  return 0;
+              "re-steered to a similar residue;\n kops/s(sim) divides summed "
+              "simulated busy time by min(threads, shards))\n");
+  return any_failures ? 1 : 0;
 }

@@ -33,6 +33,29 @@ double StoreMetrics::AvgPredictNs() const {
   return predict_wall_ns / static_cast<double>(puts);
 }
 
+void StoreMetrics::Accumulate(const StoreMetrics& other) {
+  puts += other.puts;
+  gets += other.gets;
+  deletes += other.deletes;
+  updates += other.updates;
+  failed_ops += other.failed_ops;
+  put_bits_written += other.put_bits_written;
+  put_payload_bits += other.put_payload_bits;
+  put_lines_written += other.put_lines_written;
+  put_words_written += other.put_words_written;
+  put_device_ns += other.put_device_ns;
+  get_device_ns += other.get_device_ns;
+  delete_device_ns += other.delete_device_ns;
+  predict_wall_ns += other.predict_wall_ns;
+  predicted_placements += other.predicted_placements;
+  fallback_placements += other.fallback_placements;
+  inplace_updates += other.inplace_updates;
+  pool_fallbacks += other.pool_fallbacks;
+  retrains += other.retrains;
+  failed_retrains += other.failed_retrains;
+  extensions += other.extensions;
+}
+
 std::string StoreMetrics::ToString() const {
   std::ostringstream os;
   os << "puts=" << puts << " gets=" << gets << " deletes=" << deletes
@@ -42,6 +65,7 @@ std::string StoreMetrics::ToString() const {
      << " lines/put=" << AvgLinesPerPut()
      << " predicted_placements=" << predicted_placements
      << " fallback_placements=" << fallback_placements
+     << " inplace_updates=" << inplace_updates
      << " fallbacks=" << pool_fallbacks << " retrains=" << retrains
      << " failed_retrains=" << failed_retrains
      << " extensions=" << extensions;

@@ -38,6 +38,20 @@ struct StoreMetrics {
   /// serving DCW while the operator reads PNW numbers.
   uint64_t predicted_placements = 0;
   uint64_t fallback_placements = 0;
+  /// Latency-first in-place updates. These count as `puts` (they write a
+  /// full value through the PUT accounting scopes) but are *not*
+  /// placements -- the address pool was never consulted -- so they get
+  /// their own bucket instead of polluting the predicted/fallback split.
+  uint64_t inplace_updates = 0;
+
+  /// The PUT-attribution invariant: every counted PUT was either placed by
+  /// the model, placed model-less, or written in place. Tests assert this
+  /// after mixed traffic; it fails if a path bumps `puts` without deciding
+  /// its attribution (or vice versa).
+  bool PlacementAttributionConsistent() const {
+    return predicted_placements + fallback_placements + inplace_updates ==
+           puts;
+  }
 
   /// Pool behaviour.
   uint64_t pool_fallbacks = 0;   // predicted cluster empty, used next-nearest
@@ -56,6 +70,10 @@ struct StoreMetrics {
   double AvgLinesPerPut() const;
   /// Average prediction latency per PUT in ns.
   double AvgPredictNs() const;
+
+  /// Fold another store's counters into this one (ShardedPnwStore sums its
+  /// shards' metrics through this).
+  void Accumulate(const StoreMetrics& other);
 
   std::string ToString() const;
 };

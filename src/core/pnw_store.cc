@@ -363,18 +363,33 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
     std::memcpy(bucket.data(), &key, key_bytes_);
   }
   std::memcpy(bucket.data() + key_bytes_, value.data(), options_.value_bytes);
+  const size_t bucket_index = *addr / bucket_bytes_;
+  Status write_status;
   {
     DeviceDeltaScope scope(device_.get(), &metrics_.put_device_ns,
                            &metrics_.put_bits_written,
                            &metrics_.put_lines_written,
                            &metrics_.put_words_written);
     auto write = device_->WriteDifferential(*addr, bucket);
-    if (!write.ok()) {
-      return write.status();
+    write_status = write.ok() ? Status::OK() : write.status();
+    if (write_status.ok()) {
+      write_status = SetBucketFlag(bucket_index, true);
     }
-    const size_t bucket_index = *addr / bucket_bytes_;
-    PNW_RETURN_IF_ERROR(SetBucketFlag(bucket_index, true));
-    PNW_RETURN_IF_ERROR(index_->Put(key, *addr));
+    if (write_status.ok()) {
+      write_status = index_->Put(key, *addr);
+    }
+  }
+  if (!write_status.ok()) {
+    // The acquired address must not leak: clear any occupancy flag we set
+    // (a no-op differential write if we never got that far) and reinsert
+    // the address under the label of whatever bits are now resident (the
+    // payload write may or may not have landed before the failure).
+    (void)SetBucketFlag(bucket_index, false);
+    const size_t resident_label =
+        model_ != nullptr ? model_->Predict(PeekBucketValue(bucket_index)) : 0;
+    pool_.Insert(resident_label, *addr);
+    ++metrics_.failed_ops;
+    return write_status;
   }
   // Attribute only successful placements (counted alongside `puts` so the
   // predicted/fallback split always sums to the placed PUTs): a trained
@@ -478,7 +493,11 @@ Status PnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
     }
     return s;
   }
-  // Latency-first: in-place differential write through the index only.
+  // Latency-first: in-place differential write through the index only. It
+  // counts as a PUT (full value through the PUT accounting scopes) but not
+  // as a placement -- the pool was never consulted -- so it lands in
+  // metrics_.inplace_updates, keeping the attribution invariant
+  // (predicted + fallback + inplace == puts) intact.
   auto addr = index_->Get(key);
   if (!addr.ok()) {
     return addr.status();
@@ -495,12 +514,16 @@ Status PnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
                            &metrics_.put_words_written);
     auto write = device_->WriteDifferential(addr.value(), bucket);
     if (!write.ok()) {
+      // Nothing to roll back: no address was acquired and the index still
+      // points at the (unmodified or partially updated) resident bucket.
+      ++metrics_.failed_ops;
       return write.status();
     }
   }
   metrics_.put_payload_bits += value.size() * 8;
   wear_->RecordBucketWrite(addr.value());
   ++metrics_.puts;
+  ++metrics_.inplace_updates;
   ++metrics_.updates;
   return Status::OK();
 }
@@ -539,8 +562,18 @@ Status PnwStore::SimulateCrashAndRecover() {
 }
 
 void PnwStore::ResetWearAndMetrics() {
+  // Settle background state into the epoch being discarded before zeroing:
+  // any finished background model is adopted now and any pending training
+  // failure is folded into the old metrics, which synchronizes
+  // background_failures_seen_ with the manager. Post-reset deltas then
+  // count only post-reset failures -- a warm-up failure is neither
+  // re-folded into the fresh metrics nor double counted later.
+  PollBackgroundModel();
   device_->ResetCounters();
   metrics_ = StoreMetrics{};
+  // Retrain pacing restarts with the new epoch; without this a post-warm-up
+  // bench inherits the warm-up's PUT count and retrains early (or late).
+  puts_since_retrain_ = 0;
   wear_ = std::make_unique<nvm::WearTracker>(device_.get(), bucket_bytes_);
 }
 

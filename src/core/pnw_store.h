@@ -30,9 +30,12 @@ namespace pnw::core {
 /// occupancy flags live in a separate NVM bitmap, and deletes reset a
 /// single flag bit (paper Section V-B2).
 ///
-/// Not thread-safe for concurrent operations (matching the paper's
+/// Thread-safety contract: a PnwStore is a *single-shard* store and is not
+/// thread-safe for concurrent operations (matching the paper's
 /// single-writer evaluation); background retraining runs on its own thread
-/// and is integrated via an atomic model swap.
+/// and is integrated via an atomic model swap. The concurrent entry point
+/// is ShardedPnwStore (src/core/sharded_store.h), which owns N independent
+/// PnwStore shards and serializes access per shard.
 class PnwStore {
  public:
   /// Validates options and sizes the simulated device.
@@ -83,6 +86,10 @@ class PnwStore {
 
   const PnwOptions& options() const { return options_; }
   const StoreMetrics& metrics() const { return metrics_; }
+  /// PUTs since the last (re)training, i.e. the retrain-pacing state that
+  /// gates load-factor-triggered retraining (zeroed by ResetWearAndMetrics
+  /// so a measured epoch never inherits warm-up pacing).
+  size_t puts_since_retrain() const { return puts_since_retrain_; }
   nvm::NvmDevice& device() { return *device_; }
   const nvm::WearTracker& wear_tracker() const { return *wear_; }
   DynamicAddressPool& pool() { return pool_; }

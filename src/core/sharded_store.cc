@@ -1,0 +1,214 @@
+#include "src/core/sharded_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace pnw::core {
+
+namespace {
+
+/// SplitMix64 finalizer: store keys are often sequential, so the router
+/// must mix before masking or shard 0 would take every run of small keys.
+uint64_t MixKey(uint64_t key) {
+  uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Per-shard share of `total` buckets: ceiling division plus ~4 sigma of
+/// Binomial(total, 1/shards) headroom, so a shard that draws an unlucky
+/// (but statistically ordinary) excess of keys still fits.
+size_t PerShardBuckets(size_t total, size_t shards) {
+  const size_t base = (total + shards - 1) / shards;
+  if (shards == 1) {
+    return base;
+  }
+  const auto sigma = static_cast<size_t>(
+      std::ceil(4.0 * std::sqrt(static_cast<double>(base))));
+  return base + std::max<size_t>(8, sigma);
+}
+
+}  // namespace
+
+double ShardedMetrics::PutImbalance() const {
+  if (shards.empty() || totals.puts == 0) {
+    return 1.0;
+  }
+  uint64_t max_puts = 0;
+  for (const auto& s : shards) {
+    max_puts = std::max(max_puts, s.puts);
+  }
+  const double mean = static_cast<double>(totals.puts) /
+                      static_cast<double>(shards.size());
+  return mean == 0.0 ? 1.0 : static_cast<double>(max_puts) / mean;
+}
+
+uint32_t ShardedMetrics::MaxBucketWrites() const {
+  uint32_t max_writes = 0;
+  for (const auto& s : shards) {
+    max_writes = std::max(max_writes, s.max_bucket_writes);
+  }
+  return max_writes;
+}
+
+double ShardedMetrics::MaxShardDeviceNs() const {
+  double max_ns = 0.0;
+  for (const auto& s : shards) {
+    max_ns = std::max(max_ns, s.device_ns);
+  }
+  return max_ns;
+}
+
+std::string ShardedMetrics::ToString() const {
+  std::ostringstream os;
+  os << totals.ToString() << " shards=" << shards.size()
+     << " put_imbalance=" << PutImbalance()
+     << " max_bucket_writes=" << MaxBucketWrites();
+  return os.str();
+}
+
+ShardedPnwStore::ShardedPnwStore(const ShardedOptions& options)
+    : options_(options) {}
+
+Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
+    const ShardedOptions& options) {
+  const size_t n = options.num_shards;
+  if (n == 0 || (n & (n - 1)) != 0) {
+    return Status::InvalidArgument("num_shards must be a power of two");
+  }
+  if (options.split_buckets && options.store.initial_buckets < n) {
+    return Status::InvalidArgument(
+        "initial_buckets must be >= num_shards to split across shards");
+  }
+  PnwOptions per_shard = options.store;
+  if (options.split_buckets) {
+    per_shard.initial_buckets =
+        PerShardBuckets(options.store.initial_buckets, n);
+    per_shard.capacity_buckets = std::max(
+        per_shard.initial_buckets,
+        PerShardBuckets(options.store.capacity_buckets, n));
+  }
+  std::unique_ptr<ShardedPnwStore> store(new ShardedPnwStore(options));
+  store->shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PnwOptions shard_options = per_shard;
+    // De-correlate per-shard K-means initializations.
+    shard_options.seed = options.store.seed + i;
+    auto shard = PnwStore::Open(shard_options);
+    if (!shard.ok()) {
+      return shard.status();
+    }
+    auto slot = std::make_unique<Shard>();
+    slot->store = std::move(shard.value());
+    store->shards_.push_back(std::move(slot));
+  }
+  return store;
+}
+
+size_t ShardedPnwStore::ShardOf(uint64_t key) const {
+  return MixKey(key) & (shards_.size() - 1);
+}
+
+Status ShardedPnwStore::Bootstrap(
+    std::span<const uint64_t> keys,
+    std::span<const std::vector<uint8_t>> values) {
+  if (keys.size() != values.size()) {
+    return Status::InvalidArgument("keys/values size mismatch");
+  }
+  std::vector<std::vector<uint64_t>> shard_keys(shards_.size());
+  std::vector<std::vector<std::vector<uint8_t>>> shard_values(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const size_t s = ShardOf(keys[i]);
+    shard_keys[s].push_back(keys[i]);
+    shard_values[s].push_back(values[i]);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    PNW_RETURN_IF_ERROR(
+        shards_[s]->store->Bootstrap(shard_keys[s], shard_values[s]));
+  }
+  return Status::OK();
+}
+
+Status ShardedPnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.store->Put(key, value);
+}
+
+Result<std::vector<uint8_t>> ShardedPnwStore::Get(uint64_t key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.store->Get(key);
+}
+
+Status ShardedPnwStore::Delete(uint64_t key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.store->Delete(key);
+}
+
+Status ShardedPnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.store->Update(key, value);
+}
+
+Status ShardedPnwStore::TrainModel() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    PNW_RETURN_IF_ERROR(shard->store->TrainModel());
+  }
+  return Status::OK();
+}
+
+void ShardedPnwStore::ResetWearAndMetrics() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->store->ResetWearAndMetrics();
+  }
+}
+
+ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
+  ShardedMetrics aggregated;
+  aggregated.shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    PnwStore& store = *shards_[i]->store;
+    const StoreMetrics& m = store.metrics();
+    aggregated.totals.Accumulate(m);
+    ShardSummary summary;
+    summary.shard = i;
+    summary.puts = m.puts;
+    summary.gets = m.gets;
+    summary.deletes = m.deletes;
+    summary.failed_ops = m.failed_ops;
+    summary.used_buckets = store.size();
+    summary.active_buckets = store.active_buckets();
+    summary.free_addresses = store.pool().FreeCount();
+    summary.max_bucket_writes = store.wear_tracker().MaxBucketWrites();
+    summary.device_bits_written = store.device().counters().total_bits_written;
+    summary.device_ns =
+        m.put_device_ns + m.get_device_ns + m.delete_device_ns +
+        m.predict_wall_ns;
+    aggregated.shards.push_back(summary);
+  }
+  return aggregated;
+}
+
+size_t ShardedPnwStore::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->store->size();
+  }
+  return total;
+}
+
+}  // namespace pnw::core

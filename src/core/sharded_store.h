@@ -1,0 +1,149 @@
+#ifndef PNW_CORE_SHARDED_STORE_H_
+#define PNW_CORE_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/core/pnw_store.h"
+#include "src/util/status.h"
+
+namespace pnw::core {
+
+/// Configuration of a ShardedPnwStore.
+struct ShardedOptions {
+  /// Template for every shard. With `split_buckets` (the default) the
+  /// bucket counts below are divided across the shards; everything else
+  /// (value size, clustering, update mode, ...) applies to each shard
+  /// verbatim, so the paper's per-shard placement behaviour is exactly a
+  /// PnwStore's.
+  PnwOptions store;
+
+  /// Number of independent shards. Must be a power of two (the router
+  /// masks a mixed key hash).
+  size_t num_shards = 4;
+
+  /// Divide store.initial_buckets / store.capacity_buckets across the
+  /// shards (ceiling division plus a ~4-sigma binomial headroom per shard,
+  /// covering hash-routing imbalance) so total capacity tracks the
+  /// unsharded configuration. Disable to give every shard the full bucket
+  /// counts as written.
+  bool split_buckets = true;
+};
+
+/// One shard's health snapshot inside a ShardedMetrics report: enough to
+/// see routing imbalance (ops and occupancy skew) and wear imbalance
+/// (hottest bucket, device bits) across shards at a glance.
+struct ShardSummary {
+  size_t shard = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t failed_ops = 0;
+  size_t used_buckets = 0;
+  size_t active_buckets = 0;
+  size_t free_addresses = 0;
+  /// Max K/V writes any single bucket of this shard received.
+  uint32_t max_bucket_writes = 0;
+  /// NVM cells this shard's device updated in total.
+  uint64_t device_bits_written = 0;
+  /// Simulated device time this shard accumulated (its "busy time").
+  double device_ns = 0.0;
+};
+
+/// Cross-shard aggregate: summed StoreMetrics plus per-shard summaries.
+struct ShardedMetrics {
+  StoreMetrics totals;
+  std::vector<ShardSummary> shards;
+
+  /// Routing-imbalance measure: max per-shard PUTs over the per-shard
+  /// mean. 1.0 = perfectly balanced; >> 1 = one shard takes the heat.
+  double PutImbalance() const;
+  /// Hottest bucket across all shards (cross-shard wear ceiling).
+  uint32_t MaxBucketWrites() const;
+  /// Largest per-shard simulated busy time -- the makespan lower bound of
+  /// a run where shards execute in parallel.
+  double MaxShardDeviceNs() const;
+
+  std::string ToString() const;
+};
+
+/// Concurrent, hash-sharded front-end over N independent PnwStore shards.
+///
+/// Scaling move beyond the paper (which evaluates single-writer): each
+/// shard keeps its own K-means model, dynamic address pool, index, and
+/// simulated device -- i.e. its own wear domain -- so the paper's placement
+/// logic is untouched per shard. Keys are routed by a mixed 64-bit hash
+/// masked to the shard count; each shard is guarded by its own mutex, so
+/// operations on different shards proceed in parallel and there is no
+/// global lock anywhere on the data path.
+///
+/// Thread-safe: any number of threads may call Put/Get/Delete/Update
+/// concurrently. Bootstrap/TrainModel/ResetWearAndMetrics also lock per
+/// shard but are intended for single-threaded setup phases. The unlocked
+/// `shard(i)` accessor is for tests/benches inspecting a quiesced store.
+class ShardedPnwStore {
+ public:
+  /// Validates options (power-of-two shard count, enough buckets to split)
+  /// and opens every shard.
+  static Result<std::unique_ptr<ShardedPnwStore>> Open(
+      const ShardedOptions& options);
+
+  ~ShardedPnwStore() = default;
+  ShardedPnwStore(const ShardedPnwStore&) = delete;
+  ShardedPnwStore& operator=(const ShardedPnwStore&) = delete;
+
+  /// Routes each warm-up item to its shard, then bootstraps every shard
+  /// (training a per-shard model unless options.store.train_on_bootstrap
+  /// is off). Items must fit each shard's initial buckets; the headroom
+  /// applied by `split_buckets` makes hash-imbalance overflow improbable.
+  Status Bootstrap(std::span<const uint64_t> keys,
+                   std::span<const std::vector<uint8_t>> values);
+
+  Status Put(uint64_t key, std::span<const uint8_t> value);
+  Result<std::vector<uint8_t>> Get(uint64_t key);
+  Status Delete(uint64_t key);
+  Status Update(uint64_t key, std::span<const uint8_t> value);
+
+  /// Retrains every shard's model synchronously.
+  Status TrainModel();
+
+  /// Zeroes every shard's wear counters and operation metrics.
+  void ResetWearAndMetrics();
+
+  /// Sums per-shard StoreMetrics and collects per-shard wear summaries so
+  /// cross-shard imbalance is visible, locking one shard at a time (the
+  /// result is a consistent per-shard, not cross-shard, snapshot).
+  ShardedMetrics AggregatedMetrics() const;
+
+  /// Total K/V pairs across all shards.
+  size_t size() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardedOptions& options() const { return options_; }
+
+  /// Which shard `key` routes to.
+  size_t ShardOf(uint64_t key) const;
+
+  /// Direct shard access without locking -- single-threaded phases only.
+  PnwStore& shard(size_t i) { return *shards_[i]->store; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<PnwStore> store;
+  };
+
+  explicit ShardedPnwStore(const ShardedOptions& options);
+
+  ShardedOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pnw::core
+
+#endif  // PNW_CORE_SHARDED_STORE_H_

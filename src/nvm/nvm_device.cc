@@ -30,6 +30,18 @@ Status NvmDevice::CheckRange(uint64_t addr, size_t len) const {
   return Status::OK();
 }
 
+Status NvmDevice::ConsumeWriteFault() {
+  if (fault_count_ == 0) {
+    return Status::OK();
+  }
+  if (fault_skip_ > 0) {
+    --fault_skip_;
+    return Status::OK();
+  }
+  --fault_count_;
+  return Status::Internal("injected NVM write fault");
+}
+
 Status NvmDevice::Read(uint64_t addr, std::span<uint8_t> out) {
   PNW_RETURN_IF_ERROR(CheckRange(addr, out.size()));
   std::memcpy(out.data(), data_.data() + addr, out.size());
@@ -54,6 +66,7 @@ std::span<const uint8_t> NvmDevice::Peek(uint64_t addr, size_t len) const {
 Result<WriteResult> NvmDevice::WriteConventional(
     uint64_t addr, std::span<const uint8_t> data) {
   PNW_RETURN_IF_ERROR(CheckRange(addr, data.size()));
+  PNW_RETURN_IF_ERROR(ConsumeWriteFault());
   WriteResult result;
   result.bits_written = data.size() * 8;
 
@@ -97,6 +110,7 @@ Result<WriteResult> NvmDevice::WriteConventional(
 Result<WriteResult> NvmDevice::WriteDifferential(
     uint64_t addr, std::span<const uint8_t> data) {
   PNW_RETURN_IF_ERROR(CheckRange(addr, data.size()));
+  PNW_RETURN_IF_ERROR(ConsumeWriteFault());
   WriteResult result;
   if (data.empty()) {
     return result;

@@ -106,6 +106,18 @@ class NvmDevice {
   const NvmCounters& counters() const { return counters_; }
   void ResetCounters();
 
+  /// Testing hook: make upcoming write operations fail. The next `skip`
+  /// writes succeed normally, then `count` writes fail with
+  /// Status::Internal *before* any cell is modified or any counter is
+  /// charged (modelling a write that the controller rejects whole). Reads
+  /// and Peek are unaffected. Callers (the PNW store) must leave their own
+  /// state consistent when a write fails mid-operation -- that is exactly
+  /// what the fault-injection tests check.
+  void InjectWriteFaults(uint64_t skip, uint64_t count) {
+    fault_skip_ = skip;
+    fault_count_ = count;
+  }
+
   /// Per-word cumulative write counts (one entry per `word_bytes` of the
   /// device). Index = addr / word_bytes.
   const std::vector<uint32_t>& word_write_counts() const {
@@ -127,7 +139,11 @@ class NvmDevice {
 
  private:
   Status CheckRange(uint64_t addr, size_t len) const;
+  /// Consumes one armed write fault, if any (see InjectWriteFaults).
+  Status ConsumeWriteFault();
 
+  uint64_t fault_skip_ = 0;
+  uint64_t fault_count_ = 0;
   NvmConfig config_;
   LatencyModel latency_model_;
   std::vector<uint8_t> data_;

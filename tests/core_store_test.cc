@@ -303,6 +303,126 @@ TEST(PnwStoreTest, FailedBackgroundRetrainSurfacesInMetrics) {
   EXPECT_EQ(store->model(), model_before);
 }
 
+// -------------------------------------------- failure-path accounting
+
+TEST(PnwStoreTest, FailedPutPayloadWriteReinsertsAcquiredAddress) {
+  // Regression: a PUT whose payload write fails used to leak the acquired
+  // address out of the pool forever (and never count as a failed op).
+  PnwOptions options = SmallOptions();
+  options.initial_buckets = 16;
+  options.capacity_buckets = 16;
+  auto store = MakeBootstrappedStore(options, 16);
+  ASSERT_TRUE(store->Delete(5).ok());  // the only free address
+  const size_t free_before = store->pool().FreeCount();
+  ASSERT_EQ(free_before, 1u);
+
+  store->device().InjectWriteFaults(/*skip=*/0, /*count=*/1);
+  EXPECT_TRUE(store->Put(999, GroupValue(0, 1)).IsInternal());
+  EXPECT_EQ(store->metrics().failed_ops, 1u);
+  EXPECT_EQ(store->pool().FreeCount(), free_before);
+  EXPECT_TRUE(store->Get(999).status().IsNotFound());
+  EXPECT_TRUE(store->metrics().PlacementAttributionConsistent());
+
+  // Without the reinsert this Put would OutOfSpace: the one free address
+  // would have leaked with every bucket flagged occupied.
+  EXPECT_TRUE(store->Put(999, GroupValue(0, 1)).ok());
+  EXPECT_EQ(store->Get(999).value(), GroupValue(0, 1));
+}
+
+TEST(PnwStoreTest, FailedPutFlagWriteRollsBackAndReinserts) {
+  // Same leak via the second write of the PUT sequence (the occupancy-flag
+  // bit): the payload landed, so the address must be reinserted under the
+  // label of the *new* resident bits and the flag must stay clear.
+  PnwOptions options = SmallOptions();
+  options.initial_buckets = 16;
+  options.capacity_buckets = 16;
+  auto store = MakeBootstrappedStore(options, 16);
+  ASSERT_TRUE(store->Delete(5).ok());
+  const size_t free_before = store->pool().FreeCount();
+
+  store->device().InjectWriteFaults(/*skip=*/1, /*count=*/1);
+  EXPECT_TRUE(store->Put(999, GroupValue(0, 1)).IsInternal());
+  EXPECT_EQ(store->metrics().failed_ops, 1u);
+  EXPECT_EQ(store->pool().FreeCount(), free_before);
+  EXPECT_TRUE(store->Get(999).status().IsNotFound());
+
+  // The address is still placeable and the store fully recovers.
+  EXPECT_TRUE(store->Put(999, GroupValue(0, 1)).ok());
+  EXPECT_EQ(store->size(), 16u);
+}
+
+TEST(PnwStoreTest, InPlaceUpdateKeepsAttributionInvariant) {
+  // Regression: latency-first updates bumped `puts` without landing in
+  // either placement bucket, breaking predicted + fallback (+ inplace)
+  // == puts.
+  PnwOptions options = SmallOptions();
+  options.update_mode = UpdateMode::kLatencyFirst;
+  auto store = MakeBootstrappedStore(options);
+  store->ResetWearAndMetrics();
+  ASSERT_TRUE(store->Put(500, GroupValue(0, 1)).ok());
+  ASSERT_TRUE(store->Update(500, GroupValue(0, 2)).ok());
+  ASSERT_TRUE(store->Update(500, GroupValue(1, 3)).ok());
+  const auto& m = store->metrics();
+  EXPECT_EQ(m.puts, 3u);
+  EXPECT_EQ(m.inplace_updates, 2u);
+  EXPECT_EQ(m.predicted_placements, 1u);
+  EXPECT_EQ(m.fallback_placements, 0u);
+  EXPECT_TRUE(m.PlacementAttributionConsistent());
+}
+
+TEST(PnwStoreTest, AttributionInvariantHoldsAcrossMixedTraffic) {
+  for (UpdateMode mode :
+       {UpdateMode::kEnduranceFirst, UpdateMode::kLatencyFirst}) {
+    PnwOptions options = SmallOptions();
+    options.update_mode = mode;
+    auto store = MakeBootstrappedStore(options);
+    for (uint64_t k = 0; k < 24; ++k) {
+      ASSERT_TRUE(store->Put(1000 + (k % 8), GroupValue(k % 2, 2)).ok());
+      if (k % 5 == 0) {
+        ASSERT_TRUE(store->Delete(k / 5).ok());
+      }
+      (void)store->Get(1000 + (k % 8));
+    }
+    EXPECT_TRUE(store->metrics().PlacementAttributionConsistent())
+        << store->metrics().ToString();
+  }
+}
+
+TEST(PnwStoreTest, ResetWearAndMetricsClearsRetrainPacing) {
+  // Regression: puts_since_retrain_ survived the reset, so a post-warm-up
+  // bench inherited the warm-up's retrain pacing.
+  PnwOptions options = SmallOptions();
+  options.retrain_min_interval = 1000;  // pacing never fires in this test
+  auto store = MakeBootstrappedStore(options);
+  for (uint64_t k = 0; k < 6; ++k) {
+    ASSERT_TRUE(store->Put(1000 + k, GroupValue(k % 2, 1)).ok());
+  }
+  EXPECT_EQ(store->puts_since_retrain(), 6u);
+  store->ResetWearAndMetrics();
+  EXPECT_EQ(store->puts_since_retrain(), 0u);
+}
+
+TEST(PnwStoreTest, ResetWearAndMetricsSettlesBackgroundFailures) {
+  // A background-training failure pending at reset time belongs to the
+  // warm-up epoch: it must not be re-folded into the fresh metrics after
+  // the reset zeroes failed_retrains.
+  auto store = MakeBootstrappedStore(SmallOptions());
+  std::vector<std::vector<uint8_t>> bad(4, std::vector<uint8_t>(4, 0x55));
+  ASSERT_TRUE(store->model_manager().StartBackgroundTrain(bad));
+  for (int spin = 0; spin < 500; ++spin) {
+    if (!store->model_manager().background_training_in_progress()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_FALSE(store->model_manager().background_training_in_progress());
+  store->ResetWearAndMetrics();
+  EXPECT_EQ(store->metrics().failed_retrains, 0u);
+  // Post-reset operations must not rediscover the pre-reset failure.
+  ASSERT_TRUE(store->Delete(0).ok());
+  EXPECT_EQ(store->metrics().failed_retrains, 0u);
+}
+
 // ------------------------------------------------------- Table II example
 
 TEST(PnwStoreTest, Table2WorkedExample) {

@@ -1,0 +1,311 @@
+#include "src/core/sharded_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace pnw::core {
+namespace {
+
+constexpr size_t kValueBytes = 16;
+
+ShardedOptions SmallShardedOptions(size_t num_shards) {
+  ShardedOptions options;
+  options.num_shards = num_shards;
+  options.store.value_bytes = kValueBytes;
+  options.store.initial_buckets = 256;
+  options.store.capacity_buckets = 512;
+  options.store.num_clusters = 2;
+  options.store.max_features = 0;
+  options.store.training_sample_cap = 64;
+  return options;
+}
+
+std::vector<uint8_t> GroupValue(int group, uint8_t tweak) {
+  std::vector<uint8_t> v(kValueBytes, group == 0 ? 0x00 : 0xff);
+  v[0] ^= tweak;
+  return v;
+}
+
+std::unique_ptr<ShardedPnwStore> MakeBootstrappedStore(ShardedOptions options,
+                                                       size_t n = 128) {
+  auto store = ShardedPnwStore::Open(options).value();
+  std::vector<uint64_t> keys(n);
+  std::vector<std::vector<uint8_t>> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = i;
+    values[i] = GroupValue(static_cast<int>(i % 2),
+                           static_cast<uint8_t>(i / 2));
+  }
+  EXPECT_TRUE(store->Bootstrap(keys, values).ok());
+  return store;
+}
+
+TEST(ShardedPnwStoreTest, OpenValidatesShardCount) {
+  ShardedOptions options = SmallShardedOptions(3);  // not a power of two
+  EXPECT_TRUE(ShardedPnwStore::Open(options).status().IsInvalidArgument());
+  options = SmallShardedOptions(0);
+  EXPECT_TRUE(ShardedPnwStore::Open(options).status().IsInvalidArgument());
+  options = SmallShardedOptions(16);
+  options.store.initial_buckets = 8;  // fewer buckets than shards
+  options.store.capacity_buckets = 8;
+  EXPECT_TRUE(ShardedPnwStore::Open(options).status().IsInvalidArgument());
+}
+
+TEST(ShardedPnwStoreTest, RoutingIsStableAndCoversAllShards) {
+  auto store = ShardedPnwStore::Open(SmallShardedOptions(8)).value();
+  std::vector<bool> hit(store->num_shards(), false);
+  for (uint64_t key = 0; key < 512; ++key) {
+    const size_t shard = store->ShardOf(key);
+    ASSERT_LT(shard, store->num_shards());
+    EXPECT_EQ(shard, store->ShardOf(key));  // deterministic
+    hit[shard] = true;
+  }
+  // Sequential keys must spread: the router mixes before masking.
+  for (size_t s = 0; s < hit.size(); ++s) {
+    EXPECT_TRUE(hit[s]) << "shard " << s << " never hit by 512 keys";
+  }
+}
+
+TEST(ShardedPnwStoreTest, BootstrapRoutesItemsToOwningShards) {
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  EXPECT_EQ(store->size(), 128u);
+  size_t per_shard_total = 0;
+  for (size_t s = 0; s < store->num_shards(); ++s) {
+    per_shard_total += store->shard(s).size();
+  }
+  EXPECT_EQ(per_shard_total, 128u);
+  // Every bootstrapped key is readable through the front-end and lives in
+  // exactly the shard the router names.
+  for (uint64_t key = 0; key < 128; ++key) {
+    auto value = store->Get(key);
+    ASSERT_TRUE(value.ok()) << key;
+    EXPECT_EQ(value.value(),
+              GroupValue(static_cast<int>(key % 2),
+                         static_cast<uint8_t>(key / 2)));
+  }
+}
+
+TEST(ShardedPnwStoreTest, PutGetDeleteLifecycleThroughRouter) {
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  const auto v = GroupValue(0, 0x55);
+  ASSERT_TRUE(store->Put(9001, v).ok());
+  EXPECT_EQ(store->Get(9001).value(), v);
+  ASSERT_TRUE(store->Delete(9001).ok());
+  EXPECT_TRUE(store->Get(9001).status().IsNotFound());
+  EXPECT_TRUE(store->Delete(9001).IsNotFound());
+}
+
+TEST(ShardedPnwStoreTest, SingleShardMatchesPlainStoreBehaviour) {
+  // num_shards=1 must degenerate to a mutex-wrapped PnwStore with the
+  // exact configured geometry (no splitting headroom).
+  ShardedOptions options = SmallShardedOptions(1);
+  auto store = MakeBootstrappedStore(options);
+  EXPECT_EQ(store->shard(0).options().initial_buckets,
+            options.store.initial_buckets);
+  EXPECT_EQ(store->shard(0).options().capacity_buckets,
+            options.store.capacity_buckets);
+  EXPECT_EQ(store->ShardOf(12345), 0u);
+}
+
+TEST(ShardedPnwStoreTest, SplitBucketsDividesGeometryWithHeadroom) {
+  ShardedOptions options = SmallShardedOptions(4);
+  auto store = ShardedPnwStore::Open(options).value();
+  const size_t per_shard = store->shard(0).options().initial_buckets;
+  EXPECT_GE(per_shard, options.store.initial_buckets / 4);
+  EXPECT_LT(per_shard, options.store.initial_buckets);  // genuinely split
+  EXPECT_GE(store->shard(0).options().capacity_buckets, per_shard);
+}
+
+TEST(ShardedPnwStoreTest, AggregatedMetricsSumShards) {
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  store->ResetWearAndMetrics();
+  for (uint64_t key = 0; key < 64; ++key) {
+    ASSERT_TRUE(
+        store->Put(5000 + key, GroupValue(static_cast<int>(key % 2), 3)).ok());
+  }
+  for (uint64_t key = 0; key < 64; ++key) {
+    ASSERT_TRUE(store->Get(5000 + key).ok());
+  }
+  ASSERT_TRUE(store->Delete(5000).ok());
+
+  const ShardedMetrics aggregated = store->AggregatedMetrics();
+  EXPECT_EQ(aggregated.totals.puts, 64u);
+  EXPECT_EQ(aggregated.totals.gets, 64u);
+  EXPECT_EQ(aggregated.totals.deletes, 1u);
+  EXPECT_TRUE(aggregated.totals.PlacementAttributionConsistent());
+  ASSERT_EQ(aggregated.shards.size(), 4u);
+
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  size_t used = 0;
+  for (const auto& s : aggregated.shards) {
+    puts += s.puts;
+    gets += s.gets;
+    used += s.used_buckets;
+    EXPECT_EQ(s.max_bucket_writes,
+              store->shard(s.shard).wear_tracker().MaxBucketWrites());
+  }
+  EXPECT_EQ(puts, aggregated.totals.puts);
+  EXPECT_EQ(gets, aggregated.totals.gets);
+  EXPECT_EQ(used, store->size());
+  EXPECT_GE(aggregated.PutImbalance(), 1.0);
+  EXPECT_GT(aggregated.MaxShardDeviceNs(), 0.0);
+}
+
+TEST(ShardedPnwStoreTest, PerShardWearSummariesExposeImbalance) {
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  store->ResetWearAndMetrics();
+  // Hammer a single key: all wear lands in one shard and the aggregate
+  // view must say so.
+  const uint64_t hot_key = 77;
+  ASSERT_TRUE(store->Put(hot_key, GroupValue(0, 1)).ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        store->Update(hot_key, GroupValue(i % 2, static_cast<uint8_t>(i))).ok());
+  }
+  const ShardedMetrics aggregated = store->AggregatedMetrics();
+  const size_t hot_shard = store->ShardOf(hot_key);
+  for (const auto& s : aggregated.shards) {
+    if (s.shard == hot_shard) {
+      EXPECT_GT(s.puts, 0u);
+      EXPECT_GT(s.device_bits_written, 0u);
+    } else {
+      EXPECT_EQ(s.puts, 0u);
+    }
+  }
+  EXPECT_NEAR(aggregated.PutImbalance(), 4.0, 1e-9);  // 4 shards, 1 busy
+}
+
+// ------------------------------------------------ concurrency (TSan-able)
+
+TEST(ShardedConcurrencyTest, MixedOpsSmokeAcrossThreads) {
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  store->ResetWearAndMetrics();
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kOpsPerThread = 200;
+  std::atomic<uint64_t> unexpected_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &unexpected_failures, t] {
+      // Disjoint key ranges per thread: every operation has a
+      // deterministic expected outcome even under concurrency.
+      const uint64_t base = 10000 + 1000 * t;
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key = base + (i % 50);
+        const auto value =
+            GroupValue(static_cast<int>(i % 2), static_cast<uint8_t>(t));
+        if (!store->Put(key, value).ok()) {
+          ++unexpected_failures;
+        }
+        auto got = store->Get(key);
+        if (!got.ok() || got.value() != value) {
+          ++unexpected_failures;
+        }
+        if (i % 10 == 9 && !store->Delete(key).ok()) {
+          ++unexpected_failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(unexpected_failures.load(), 0u);
+  const ShardedMetrics aggregated = store->AggregatedMetrics();
+  EXPECT_EQ(aggregated.totals.failed_ops, 0u);
+  EXPECT_EQ(aggregated.totals.gets, kThreads * kOpsPerThread);
+  EXPECT_TRUE(aggregated.totals.PlacementAttributionConsistent());
+}
+
+TEST(ShardedConcurrencyTest, ContendedKeysStressUnderSanitizers) {
+  // All threads fight over the same small key set (maximum lock contention
+  // and cross-thread visibility of every write path, including
+  // delete+re-put address recycling). Run under -fsanitize=thread in CI.
+  ShardedOptions options = SmallShardedOptions(2);
+  options.store.update_mode = UpdateMode::kEnduranceFirst;
+  auto store = MakeBootstrappedStore(options, 64);
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kOpsPerThread = 150;
+  std::atomic<uint64_t> hard_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &hard_failures, t] {
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key = (i + t) % 16;  // shared, contended keys
+        switch ((i + t) % 4) {
+          case 0:
+          case 1: {
+            const Status s = store->Put(
+                key, GroupValue(static_cast<int>(i % 2),
+                                static_cast<uint8_t>(i)));
+            if (!s.ok()) {
+              ++hard_failures;
+            }
+            break;
+          }
+          case 2: {
+            // NotFound is a legal race outcome; anything else is a bug.
+            const auto got = store->Get(key);
+            if (!got.ok() && !got.status().IsNotFound()) {
+              ++hard_failures;
+            }
+            break;
+          }
+          default: {
+            const Status s = store->Delete(key);
+            if (!s.ok() && !s.IsNotFound()) {
+              ++hard_failures;
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(hard_failures.load(), 0u);
+  // The store is still coherent after the storm: every surviving key reads
+  // back a well-formed value.
+  for (uint64_t key = 0; key < 16; ++key) {
+    const auto got = store->Get(key);
+    if (got.ok()) {
+      EXPECT_EQ(got.value().size(), kValueBytes);
+    }
+  }
+  EXPECT_TRUE(
+      store->AggregatedMetrics().totals.PlacementAttributionConsistent());
+}
+
+TEST(ShardedConcurrencyTest, ConcurrentAggregationIsSafe) {
+  // Metrics readers must be able to run against live writers (the ops
+  // dashboard case): per-shard locking makes each snapshot consistent.
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  std::atomic<bool> stop{false};
+  std::thread writer([&store, &stop] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)store->Put(20000 + (i % 64),
+                       GroupValue(static_cast<int>(i % 2), 1));
+      ++i;
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const ShardedMetrics aggregated = store->AggregatedMetrics();
+    EXPECT_TRUE(aggregated.totals.PlacementAttributionConsistent());
+    EXPECT_EQ(aggregated.shards.size(), 4u);
+    (void)store->size();
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace pnw::core
