@@ -12,13 +12,23 @@
 //   --baseline=NAME  Conventional|DCW|FNW|MinShift|CAP16 (default: DCW)
 //   --index=dram|nvm index placement                 (default: dram)
 //   --pca=N          PCA components, 0 = off         (default: 0)
-//   --minibatch=N    mini-batch training size, 0=off (default: 0)
+//
+// Durability (PR 3) -- either flag switches to the save/load demo instead
+// of the baseline comparison:
+//   --save=PATH      build a PNW store from the dataset (bootstrap the old
+//                    data, put the new data), checkpoint it to PATH, then
+//                    reopen and verify every key round-trips
+//   --load=PATH      recover a store checkpointed with --save (snapshot +
+//                    op-log replay) and report its size, model, and metrics
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "bench/harness.h"
+#include "src/core/pnw_store.h"
 #include "src/util/stats.h"
 
 namespace {
@@ -45,6 +55,102 @@ pnw::schemes::SchemeKind ParseScheme(const std::string& name) {
   return pnw::schemes::SchemeKind::kDcw;
 }
 
+/// --save: bootstrap a store with the dataset's old data, stream in the
+/// new data, checkpoint to `path`, and prove the round trip by reopening.
+/// Honors the same --index/--pca configuration as the comparison mode.
+int RunSave(const pnw::workloads::Dataset& dataset, size_t k,
+            bool nvm_index, size_t pca, const std::string& path) {
+  pnw::core::PnwOptions options;
+  options.value_bytes = dataset.value_bytes;
+  options.initial_buckets = dataset.old_data.size();
+  options.capacity_buckets =
+      (dataset.old_data.size() + dataset.new_data.size()) * 2;
+  options.num_clusters = k == 0 ? 1 : k;
+  options.max_features = 256;
+  options.pca_components = pca;
+  options.index_placement = nvm_index
+                                ? pnw::core::IndexPlacement::kNvmPathHash
+                                : pnw::core::IndexPlacement::kDram;
+  auto opened = pnw::core::PnwStore::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto store = std::move(opened.value());
+
+  std::vector<uint64_t> keys(dataset.old_data.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = i;
+  }
+  if (auto s = store->Bootstrap(keys, dataset.old_data); !s.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < dataset.new_data.size(); ++i) {
+    if (auto s = store->Put(keys.size() + i, dataset.new_data[i]); !s.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto s = store->Checkpoint(path); !s.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto snap_bytes = std::filesystem::file_size(path);
+  std::printf("saved %zu keys (k=%zu model included) to %s (%.1f KiB + "
+              "op-log at %s%s)\n",
+              store->size(), store->model()->k(), path.c_str(),
+              static_cast<double>(snap_bytes) / 1024.0, path.c_str(),
+              pnw::core::PnwStore::kOpLogSuffix);
+
+  // Prove the round trip immediately: reopen and verify every key.
+  auto reopened = pnw::core::PnwStore::Open(path);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "reload failed: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  size_t verified = 0;
+  for (size_t key = 0; key < keys.size() + dataset.new_data.size(); ++key) {
+    const auto want = store->Get(key);
+    const auto got = reopened.value()->Get(key);
+    if (want.ok() != got.ok() ||
+        (want.ok() && want.value() != got.value())) {
+      std::fprintf(stderr, "verify failed at key %zu\n", key);
+      return 1;
+    }
+    verified += want.ok() ? 1 : 0;
+  }
+  std::printf("verified: reopened store serves all %zu keys identically, "
+              "wear counters intact (max bucket writes %u)\n",
+              verified, reopened.value()->wear_tracker().MaxBucketWrites());
+  return 0;
+}
+
+/// --load: recover a checkpoint and report what came back.
+int RunLoad(const std::string& path) {
+  auto reopened = pnw::core::PnwStore::Open(path);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 reopened.status().ToString().c_str());
+    return 1;
+  }
+  auto& store = *reopened.value();
+  std::printf("loaded %s: %zu keys, %zuB values, %zu/%zu buckets active\n",
+              path.c_str(), store.size(), store.options().value_bytes,
+              store.active_buckets(), store.options().capacity_buckets);
+  std::printf("model: %s (k=%zu%s) -- recovered from the snapshot, not "
+              "retrained\n",
+              store.model() != nullptr ? "trained" : "none",
+              store.model() != nullptr ? store.model()->k() : 0,
+              store.model() != nullptr && store.model()->uses_pca()
+                  ? ", PCA"
+                  : "");
+  std::printf("metrics: %s\n", store.metrics().ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +161,12 @@ int main(int argc, char** argv) {
   const bool nvm_index = FlagValue(argc, argv, "index", "dram") == "nvm";
   const size_t pca = static_cast<size_t>(
       std::atoi(FlagValue(argc, argv, "pca", "0").c_str()));
+  const std::string save_path = FlagValue(argc, argv, "save", "");
+  const std::string load_path = FlagValue(argc, argv, "load", "");
+
+  if (!load_path.empty()) {
+    return RunLoad(load_path);
+  }
 
   pnw::workloads::Dataset dataset;
   try {
@@ -62,6 +174,10 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
+  }
+
+  if (!save_path.empty()) {
+    return RunSave(dataset, k, nvm_index, pca, save_path);
   }
 
   std::printf("dataset=%s  values=%zuB  old=%zu  new=%zu  k=%zu\n",

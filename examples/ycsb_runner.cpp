@@ -3,9 +3,10 @@
 // throughput-relevant store metrics per mix.
 //
 //   ./build/examples/ycsb_runner [--records=N] [--ops=N] [--threads=N]
-//                                [--shards=N]
+//                                [--shards=N] [--checkpoint-every=N]
+//                                [--checkpoint-dir=PATH]
 //
-// (--flag N is accepted as well as --flag=N.)
+// (--flag N is accepted as well as --flag=N; --help prints the flag list.)
 //
 // --threads/--shards drive the concurrent ShardedPnwStore front-end: each
 // thread runs its own operation stream (own generator seed, own value RNG)
@@ -15,6 +16,12 @@
 // device+prediction busy time by the parallelism the shards allow -- the
 // number the rest of this repo's latency accounting speaks in.
 //
+// --checkpoint-every=N makes thread 0 checkpoint the whole sharded store
+// into --checkpoint-dir every N of its operations (PR 3 durability: shard
+// snapshots in parallel + per-shard op-logs), while the other threads keep
+// serving -- a live-backup drill. The run reports how many checkpoints were
+// taken and their total wall cost.
+//
 // The flags exist so CTest can smoke-run the binary with tiny parameters.
 
 #include <algorithm>
@@ -22,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,36 +44,79 @@ size_t kRecords = 2048;
 size_t kOps = 8192;
 size_t kThreads = 1;
 size_t kShards = 1;
+size_t kCheckpointEvery = 0;  // 0 = checkpointing off
+std::string kCheckpointDir;
 constexpr size_t kValueBytes = 128;
 
-size_t FlagOr(int argc, char** argv, const std::string& name,
-              size_t fallback) {
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [flags]\n"
+      "\n"
+      "  --records=N            keys preloaded per mix (default 2048)\n"
+      "  --ops=N                operations per mix (default 8192)\n"
+      "  --threads=N            client threads, each with its own op\n"
+      "                         stream (default 1)\n"
+      "  --shards=N             ShardedPnwStore shards, power of two;\n"
+      "                         threads scale only as far as shards\n"
+      "                         (default 1)\n"
+      "  --checkpoint-every=N   thread 0 checkpoints the store every N of\n"
+      "                         its ops while the others keep serving\n"
+      "                         (default off)\n"
+      "  --checkpoint-dir=PATH  checkpoint directory (default: a\n"
+      "                         pnw_ycsb_ckpt dir under the system temp\n"
+      "                         path)\n"
+      "  --help                 this text\n"
+      "\n"
+      "--flag N is accepted as well as --flag=N. Exits nonzero if any\n"
+      "operation fails.\n",
+      argv0);
+}
+
+/// Single argv scan shared by every flag type: accepts --name=value and
+/// the bare "--name value" form (exiting 2 when the value is missing).
+/// Returns false when the flag is absent.
+bool FindFlag(int argc, char** argv, const std::string& name,
+              std::string* value) {
   const std::string prefix = "--" + name + "=";
   const std::string bare = "--" + name;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    std::string digits;
     if (arg.rfind(prefix, 0) == 0) {
-      digits = arg.substr(prefix.size());
-    } else if (arg == bare) {
+      *value = arg.substr(prefix.size());
+      return true;
+    }
+    if (arg == bare) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--%s needs a value\n", name.c_str());
         std::exit(2);
       }
-      digits = argv[i + 1];
-    } else {
-      continue;
+      *value = argv[i + 1];
+      return true;
     }
-    char* end = nullptr;
-    const long parsed = std::strtol(digits.c_str(), &end, 10);
-    if (digits.empty() || *end != '\0' || parsed <= 0) {
-      std::fprintf(stderr, "invalid --%s value '%s' (want a positive "
-                           "integer)\n", name.c_str(), digits.c_str());
-      std::exit(2);
-    }
-    return static_cast<size_t>(parsed);
   }
-  return fallback;
+  return false;
+}
+
+std::string StringFlagOr(int argc, char** argv, const std::string& name,
+                         const std::string& fallback) {
+  std::string value;
+  return FindFlag(argc, argv, name, &value) ? value : fallback;
+}
+
+size_t FlagOr(int argc, char** argv, const std::string& name,
+              size_t fallback, long min_value = 1) {
+  std::string digits;
+  if (!FindFlag(argc, argv, name, &digits)) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(digits.c_str(), &end, 10);
+  if (digits.empty() || *end != '\0' || parsed < min_value) {
+    std::fprintf(stderr, "invalid --%s value '%s' (want an integer >= "
+                         "%ld)\n", name.c_str(), digits.c_str(), min_value);
+    std::exit(2);
+  }
+  return static_cast<size_t>(parsed);
 }
 
 /// Structured values: a handful of latent "record templates" so the
@@ -95,12 +146,20 @@ struct ThreadCounts {
   uint64_t hard_failures = 0;
 };
 
+/// Live-checkpoint accounting (thread 0 only; see --checkpoint-every).
+struct CheckpointStats {
+  uint64_t taken = 0;
+  uint64_t failed = 0;
+  double wall_ms = 0.0;
+};
+
 /// One thread's share of the run: its own generator (offset seed), its own
 /// value RNG, its own version counters -- no cross-thread state besides the
 /// store itself.
 ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
                          pnw::workloads::YcsbWorkload workload,
-                         size_t thread_id, size_t ops) {
+                         size_t thread_id, size_t ops,
+                         CheckpointStats* ckpt = nullptr) {
   using pnw::workloads::YcsbOp;
   ThreadCounts counts;
   pnw::workloads::YcsbOptions gen_options;
@@ -156,6 +215,25 @@ ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
         break;
       }
     }
+    // Live backup drill: this thread pauses to checkpoint while the other
+    // threads keep serving (shards are locked one at a time).
+    if (ckpt != nullptr && kCheckpointEvery != 0 &&
+        (i + 1) % kCheckpointEvery == 0) {
+      const auto c0 = std::chrono::steady_clock::now();
+      const pnw::Status s = store.Checkpoint(kCheckpointDir);
+      ckpt->wall_ms += std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - c0)
+                           .count();
+      if (s.ok()) {
+        ++ckpt->taken;
+      } else {
+        // Tracked (and exit-coded) separately from op failures: the mix
+        // row's "failed" column counts store operations only.
+        std::fprintf(stderr, "checkpoint failed: %s\n",
+                     s.ToString().c_str());
+        ++ckpt->failed;
+      }
+    }
   }
   return counts;
 }
@@ -165,19 +243,37 @@ ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
 int main(int argc, char** argv) {
   using pnw::workloads::YcsbWorkload;
 
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(argv[0]);
+      return 0;
+    }
+  }
   kRecords = FlagOr(argc, argv, "records", kRecords);
   kOps = FlagOr(argc, argv, "ops", kOps);
   kThreads = FlagOr(argc, argv, "threads", kThreads);
   kShards = FlagOr(argc, argv, "shards", kShards);
+  // 0 is the documented "off" value, so it must parse, not error.
+  kCheckpointEvery = FlagOr(argc, argv, "checkpoint-every", kCheckpointEvery,
+                            /*min_value=*/0);
+  kCheckpointDir = StringFlagOr(
+      argc, argv, "checkpoint-dir",
+      (std::filesystem::temp_directory_path() / "pnw_ycsb_ckpt").string());
 
   std::printf("YCSB core mixes on PNW (%zu records, %zu ops, %zuB values, "
               "%zu threads, %zu shards)\n",
               kRecords, kOps, kValueBytes, kThreads, kShards);
+  if (kCheckpointEvery != 0) {
+    std::printf("live checkpoints: every %zu thread-0 ops into %s\n",
+                kCheckpointEvery, kCheckpointDir.c_str());
+  }
   std::printf("%-18s %8s %8s %8s %7s %10s %10s %10s %11s %7s\n", "workload",
               "reads", "writes", "inserts", "failed", "bits/512b",
               "us/write", "kops/s", "kops/s(sim)", "imbal");
 
   bool any_failures = false;
+  CheckpointStats total_ckpt;
   for (YcsbWorkload workload :
        {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
         YcsbWorkload::kD, YcsbWorkload::kF}) {
@@ -211,22 +307,28 @@ int main(int argc, char** argv) {
     store->ResetWearAndMetrics();
 
     std::vector<ThreadCounts> counts(kThreads);
+    CheckpointStats ckpt;
     const auto t0 = std::chrono::steady_clock::now();
     if (kThreads == 1) {
-      counts[0] = RunOpStream(*store, workload, 0, kOps);
+      counts[0] = RunOpStream(*store, workload, 0, kOps, &ckpt);
     } else {
       std::vector<std::thread> threads;
       threads.reserve(kThreads);
       const size_t per_thread = (kOps + kThreads - 1) / kThreads;
       for (size_t t = 0; t < kThreads; ++t) {
-        threads.emplace_back([&store, &counts, workload, t, per_thread] {
-          counts[t] = RunOpStream(*store, workload, t, per_thread);
-        });
+        threads.emplace_back(
+            [&store, &counts, &ckpt, workload, t, per_thread] {
+              counts[t] = RunOpStream(*store, workload, t, per_thread,
+                                      t == 0 ? &ckpt : nullptr);
+            });
       }
       for (auto& thread : threads) {
         thread.join();
       }
     }
+    total_ckpt.taken += ckpt.taken;
+    total_ckpt.failed += ckpt.failed;
+    total_ckpt.wall_ms += ckpt.wall_ms;
     const auto t1 = std::chrono::steady_clock::now();
     const double wall_s = std::chrono::duration<double>(t1 - t0).count();
 
@@ -269,6 +371,15 @@ int main(int argc, char** argv) {
         sim_elapsed_ns > 0.0 ? ops_done / (sim_elapsed_ns / 1e9) / 1000.0
                              : 0.0,
         agg.PutImbalance());
+  }
+  if (kCheckpointEvery != 0) {
+    std::printf("\nlive checkpoints: %llu taken (%llu failed), "
+                "%.1f ms total, last one recoverable via "
+                "ShardedPnwStore::Open(\"%s\")\n",
+                static_cast<unsigned long long>(total_ckpt.taken),
+                static_cast<unsigned long long>(total_ckpt.failed),
+                total_ckpt.wall_ms, kCheckpointDir.c_str());
+    any_failures = any_failures || total_ckpt.failed != 0;
   }
   std::printf("\n(update-heavy mixes benefit most from PNW: every update is "
               "re-steered to a similar residue;\n kops/s(sim) divides summed "

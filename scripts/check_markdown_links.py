@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Check that repo-relative markdown links resolve to real files.
+
+Scans every tracked-looking *.md file (skipping build trees) for inline
+links and images, and fails listing each link whose target does not exist
+on disk. External links (http/https/mailto) and pure anchors are skipped:
+the goal is catching *docs rot inside the repo* -- a renamed bench, a
+moved header -- deterministically and offline, not policing the internet.
+
+Usage: python3 scripts/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "_deps", "node_modules"}
+SKIP_PREFIXES = ("build",)
+# Inline links/images: [text](target "title") / ![alt](target)
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel = os.path.relpath(dirpath, root)
+        parts = rel.split(os.sep)
+        if parts[0] in SKIP_DIRS or parts[0].startswith(SKIP_PREFIXES):
+            dirnames.clear()
+            continue
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)]
+        for name in filenames:
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for md_path in sorted(markdown_files(root)):
+        with open(md_path, encoding="utf-8") as handle:
+            text = handle.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path))
+            checked += 1
+            if not os.path.exists(resolved):
+                line = text[: match.start()].count("\n") + 1
+                broken.append((os.path.relpath(md_path, root), line, target))
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for md_file, line, target in broken:
+            print(f"  {md_file}:{line}: {target}")
+        return 1
+    print(f"OK: {checked} repo-relative links resolve.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ class DynamicAddressPool {
  public:
   explicit DynamicAddressPool(size_t num_clusters);
 
+  /// Number of per-cluster free-lists (fixed at construction).
   size_t num_clusters() const { return free_lists_.size(); }
 
   /// Add a free address under `cluster`. Pre-condition:
@@ -44,6 +45,12 @@ class DynamicAddressPool {
   size_t FreeCount() const { return total_free_; }
   /// Free addresses in one cluster.
   size_t FreeCount(size_t cluster) const { return free_lists_[cluster].size(); }
+  /// One cluster's free-list, in pop order. Exposed so a checkpoint can
+  /// serialize the exact pool state (labels *and* ordering) and recovery
+  /// can restore it without re-predicting every free address.
+  const std::vector<uint64_t>& FreeList(size_t cluster) const {
+    return free_lists_[cluster];
+  }
 
   /// Drop every address (used when a new model re-labels the free space).
   void Clear();

@@ -75,6 +75,7 @@ struct StoreMetrics {
   /// shards' metrics through this).
   void Accumulate(const StoreMetrics& other);
 
+  /// One-line "key=value" rendering of every counter, for logs and CLIs.
   std::string ToString() const;
 };
 

@@ -28,6 +28,7 @@ class ValueModel {
              ml::KMeansModel kmeans)
       : encoder_(encoder), pca_(std::move(pca)), kmeans_(std::move(kmeans)) {}
 
+  /// Number of clusters the underlying K-means model predicts into.
   size_t k() const { return kmeans_.k(); }
 
   /// Cluster label for a raw value ("E = model.predict(D)", Algorithm 2).
@@ -38,6 +39,10 @@ class ValueModel {
 
   const ml::KMeansModel& kmeans() const { return kmeans_; }
   bool uses_pca() const { return pca_.has_value(); }
+  /// Trained pipeline pieces, exposed so the persist layer can serialize a
+  /// model and rebuild it bit-identically on recovery (no retraining).
+  const ml::BitFeatureEncoder& encoder() const { return encoder_; }
+  const std::optional<ml::PcaModel>& pca() const { return pca_; }
 
  private:
   /// Encode + (optionally) project into `features`.
@@ -109,6 +114,7 @@ class ModelManager {
   /// (Fig. 11's y-axis).
   double last_training_seconds() const { return last_training_seconds_; }
 
+  /// The training configuration every run of this manager uses.
   const ModelTrainingConfig& config() const { return config_; }
 
  private:

@@ -3,15 +3,31 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <utility>
 
 #include "src/index/dram_hash_index.h"
 #include "src/index/path_hash_index.h"
+#include "src/persist/snapshot.h"
+#include "src/persist/store_codec.h"
 
 namespace pnw::core {
 
 namespace {
 
 constexpr size_t kStoredKeyBytes = 8;
+
+/// Snapshot section ids (layout versioned by PnwStore::kSnapshotVersion).
+enum SnapshotSection : uint32_t {
+  kSectionOptions = 1,
+  kSectionState = 2,
+  kSectionDevice = 3,
+  kSectionWear = 4,
+  kSectionDramFlags = 5,
+  kSectionIndex = 6,
+  kSectionModel = 7,
+  kSectionPool = 8,
+};
 
 /// Scoped attribution of device-counter deltas to a metrics slot: every NVM
 /// byte the enclosed operation touches (payload, flag bitmap, NVM-resident
@@ -55,6 +71,8 @@ class DeviceDeltaScope {
 };
 
 }  // namespace
+
+PnwStore::~PnwStore() = default;
 
 PnwStore::PnwStore(const PnwOptions& options)
     : options_(options),
@@ -418,7 +436,11 @@ Status PnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
   if (index_->Get(key).ok()) {
     return Update(key, value);
   }
-  return PutInternal(key, value);
+  Status s = PutInternal(key, value);
+  if (s.ok()) {
+    PNW_RETURN_IF_ERROR(LogOp(persist::OpType::kPut, key, value));
+  }
+  return s;
 }
 
 Result<std::vector<uint8_t>> PnwStore::Get(uint64_t key) {
@@ -474,6 +496,7 @@ Status PnwStore::Delete(uint64_t key) {
   Status s = DeleteInternal(key);
   if (s.ok()) {
     PollBackgroundModel();
+    PNW_RETURN_IF_ERROR(LogOp(persist::OpType::kDelete, key, {}));
   }
   return s;
 }
@@ -490,6 +513,7 @@ Status PnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
     Status s = PutInternal(key, value);
     if (s.ok()) {
       ++metrics_.updates;
+      PNW_RETURN_IF_ERROR(LogOp(persist::OpType::kUpdate, key, value));
     }
     return s;
   }
@@ -525,7 +549,7 @@ Status PnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
   ++metrics_.puts;
   ++metrics_.inplace_updates;
   ++metrics_.updates;
-  return Status::OK();
+  return LogOp(persist::OpType::kUpdate, key, value);
 }
 
 Status PnwStore::SimulateCrashAndRecover() {
@@ -559,6 +583,400 @@ Status PnwStore::SimulateCrashAndRecover() {
   // Retrain the model from the data zone; AdoptModel rebuilds the pool
   // from the occupancy bitmap.
   return TrainModel();
+}
+
+Status PnwStore::Checkpoint(const std::string& path) {
+  PNW_RETURN_IF_ERROR(WriteCheckpoint(path));
+  return FinishCheckpoint(path);
+}
+
+Status PnwStore::WriteCheckpoint(const std::string& path) {
+  // The new epoch ties this snapshot to the op-log FinishCheckpoint will
+  // reset; the bump is rolled back only if the snapshot itself failed to
+  // land (once it is durably renamed in, the epoch must stand -- see
+  // FinishCheckpoint).
+  ++checkpoint_epoch_;
+  persist::SnapshotWriter snap(kSnapshotVersion);
+  {
+    auto& w = snap.AddSection(kSectionOptions);
+    persist::EncodePnwOptions(options_, w);
+  }
+  {
+    auto& w = snap.AddSection(kSectionState);
+    w.PutBool(bootstrapped_);
+    w.PutU64(active_buckets_);
+    w.PutU64(used_buckets_);
+    w.PutU64(puts_since_retrain_);
+    w.PutU64(checkpoint_epoch_);
+    persist::EncodeStoreMetrics(metrics_, w);
+  }
+  {
+    auto& w = snap.AddSection(kSectionDevice);
+    w.PutSizedBytes(device_->Contents());
+    persist::EncodeNvmCounters(device_->counters(), w);
+    w.PutU32Vec(device_->word_write_counts());
+    w.PutU32Vec(device_->line_write_counts());
+    w.PutU16Vec(device_->bit_write_counts());
+  }
+  {
+    auto& w = snap.AddSection(kSectionWear);
+    w.PutU32Vec(wear_->bucket_write_counts());
+  }
+  if (!options_.occupancy_flags_on_nvm) {
+    auto& w = snap.AddSection(kSectionDramFlags);
+    w.PutSizedBytes(dram_flags_);
+  }
+  {
+    auto& w = snap.AddSection(kSectionIndex);
+    w.PutU8(static_cast<uint8_t>(options_.index_placement));
+    if (options_.index_placement == IndexPlacement::kDram) {
+      const auto entries =
+          static_cast<const index::DramHashIndex*>(index_.get())
+              ->LiveEntries();
+      w.PutU64(entries.size());
+      for (const auto& [key, addr] : entries) {
+        w.PutU64(key);
+        w.PutU64(addr);
+      }
+    }
+    // kNvmPathHash: the cells live in the device contents already; only
+    // the live-entry count is DRAM state, and recovery recounts it.
+  }
+  {
+    auto& w = snap.AddSection(kSectionModel);
+    persist::EncodeValueModel(model_.get(), w);
+  }
+  {
+    auto& w = snap.AddSection(kSectionPool);
+    w.PutU64(pool_.num_clusters());
+    for (size_t c = 0; c < pool_.num_clusters(); ++c) {
+      w.PutU64Vec(pool_.FreeList(c));
+    }
+  }
+  Status s = snap.WriteToFile(path);
+  if (!s.ok()) {
+    --checkpoint_epoch_;
+    return s;
+  }
+  carry_log_path_.clear();
+  carry_log_mark_ = 0;
+  log_switched_in_write_ = false;
+  if (op_log_ == nullptr) {
+    // No previous log exists to carry racing operations from (first
+    // checkpoint ever, or a store whose log was detached after an append
+    // failure) -- and in either case no committed checkpoint+log pair is
+    // being protected. Switch to the new generation's log right here,
+    // while the caller still holds the operation lock, so operations
+    // between the two phases are captured instead of falling into a gap.
+    s = AttachOpLog(path + kOpLogSuffix, /*truncate=*/true);
+    if (!s.ok()) {
+      op_log_.reset();
+      return s;
+    }
+    log_switched_in_write_ = true;
+    return Status::OK();
+  }
+  // Remember where the still-attached previous log stands right now:
+  // anything appended past this mark happened after the snapshot and
+  // must be carried into the next generation's log by FinishCheckpoint.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(op_log_->path(), ec);
+  if (ec) {
+    // The epoch-N+1 snapshot is already durable, so the old log's epoch
+    // can never legally replay again: detach it (like FinishCheckpoint's
+    // failure paths) rather than keep acknowledging writes into a file
+    // recovery must discard.
+    const std::string log_path = op_log_->path();
+    op_log_.reset();
+    return Status::Internal("cannot stat op-log " + log_path + ": " +
+                            ec.message());
+  }
+  carry_log_path_ = op_log_->path();
+  carry_log_mark_ = size;
+  return s;
+}
+
+Status PnwStore::FinishCheckpoint(const std::string& path) {
+  if (log_switched_in_write_) {
+    // WriteCheckpoint already put the new generation's log in place.
+    log_switched_in_write_ = false;
+    return Status::OK();
+  }
+  // Collect the records that raced the snapshot (appended to the old log
+  // after WriteCheckpoint's mark) BEFORE any reset -- with an unchanged
+  // log path the reset below would destroy them.
+  std::vector<persist::OpRecord> carried;
+  if (!carry_log_path_.empty()) {
+    auto tail = persist::ReadOpLog(carry_log_path_, carry_log_mark_);
+    if (!tail.ok()) {
+      op_log_.reset();
+      return tail.status();
+    }
+    carried = std::move(tail.value().records);
+  }
+  carry_log_path_.clear();
+  carry_log_mark_ = 0;
+  // Reset the log under the new epoch and keep capturing from there. On
+  // failure the log is detached rather than the epoch rolled back -- the
+  // epoch-N+1 snapshot is already durable, and appending more records to
+  // a stale-epoch log would only grow a file recovery must discard. The
+  // caller sees the error and knows durability is degraded until the
+  // next successful Checkpoint.
+  Status s = AttachOpLog(path + kOpLogSuffix, /*truncate=*/true);
+  if (s.ok()) {
+    for (const auto& rec : carried) {
+      s = op_log_->Append(rec.op, rec.key, rec.value);
+      if (!s.ok()) {
+        break;
+      }
+    }
+  }
+  if (!s.ok()) {
+    op_log_.reset();
+  }
+  return s;
+}
+
+Result<std::unique_ptr<PnwStore>> PnwStore::Open(
+    const std::string& path, const persist::RecoveryOptions& recovery) {
+  auto parsed = persist::SnapshotReader::FromFile(path, kSnapshotVersion);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const persist::SnapshotReader& snap = parsed.value();
+  auto options_section = snap.Section(kSectionOptions);
+  if (!options_section.ok()) {
+    return Status::Corruption("snapshot has no options section");
+  }
+  PnwOptions options;
+  PNW_RETURN_IF_ERROR(
+      persist::DecodePnwOptions(options_section.value(), &options));
+  auto opened = Open(options);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  std::unique_ptr<PnwStore> store = std::move(opened.value());
+  PNW_RETURN_IF_ERROR(store->RestoreFrom(snap));
+
+  const std::string log_path = path + kOpLogSuffix;
+  store->op_log_sync_every_ = recovery.op_log_sync_every;
+  bool log_matches_snapshot = false;
+  if (recovery.replay_op_log || recovery.attach_op_log) {
+    auto log = persist::ReadOpLog(log_path);
+    if (!log.ok()) {
+      return log.status();
+    }
+    // A log from another epoch is one a crash orphaned between a snapshot
+    // rename and the log reset: every record it holds is already folded
+    // into this (newer) snapshot, so it must be discarded, not replayed.
+    log_matches_snapshot = log.value().has_header &&
+                           log.value().epoch == store->checkpoint_epoch_;
+    if (recovery.replay_op_log && log_matches_snapshot) {
+      if (log.value().tail_truncated) {
+        PNW_RETURN_IF_ERROR(
+            persist::TruncateOpLog(log_path, log.value().valid_bytes));
+      }
+      store->replaying_ = true;
+      for (const auto& rec : log.value().records) {
+        Status s;
+        switch (rec.op) {
+          case persist::OpType::kPut:
+          case persist::OpType::kUpdate:
+            s = store->Put(rec.key, rec.value);
+            break;
+          case persist::OpType::kDelete:
+            s = store->Delete(rec.key);
+            break;
+        }
+        if (!s.ok()) {
+          store->replaying_ = false;
+          return Status::Corruption("op-log replay failed: " + s.ToString());
+        }
+      }
+      store->replaying_ = false;
+    }
+  }
+  if (recovery.attach_op_log) {
+    // Keep appending behind the replayed records only when the log both
+    // matches this snapshot's epoch and was actually replayed; otherwise
+    // its content can never legally replay onto the state being served,
+    // so the attach re-stamps it empty under the snapshot's epoch.
+    const bool keep = log_matches_snapshot && recovery.replay_op_log;
+    PNW_RETURN_IF_ERROR(store->AttachOpLog(log_path, /*truncate=*/!keep));
+  }
+  return store;
+}
+
+Status PnwStore::RestoreFrom(const persist::SnapshotReader& snap) {
+  {
+    auto section = snap.Section(kSectionState);
+    if (!section.ok()) {
+      return Status::Corruption("snapshot has no state section");
+    }
+    persist::BufferReader& r = section.value();
+    uint64_t active = 0;
+    uint64_t used = 0;
+    uint64_t since_retrain = 0;
+    PNW_RETURN_IF_ERROR(r.GetBool(&bootstrapped_));
+    PNW_RETURN_IF_ERROR(r.GetU64(&active));
+    PNW_RETURN_IF_ERROR(r.GetU64(&used));
+    PNW_RETURN_IF_ERROR(r.GetU64(&since_retrain));
+    PNW_RETURN_IF_ERROR(r.GetU64(&checkpoint_epoch_));
+    PNW_RETURN_IF_ERROR(persist::DecodeStoreMetrics(r, &metrics_));
+    if (active > options_.capacity_buckets || used > active) {
+      return Status::Corruption("snapshot bucket accounting out of range");
+    }
+    active_buckets_ = active;
+    used_buckets_ = used;
+    puts_since_retrain_ = since_retrain;
+    // The fresh ModelManager starts with zero background failures; the
+    // checkpointed ones are already folded into metrics_.failed_retrains.
+    background_failures_seen_ = 0;
+  }
+  {
+    auto section = snap.Section(kSectionDevice);
+    if (!section.ok()) {
+      return Status::Corruption("snapshot has no device section");
+    }
+    persist::BufferReader& r = section.value();
+    std::vector<uint8_t> contents;
+    nvm::NvmCounters counters;
+    std::vector<uint32_t> word_counts;
+    std::vector<uint32_t> line_counts;
+    std::vector<uint16_t> bit_counts;
+    PNW_RETURN_IF_ERROR(r.GetSizedBytes(&contents));
+    PNW_RETURN_IF_ERROR(persist::DecodeNvmCounters(r, &counters));
+    PNW_RETURN_IF_ERROR(r.GetU32Vec(&word_counts));
+    PNW_RETURN_IF_ERROR(r.GetU32Vec(&line_counts));
+    PNW_RETURN_IF_ERROR(r.GetU16Vec(&bit_counts));
+    PNW_RETURN_IF_ERROR(device_->RestoreState(contents, counters,
+                                              word_counts, line_counts,
+                                              bit_counts));
+  }
+  {
+    auto section = snap.Section(kSectionWear);
+    if (!section.ok()) {
+      return Status::Corruption("snapshot has no wear section");
+    }
+    std::vector<uint32_t> counts;
+    PNW_RETURN_IF_ERROR(section.value().GetU32Vec(&counts));
+    PNW_RETURN_IF_ERROR(wear_->RestoreCounts(counts));
+  }
+  if (!options_.occupancy_flags_on_nvm) {
+    auto section = snap.Section(kSectionDramFlags);
+    if (!section.ok()) {
+      return Status::Corruption("snapshot has no DRAM-flags section");
+    }
+    std::vector<uint8_t> flags;
+    PNW_RETURN_IF_ERROR(section.value().GetSizedBytes(&flags));
+    if (flags.size() != dram_flags_.size()) {
+      return Status::Corruption("snapshot DRAM flag bitmap size mismatch");
+    }
+    dram_flags_ = std::move(flags);
+  }
+  {
+    auto section = snap.Section(kSectionIndex);
+    if (!section.ok()) {
+      return Status::Corruption("snapshot has no index section");
+    }
+    persist::BufferReader& r = section.value();
+    uint8_t placement = 0;
+    PNW_RETURN_IF_ERROR(r.GetU8(&placement));
+    if (placement != static_cast<uint8_t>(options_.index_placement)) {
+      return Status::Corruption(
+          "snapshot index placement does not match its own options");
+    }
+    if (options_.index_placement == IndexPlacement::kDram) {
+      uint64_t n = 0;
+      PNW_RETURN_IF_ERROR(r.GetU64(&n));
+      if (n > r.remaining() / 16) {
+        return Status::Corruption("snapshot index entry count exceeds data");
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t key = 0;
+        uint64_t addr = 0;
+        PNW_RETURN_IF_ERROR(r.GetU64(&key));
+        PNW_RETURN_IF_ERROR(r.GetU64(&addr));
+        PNW_RETURN_IF_ERROR(index_->Put(key, addr));
+      }
+    } else {
+      // Cells were restored with the device contents; recount the
+      // DRAM-side size() counter from them.
+      static_cast<index::PathHashIndex*>(index_.get())->RebuildLiveCount();
+    }
+  }
+  {
+    auto section = snap.Section(kSectionModel);
+    if (!section.ok()) {
+      return Status::Corruption("snapshot has no model section");
+    }
+    auto model = persist::DecodeValueModel(section.value());
+    if (!model.ok()) {
+      return model.status();
+    }
+    // Install without AdoptModel: the pool section below restores the
+    // exact checkpointed free-lists, labels and pop order included.
+    model_ = std::move(model.value());
+    if (model_ != nullptr && model_->k() > pool_.num_clusters()) {
+      return Status::Corruption(
+          "snapshot model has more clusters than the address pool");
+    }
+  }
+  {
+    auto section = snap.Section(kSectionPool);
+    if (!section.ok()) {
+      return Status::Corruption("snapshot has no pool section");
+    }
+    persist::BufferReader& r = section.value();
+    uint64_t clusters = 0;
+    PNW_RETURN_IF_ERROR(r.GetU64(&clusters));
+    if (clusters != pool_.num_clusters()) {
+      return Status::Corruption(
+          "snapshot pool cluster count does not match its own options");
+    }
+    pool_.Clear();
+    for (uint64_t c = 0; c < clusters; ++c) {
+      std::vector<uint64_t> addrs;
+      PNW_RETURN_IF_ERROR(r.GetU64Vec(&addrs));
+      for (uint64_t addr : addrs) {
+        if (addr % bucket_bytes_ != 0 ||
+            addr / bucket_bytes_ >= active_buckets_) {
+          return Status::Corruption("snapshot pool address out of range");
+        }
+        pool_.Insert(c, addr);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PnwStore::AttachOpLog(const std::string& path, bool truncate) {
+  auto log = persist::OpLogWriter::Open(path, op_log_sync_every_,
+                                        checkpoint_epoch_);
+  if (!log.ok()) {
+    return log.status();
+  }
+  op_log_ = std::move(log.value());
+  if (truncate) {
+    return op_log_->Reset(checkpoint_epoch_);
+  }
+  return Status::OK();
+}
+
+Status PnwStore::LogOp(persist::OpType op, uint64_t key,
+                       std::span<const uint8_t> value) {
+  if (op_log_ == nullptr || replaying_) {
+    return Status::OK();
+  }
+  Status s = op_log_->Append(op, key, value);
+  if (!s.ok()) {
+    // The log no longer matches the store; detach it rather than keep
+    // writing records recovery would replay out of order.
+    op_log_.reset();
+    return Status::Internal(
+        "operation applied but its op-log append failed: " + s.ToString());
+  }
+  return Status::OK();
 }
 
 void PnwStore::ResetWearAndMetrics() {

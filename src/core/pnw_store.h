@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/core/dynamic_address_pool.h"
@@ -13,7 +14,13 @@
 #include "src/index/key_index.h"
 #include "src/nvm/nvm_device.h"
 #include "src/nvm/wear_tracker.h"
+#include "src/persist/op_log.h"
+#include "src/persist/recovery.h"
 #include "src/util/status.h"
+
+namespace pnw::persist {
+class SnapshotReader;
+}  // namespace pnw::persist
 
 namespace pnw::core {
 
@@ -38,10 +45,65 @@ namespace pnw::core {
 /// PnwStore shards and serializes access per shard.
 class PnwStore {
  public:
+  /// Bumped whenever the snapshot section layout changes; a snapshot
+  /// written under any other version is rejected with a clean
+  /// InvalidArgument ("snapshot version mismatch") instead of a misparse.
+  static constexpr uint32_t kSnapshotVersion = 1;
+  /// The op-log of a checkpoint at `path` lives at `path + kOpLogSuffix`.
+  static constexpr const char* kOpLogSuffix = ".oplog";
+
   /// Validates options and sizes the simulated device.
   static Result<std::unique_ptr<PnwStore>> Open(const PnwOptions& options);
 
-  ~PnwStore() = default;
+  /// Reopen a checkpointed store: parse + checksum-verify the snapshot at
+  /// `path`, rebuild every DRAM and NVM structure exactly as checkpointed
+  /// (no retraining -- the K-means centroids, PCA basis, pool labels, and
+  /// wear counters come back verbatim), then replay the op-log at
+  /// `path + kOpLogSuffix` (truncating a torn tail first) and re-attach it
+  /// for subsequent writes, per `recovery`. Errors are clean Statuses:
+  /// NotFound (no such snapshot), Corruption (checksum/structural damage),
+  /// InvalidArgument (snapshot version mismatch).
+  static Result<std::unique_ptr<PnwStore>> Open(
+      const std::string& path,
+      const persist::RecoveryOptions& recovery = persist::RecoveryOptions{});
+
+  /// Write a crash-consistent snapshot of the entire store to `path`
+  /// (atomically: temp file + fsync + rename, so a crash mid-checkpoint
+  /// preserves the previous one), then reset + (re)attach the op-log at
+  /// `path + kOpLogSuffix` so every later PUT/UPDATE/DELETE is captured
+  /// for replay. Serialized state: options, data zone + occupancy flags,
+  /// device wear histograms and counters, per-bucket wear, the key index,
+  /// the trained model (encoder + PCA + centroids), the dynamic address
+  /// pool (labels and pop order), and all operation metrics.
+  ///
+  /// Interplay with ResetWearAndMetrics(): a checkpoint is a pure read of
+  /// the current epoch, so checkpointing right after a reset persists the
+  /// zeroed counters (and an open of that snapshot starts the fresh
+  /// epoch). The reset itself is NOT an op-log record: recovering a
+  /// checkpoint taken *before* the reset replays the logged ops on the
+  /// old epoch, i.e. a reset is durable only once a checkpoint follows it.
+  ///
+  /// A background training run in flight is deliberately not captured
+  /// (the snapshot holds the currently-served model); after a crash the
+  /// run is simply lost and retraining re-triggers by the usual pacing.
+  Status Checkpoint(const std::string& path);
+
+  /// Two-phase form of Checkpoint() for coordinated multi-store commits
+  /// (ShardedPnwStore): WriteCheckpoint writes the snapshot only, leaving
+  /// the live op-log untouched -- operations keep being captured against
+  /// the *previous* checkpoint until the coordinator reaches its commit
+  /// point -- and FinishCheckpoint then resets + re-attaches the log at
+  /// `path + kOpLogSuffix` under the new epoch. Checkpoint(path) is
+  /// exactly WriteCheckpoint(path) + FinishCheckpoint(path).
+  Status WriteCheckpoint(const std::string& path);
+  Status FinishCheckpoint(const std::string& path);
+
+  /// True while an op-log is attached and healthy (Checkpoint/Open attach
+  /// one; an append failure detaches it and surfaces Internal on the op
+  /// that could not be captured).
+  bool op_log_attached() const { return op_log_ != nullptr; }
+
+  ~PnwStore();
   PnwStore(const PnwStore&) = delete;
   PnwStore& operator=(const PnwStore&) = delete;
 
@@ -76,7 +138,10 @@ class PnwStore {
 
   /// Number of K/V pairs currently stored.
   size_t size() const { return used_buckets_; }
+  /// Buckets activated so far (the data zone grows toward
+  /// options().capacity_buckets by extension).
   size_t active_buckets() const { return active_buckets_; }
+  /// Occupied fraction of the active data zone (the load factor input).
   double UsedFraction() const {
     return active_buckets_ == 0
                ? 0.0
@@ -84,16 +149,24 @@ class PnwStore {
                      static_cast<double>(active_buckets_);
   }
 
+  /// The validated configuration this store was opened with.
   const PnwOptions& options() const { return options_; }
+  /// Operation counters and latency attribution since the last reset.
   const StoreMetrics& metrics() const { return metrics_; }
   /// PUTs since the last (re)training, i.e. the retrain-pacing state that
   /// gates load-factor-triggered retraining (zeroed by ResetWearAndMetrics
   /// so a measured epoch never inherits warm-up pacing).
   size_t puts_since_retrain() const { return puts_since_retrain_; }
+  /// The simulated PCM device backing the data zone (and, per options,
+  /// the occupancy bitmap and NVM-resident index).
   nvm::NvmDevice& device() { return *device_; }
+  /// Per-bucket K/V write counts (paper Fig. 12 input).
   const nvm::WearTracker& wear_tracker() const { return *wear_; }
+  /// The dynamic address pool: one free-list per predicted cluster.
   DynamicAddressPool& pool() { return pool_; }
+  /// Currently served model; null while the store places model-less (DCW).
   std::shared_ptr<const ValueModel> model() const { return model_; }
+  /// The (re)training owner, for inspecting background-run status.
   ModelManager& model_manager() { return *manager_; }
 
   /// Zero all wear counters and operation metrics (benches call this after
@@ -138,6 +211,21 @@ class PnwStore {
   /// Collect a finished background model, if any.
   void PollBackgroundModel();
 
+  /// Restore every serialized section of `snap` into this freshly-Init'd
+  /// store (geometry mismatches fail with Corruption).
+  Status RestoreFrom(const persist::SnapshotReader& snap);
+
+  /// Open (and optionally truncate + re-stamp with the current checkpoint
+  /// epoch) the op-log at `path` and attach it so LogOp captures
+  /// subsequent operations.
+  Status AttachOpLog(const std::string& path, bool truncate);
+
+  /// Append one record to the attached op-log (no-op when none is
+  /// attached or while replaying). On append failure the log is detached
+  /// -- it no longer matches the store -- and Internal is returned.
+  Status LogOp(persist::OpType op, uint64_t key,
+               std::span<const uint8_t> value);
+
   PnwOptions options_;
   size_t key_bytes_;  // 8 when keys live in the data zone, else 0
   size_t bucket_bytes_;
@@ -161,6 +249,31 @@ class PnwStore {
   std::vector<uint8_t> dram_flags_;
   bool bootstrapped_ = false;
   StoreMetrics metrics_;
+  /// Attached write-ahead log (null until Checkpoint/Open attaches one).
+  std::unique_ptr<persist::OpLogWriter> op_log_;
+  /// Group-fsync interval for (re)attached logs; set by Open's
+  /// RecoveryOptions and reused by later Checkpoints so an operator's
+  /// durability setting survives re-checkpointing.
+  size_t op_log_sync_every_ = persist::RecoveryOptions{}.op_log_sync_every;
+  /// Monotonic checkpoint generation. Stamped into every snapshot and
+  /// into the op-log header, tying each log to exactly one snapshot: a
+  /// log left behind by a crash between snapshot rename and log reset
+  /// carries the previous epoch and is discarded on recovery instead of
+  /// replaying records the snapshot already contains.
+  uint64_t checkpoint_epoch_ = 0;
+  /// Between WriteCheckpoint and FinishCheckpoint: the previous log and
+  /// its size at snapshot time. Operations logged past that mark raced
+  /// the snapshot (sharded phase-1 runs shard by shard while the others
+  /// keep serving); FinishCheckpoint re-appends them to the fresh log so
+  /// they stay durable even though the new snapshot predates them.
+  std::string carry_log_path_;
+  uint64_t carry_log_mark_ = 0;
+  /// Set when WriteCheckpoint already attached the new generation's log
+  /// (no previous log existed to carry from -- first checkpoint or a
+  /// degraded store); FinishCheckpoint then has nothing left to switch.
+  bool log_switched_in_write_ = false;
+  /// True while Open() replays the log: replayed ops must not re-append.
+  bool replaying_ = false;
 };
 
 }  // namespace pnw::core

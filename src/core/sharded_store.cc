@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
+#include <thread>
 #include <utility>
+
+#include "src/persist/snapshot.h"
+#include "src/persist/store_codec.h"
+#include "src/util/thread_pool.h"
 
 namespace pnw::core {
 
@@ -113,6 +120,163 @@ Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
 
 size_t ShardedPnwStore::ShardOf(uint64_t key) const {
   return MixKey(key) & (shards_.size() - 1);
+}
+
+std::string ShardedPnwStore::ShardSnapshotName(size_t i) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04zu.snap", i);
+  return name;
+}
+
+namespace {
+
+/// MANIFEST section id (the manifest is a one-section snapshot container).
+constexpr uint32_t kManifestSection = 1;
+
+/// Workers for parallel shard checkpoint/recovery: one per shard, capped
+/// by the machine's core count.
+size_t CheckpointThreads(size_t num_shards) {
+  const size_t hw = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  return std::max<size_t>(1, std::min(num_shards, hw));
+}
+
+/// Directory of one checkpoint generation inside the checkpoint dir.
+std::string EpochDirName(uint64_t epoch) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "epoch-%06llu",
+                static_cast<unsigned long long>(epoch));
+  return name;
+}
+
+}  // namespace
+
+Status ShardedPnwStore::Checkpoint(const std::string& dir) {
+  // Each checkpoint writes a fresh generation directory; the manifest
+  // rename below is the commit point, so a crash anywhere before it
+  // leaves the previous generation (and the manifest pointing at it)
+  // untouched.
+  const uint64_t epoch = checkpoint_epoch_ + 1;
+  const std::string epoch_dir = dir + "/" + EpochDirName(epoch);
+  std::error_code ec;
+  std::filesystem::create_directories(epoch_dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create checkpoint directory " +
+                            epoch_dir + ": " + ec.message());
+  }
+  // Phase 1: snapshots only. Every shard keeps logging into its
+  // *committed* generation's op-log, so a failure anywhere up to the
+  // manifest commit leaves the durable state exactly as before this call
+  // -- no write is ever captured only by an uncommitted generation.
+  std::vector<Status> statuses(shards_.size());
+  {
+    ThreadPool pool(CheckpointThreads(shards_.size()));
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      pool.Submit([this, &epoch_dir, &statuses, i] {
+        std::lock_guard<std::mutex> lock(shards_[i]->mu);
+        statuses[i] = shards_[i]->store->WriteCheckpoint(
+            epoch_dir + "/" + ShardSnapshotName(i));
+      });
+    }
+    pool.Wait();
+  }
+  for (const Status& s : statuses) {
+    PNW_RETURN_IF_ERROR(s);
+  }
+  persist::SnapshotWriter manifest(kManifestVersion);
+  auto& w = manifest.AddSection(kManifestSection);
+  w.PutU64(shards_.size());
+  w.PutBool(options_.split_buckets);
+  w.PutU64(epoch);
+  persist::EncodePnwOptions(options_.store, w);
+  PNW_RETURN_IF_ERROR(manifest.WriteToFile(dir + "/" + kManifestName));
+  checkpoint_epoch_ = epoch;
+  // Phase 2, after the commit point: switch every shard's op-log to the
+  // new generation. Ops a shard acknowledges between the manifest rename
+  // and its own switch land in the old generation's log only -- the one
+  // bounded loss window a crash in this phase can cause.
+  {
+    ThreadPool pool(CheckpointThreads(shards_.size()));
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      pool.Submit([this, &epoch_dir, &statuses, i] {
+        std::lock_guard<std::mutex> lock(shards_[i]->mu);
+        statuses[i] = shards_[i]->store->FinishCheckpoint(
+            epoch_dir + "/" + ShardSnapshotName(i));
+      });
+    }
+    pool.Wait();
+  }
+  for (const Status& s : statuses) {
+    PNW_RETURN_IF_ERROR(s);
+  }
+  // Only after the new manifest is durable: drop superseded generations
+  // (and any partial ones a crashed checkpoint left). Failures here are
+  // ignored -- leftovers waste disk but are never opened.
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("epoch-", 0) == 0 &&
+        entry.path().filename().string() != EpochDirName(epoch)) {
+      std::filesystem::remove_all(entry.path(), ec);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
+    const std::string& dir, const persist::RecoveryOptions& recovery) {
+  auto parsed = persist::SnapshotReader::FromFile(dir + "/" + kManifestName,
+                                                  kManifestVersion);
+  if (!parsed.ok()) {
+    if (parsed.status().IsNotFound()) {
+      return Status::NotFound(
+          dir + " has no " + std::string(kManifestName) +
+          " -- not a sharded checkpoint, or the checkpoint never finished");
+    }
+    return parsed.status();
+  }
+  auto section = parsed.value().Section(kManifestSection);
+  if (!section.ok()) {
+    return Status::Corruption("sharded manifest has no content section");
+  }
+  persist::BufferReader& r = section.value();
+  ShardedOptions options;
+  uint64_t num_shards = 0;
+  uint64_t epoch = 0;
+  PNW_RETURN_IF_ERROR(r.GetU64(&num_shards));
+  PNW_RETURN_IF_ERROR(r.GetBool(&options.split_buckets));
+  PNW_RETURN_IF_ERROR(r.GetU64(&epoch));
+  PNW_RETURN_IF_ERROR(persist::DecodePnwOptions(r, &options.store));
+  if (num_shards == 0 || (num_shards & (num_shards - 1)) != 0 ||
+      num_shards > (size_t{1} << 20)) {
+    return Status::Corruption("sharded manifest shard count out of range");
+  }
+  options.num_shards = num_shards;
+
+  std::unique_ptr<ShardedPnwStore> store(new ShardedPnwStore(options));
+  store->checkpoint_epoch_ = epoch;
+  store->shards_.resize(num_shards);
+  const std::string epoch_dir = dir + "/" + EpochDirName(epoch);
+  std::vector<Status> statuses(num_shards);
+  {
+    ThreadPool pool(CheckpointThreads(num_shards));
+    for (size_t i = 0; i < num_shards; ++i) {
+      pool.Submit([&store, &epoch_dir, &statuses, &recovery, i] {
+        auto shard =
+            PnwStore::Open(epoch_dir + "/" + ShardSnapshotName(i), recovery);
+        if (!shard.ok()) {
+          statuses[i] = shard.status();
+          return;
+        }
+        auto slot = std::make_unique<Shard>();
+        slot->store = std::move(shard.value());
+        store->shards_[i] = std::move(slot);
+      });
+    }
+    pool.Wait();
+  }
+  for (const Status& s : statuses) {
+    PNW_RETURN_IF_ERROR(s);
+  }
+  return store;
 }
 
 Status ShardedPnwStore::Bootstrap(

@@ -10,6 +10,7 @@
 
 #include "src/core/metrics.h"
 #include "src/core/pnw_store.h"
+#include "src/persist/recovery.h"
 #include "src/util/status.h"
 
 namespace pnw::core {
@@ -69,6 +70,7 @@ struct ShardedMetrics {
   /// a run where shards execute in parallel.
   double MaxShardDeviceNs() const;
 
+  /// Summed totals plus the shard count and imbalance measures, one line.
   std::string ToString() const;
 };
 
@@ -88,10 +90,49 @@ struct ShardedMetrics {
 /// `shard(i)` accessor is for tests/benches inspecting a quiesced store.
 class ShardedPnwStore {
  public:
+  /// Bumped whenever the MANIFEST layout changes (shard snapshots carry
+  /// their own version, PnwStore::kSnapshotVersion).
+  static constexpr uint32_t kManifestVersion = 1;
+  /// Checkpoint-directory file names: the manifest, and one snapshot (plus
+  /// its `.oplog`) per shard, named by ShardSnapshotName().
+  static constexpr const char* kManifestName = "MANIFEST";
+
   /// Validates options (power-of-two shard count, enough buckets to split)
   /// and opens every shard.
   static Result<std::unique_ptr<ShardedPnwStore>> Open(
       const ShardedOptions& options);
+
+  /// Reopen a checkpoint directory written by Checkpoint(): reads the
+  /// MANIFEST (its absence means "not a finished checkpoint" -- the
+  /// manifest is written last), then recovers every shard snapshot in
+  /// parallel on a util::ThreadPool, replaying each shard's own op-log per
+  /// `recovery`. The recovered store has the same shard count, routing,
+  /// per-shard models, pools, and wear domains as the checkpointed one.
+  static Result<std::unique_ptr<ShardedPnwStore>> Open(
+      const std::string& dir,
+      const persist::RecoveryOptions& recovery = persist::RecoveryOptions{});
+
+  /// Two-phase checkpoint into a fresh `dir/epoch-NNNNNN/` generation.
+  /// Phase 1 snapshots every shard in parallel (one thread-pool task per
+  /// shard, each locking only its shard) while the shards keep logging
+  /// into the *committed* generation -- so an error or crash anywhere up
+  /// to the commit leaves durability exactly as before the call. The
+  /// commit point is the atomic write of `dir/MANIFEST`; phase 2 then
+  /// switches every shard's op-log (`shard-NNNN.snap.oplog` inside the
+  /// generation) to the new generation -- carrying over the records of
+  /// operations that raced the shard's snapshot, so in the absence of a
+  /// crash no acknowledged write is ever dropped -- and superseded or
+  /// partial generations are garbage-collected. A crash mid-checkpoint
+  /// therefore recovers the previous complete generation; a crash
+  /// between the manifest commit and a shard's log switch can lose only
+  /// the operations that shard acknowledged inside that window. The snapshot
+  /// is crash-consistent *per shard*, not a global point in time (keys
+  /// routed to different shards may be captured at slightly different
+  /// moments). Call from one thread at a time.
+  Status Checkpoint(const std::string& dir);
+
+  /// File name of shard `i`'s snapshot inside a checkpoint generation.
+  static std::string ShardSnapshotName(size_t i);
 
   ~ShardedPnwStore() = default;
   ShardedPnwStore(const ShardedPnwStore&) = delete;
@@ -123,7 +164,9 @@ class ShardedPnwStore {
   /// Total K/V pairs across all shards.
   size_t size() const;
 
+  /// Number of independent shards (a power of two).
   size_t num_shards() const { return shards_.size(); }
+  /// The validated configuration this store was opened with.
   const ShardedOptions& options() const { return options_; }
 
   /// Which shard `key` routes to.
@@ -142,6 +185,9 @@ class ShardedPnwStore {
 
   ShardedOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Monotonic checkpoint generation; each Checkpoint() writes into
+  /// dir/epoch-<n>/ and commits it via the manifest (restored on Open).
+  uint64_t checkpoint_epoch_ = 0;
 };
 
 }  // namespace pnw::core

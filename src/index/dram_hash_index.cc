@@ -24,6 +24,18 @@ Result<uint64_t> DramHashIndex::Get(uint64_t key) {
   return it->second.addr;
 }
 
+std::vector<std::pair<uint64_t, uint64_t>> DramHashIndex::LiveEntries()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(live_);
+  for (const auto& [key, entry] : map_) {
+    if (entry.live) {
+      entries.emplace_back(key, entry.addr);
+    }
+  }
+  return entries;
+}
+
 Status DramHashIndex::Delete(uint64_t key) {
   auto it = map_.find(key);
   if (it == map_.end() || !it->second.live) {

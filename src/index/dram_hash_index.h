@@ -1,7 +1,10 @@
 #ifndef PNW_INDEX_DRAM_HASH_INDEX_H_
 #define PNW_INDEX_DRAM_HASH_INDEX_H_
 
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/index/key_index.h"
 
@@ -19,6 +22,12 @@ class DramHashIndex final : public KeyIndex {
   Result<uint64_t> Get(uint64_t key) override;
   Status Delete(uint64_t key) override;
   size_t size() const override { return live_; }
+
+  /// All live (key, addr) mappings, in unspecified order. Tombstones are
+  /// skipped: a dead entry is observationally identical to an absent one
+  /// (Get/Delete -> NotFound, Put revives either way), so checkpoints
+  /// serialize only the live set.
+  std::vector<std::pair<uint64_t, uint64_t>> LiveEntries() const;
 
  private:
   struct Entry {

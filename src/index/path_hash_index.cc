@@ -100,6 +100,19 @@ Result<uint64_t> PathHashIndex::Locate(uint64_t key) {
   return Status::NotFound("key not in path-hash index");
 }
 
+void PathHashIndex::RebuildLiveCount() {
+  size_t live = 0;
+  for (size_t l = 0; l < num_levels_; ++l) {
+    const size_t cells_at_level = root_cells_ >> l;
+    for (uint64_t p = 0; p < cells_at_level; ++p) {
+      if (LoadCell(CellAddr(l, p)).flags & kLiveFlag) {
+        ++live;
+      }
+    }
+  }
+  live_ = live;
+}
+
 Status PathHashIndex::Put(uint64_t key, uint64_t addr) {
   // Overwrite in place if the key is already present.
   auto existing = Locate(key);

@@ -45,6 +45,12 @@ class PathHashIndex final : public KeyIndex {
   Status Delete(uint64_t key) override;
   size_t size() const override { return live_; }
 
+  /// Recount the DRAM-side live-entry counter from the NVM-resident cells
+  /// (a cost-free Peek scan). Called after recovery restores the device
+  /// contents this index lives in: the cells come back with the data zone,
+  /// but `size()` is DRAM state and must be rebuilt.
+  void RebuildLiveCount();
+
  private:
   struct Cell {
     uint64_t key;

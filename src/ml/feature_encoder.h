@@ -30,6 +30,12 @@ class BitFeatureEncoder {
   /// Output dimensionality.
   size_t dims() const { return dims_; }
   size_t value_bytes() const { return value_bytes_; }
+  /// True when the bit vector is folded down to dims() features (dims() is
+  /// then the effective max_features; an unfolded encoder reconstructs
+  /// with max_features = 0). Exposed so a trained encoder can be
+  /// serialized and rebuilt bit-identically by the persist layer.
+  bool folded() const { return folded_; }
+  size_t byte_stride() const { return byte_stride_; }
 
   /// Encode one value into `out` (must have size dims()).
   void Encode(std::span<const uint8_t> value, std::span<float> out) const;

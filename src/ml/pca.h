@@ -58,6 +58,15 @@ class PcaModel {
   double CumulativeVarianceRatio(size_t m) const;
 
   const Matrix& components() const { return components_; }
+  /// Training-set mean subtracted before projection (needed, with the
+  /// components, to serialize a trained model -- paper recipe: PCA basis
+  /// persists across restarts so recovery never re-fits it).
+  const std::vector<float>& mean() const { return mean_; }
+  /// All component eigenvalues (see explained_variance(i)).
+  const std::vector<double>& explained_variances() const {
+    return explained_variance_;
+  }
+  double total_variance() const { return total_variance_; }
 
  private:
   std::vector<float> mean_;

@@ -1,5 +1,6 @@
 #include "src/nvm/nvm_device.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -164,6 +165,28 @@ Result<WriteResult> NvmDevice::WriteDifferential(
   counters_.total_payload_bits += data.size() * 8;
   counters_.total_latency_ns += result.latency_ns;
   return result;
+}
+
+Status NvmDevice::RestoreState(std::span<const uint8_t> contents,
+                               const NvmCounters& counters,
+                               std::span<const uint32_t> word_counts,
+                               std::span<const uint32_t> line_counts,
+                               std::span<const uint16_t> bit_counts) {
+  if (contents.size() != data_.size() ||
+      word_counts.size() != word_write_counts_.size() ||
+      line_counts.size() != line_write_counts_.size() ||
+      bit_counts.size() != bit_write_counts_.size()) {
+    return Status::Corruption(
+        "checkpointed device state does not match this device's geometry");
+  }
+  std::memcpy(data_.data(), contents.data(), contents.size());
+  std::copy(word_counts.begin(), word_counts.end(),
+            word_write_counts_.begin());
+  std::copy(line_counts.begin(), line_counts.end(),
+            line_write_counts_.begin());
+  std::copy(bit_counts.begin(), bit_counts.end(), bit_write_counts_.begin());
+  counters_ = counters;
+  return Status::OK();
 }
 
 void NvmDevice::ResetCounters() {

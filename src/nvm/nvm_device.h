@@ -106,6 +106,21 @@ class NvmDevice {
   const NvmCounters& counters() const { return counters_; }
   void ResetCounters();
 
+  /// The entire simulated memory, for checkpointing (equivalent to
+  /// Peek(0, size()); no latency or counter effects).
+  std::span<const uint8_t> Contents() const { return data_; }
+
+  /// Restore a checkpointed device verbatim: contents, cumulative
+  /// counters, and the per-word / per-line / per-bit wear histograms
+  /// (`bit_counts` must be empty exactly when the device was configured
+  /// without `track_bit_wear`). Every span length must match this device's
+  /// geometry -- a mismatch is Corruption and leaves the device untouched.
+  Status RestoreState(std::span<const uint8_t> contents,
+                      const NvmCounters& counters,
+                      std::span<const uint32_t> word_counts,
+                      std::span<const uint32_t> line_counts,
+                      std::span<const uint16_t> bit_counts);
+
   /// Testing hook: make upcoming write operations fail. The next `skip`
   /// writes succeed normally, then `count` writes fail with
   /// Status::Internal *before* any cell is modified or any counter is

@@ -38,6 +38,15 @@ EmpiricalCdf WearTracker::BitWriteCdf(size_t sample_stride) const {
   return EmpiricalCdf(std::move(obs));
 }
 
+Status WearTracker::RestoreCounts(std::span<const uint32_t> counts) {
+  if (counts.size() != bucket_write_counts_.size()) {
+    return Status::Corruption(
+        "checkpointed wear counters do not match this store's bucket count");
+  }
+  std::copy(counts.begin(), counts.end(), bucket_write_counts_.begin());
+  return Status::OK();
+}
+
 uint32_t WearTracker::MaxBucketWrites() const {
   uint32_t max = 0;
   for (uint32_t c : bucket_write_counts_) {

@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/nvm/nvm_device.h"
 #include "src/util/stats.h"
+#include "src/util/status.h"
 
 namespace pnw::nvm {
 
@@ -41,6 +43,10 @@ class WearTracker {
 
   /// Maximum writes any single bucket received.
   uint32_t MaxBucketWrites() const;
+
+  /// Restore checkpointed per-bucket counters verbatim (recovery path;
+  /// `counts` must have exactly bucket_write_counts().size() entries).
+  Status RestoreCounts(std::span<const uint32_t> counts);
 
  private:
   const NvmDevice* device_;

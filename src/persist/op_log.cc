@@ -1,0 +1,188 @@
+#include "src/persist/op_log.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "src/persist/crc32.h"
+#include "src/persist/serializer.h"
+
+namespace pnw::persist {
+
+namespace {
+
+constexpr char kLogMagic[8] = {'P', 'N', 'W', 'L', 'O', 'G', '1', '\n'};
+/// Header = magic + u64 checkpoint epoch.
+constexpr size_t kHeaderBytes = sizeof(kLogMagic) + 8;
+/// Record body = op (1) + key (8); value bytes follow.
+constexpr size_t kBodyFixedBytes = 9;
+/// Record frame = crc (4) + body_length (4).
+constexpr size_t kFrameBytes = 8;
+
+}  // namespace
+
+Result<std::unique_ptr<OpLogWriter>> OpLogWriter::Open(
+    const std::string& path, size_t sync_every, uint64_t epoch) {
+  if (sync_every == 0) {
+    return Status::InvalidArgument("op-log sync_every must be >= 1");
+  }
+  // Append mode creates the file when missing and positions every write at
+  // the end, so re-attaching after recovery continues behind the replayed
+  // records.
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::Internal("op-log open failed for " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::unique_ptr<OpLogWriter> writer(
+      new OpLogWriter(path, file, sync_every));
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (!ec && size == 0) {
+    PNW_RETURN_IF_ERROR(writer->WriteHeader(epoch));
+    // A brand-new log file is a new directory entry: persist it, or a
+    // power failure could drop the whole (otherwise fsync'd) log.
+    SyncParentDir(path);
+  }
+  return writer;
+}
+
+Status OpLogWriter::WriteHeader(uint64_t epoch) {
+  BufferWriter header;
+  header.PutBytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(kLogMagic), sizeof(kLogMagic)));
+  header.PutU64(epoch);
+  const auto& bytes = header.data();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
+      std::fflush(file_) != 0) {
+    return Status::Internal("op-log header write failed for " + path_);
+  }
+  return Status::OK();
+}
+
+OpLogWriter::~OpLogWriter() {
+  if (file_ != nullptr) {
+    (void)Sync();
+    std::fclose(file_);
+  }
+}
+
+Status OpLogWriter::Append(OpType op, uint64_t key,
+                           std::span<const uint8_t> value) {
+  BufferWriter body;
+  body.PutU8(static_cast<uint8_t>(op));
+  body.PutU64(key);
+  body.PutBytes(value);
+  BufferWriter frame;
+  frame.PutU32(Crc32(body.data()));
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutBytes(body.data());
+  const auto& bytes = frame.data();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::Internal("op-log append failed for " + path_);
+  }
+  // Hand the record to the OS on every append (a process crash loses
+  // nothing); pay the device sync only per group.
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("op-log flush failed for " + path_);
+  }
+  ++appended_;
+  if (++since_sync_ >= sync_every_) {
+    return Sync();
+  }
+  return Status::OK();
+}
+
+Status OpLogWriter::Sync() {
+  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    return Status::Internal("op-log fsync failed for " + path_);
+  }
+  since_sync_ = 0;
+  return Status::OK();
+}
+
+Status OpLogWriter::Reset(uint64_t epoch) {
+  if (std::fflush(file_) != 0 || ::ftruncate(fileno(file_), 0) != 0) {
+    return Status::Internal("op-log truncate failed for " + path_);
+  }
+  // "ab" keeps appending at the (new) end; re-seek for portability.
+  std::fseek(file_, 0, SEEK_END);
+  PNW_RETURN_IF_ERROR(WriteHeader(epoch));
+  return Sync();
+}
+
+Result<OpLogContents> ReadOpLog(const std::string& path,
+                                uint64_t resume_offset) {
+  OpLogContents contents;
+  auto file = ReadFileBytes(path);
+  if (!file.ok()) {
+    if (file.status().IsNotFound()) {
+      return contents;  // no log yet: nothing to replay
+    }
+    return file.status();
+  }
+  const std::vector<uint8_t>& bytes = file.value();
+  if (bytes.empty()) {
+    return contents;
+  }
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kLogMagic, sizeof(kLogMagic)) != 0) {
+    return Status::Corruption("not a PNW op-log: " + path);
+  }
+  {
+    BufferReader header(std::span<const uint8_t>(
+        bytes.data() + sizeof(kLogMagic), kHeaderBytes - sizeof(kLogMagic)));
+    PNW_RETURN_IF_ERROR(header.GetU64(&contents.epoch));
+  }
+  contents.has_header = true;
+  const size_t start =
+      std::max<uint64_t>(kHeaderBytes,
+                         std::min<uint64_t>(resume_offset, bytes.size()));
+  contents.valid_bytes = start;
+  BufferReader r(std::span<const uint8_t>(bytes.data() + start,
+                                          bytes.size() - start));
+  while (!r.AtEnd()) {
+    uint32_t crc = 0;
+    uint32_t body_len = 0;
+    if (r.remaining() < kFrameBytes || !r.GetU32(&crc).ok() ||
+        !r.GetU32(&body_len).ok() || body_len < kBodyFixedBytes ||
+        body_len > r.remaining()) {
+      contents.tail_truncated = true;
+      break;
+    }
+    std::vector<uint8_t> body(body_len);
+    if (!r.GetBytes(body).ok() || Crc32(body) != crc) {
+      contents.tail_truncated = true;
+      break;
+    }
+    BufferReader br(body);
+    OpRecord rec;
+    uint8_t op = 0;
+    if (!br.GetU8(&op).ok() || op > static_cast<uint8_t>(OpType::kDelete) ||
+        !br.GetU64(&rec.key).ok()) {
+      contents.tail_truncated = true;
+      break;
+    }
+    rec.op = static_cast<OpType>(op);
+    rec.value.assign(body.begin() + kBodyFixedBytes, body.end());
+    contents.records.push_back(std::move(rec));
+    contents.valid_bytes = start + r.position();
+  }
+  return contents;
+}
+
+Status TruncateOpLog(const std::string& path, uint64_t valid_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    return Status::Internal("op-log truncate failed for " + path + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace pnw::persist

@@ -1,0 +1,46 @@
+#ifndef PNW_PERSIST_STORE_CODEC_H_
+#define PNW_PERSIST_STORE_CODEC_H_
+
+#include <memory>
+
+#include "src/core/metrics.h"
+#include "src/core/model_manager.h"
+#include "src/core/pnw_options.h"
+#include "src/ml/matrix.h"
+#include "src/nvm/nvm_device.h"
+#include "src/persist/serializer.h"
+#include "src/util/status.h"
+
+namespace pnw::persist {
+
+/// Field-level codecs shared by the PnwStore snapshot and the
+/// ShardedPnwStore manifest. Each Encode* writes a fixed field order; the
+/// matching Decode* validates ranges (enums, sizes) so a corrupted or
+/// adversarial payload fails with a clean Status instead of constructing
+/// an impossible store. The snapshot payload version (see
+/// core::PnwStore::kSnapshotVersion) is bumped whenever any of these
+/// layouts change.
+
+void EncodePnwOptions(const core::PnwOptions& options, BufferWriter& w);
+Status DecodePnwOptions(BufferReader& r, core::PnwOptions* options);
+
+void EncodeMatrix(const ml::Matrix& m, BufferWriter& w);
+Status DecodeMatrix(BufferReader& r, ml::Matrix* m);
+
+/// Serializes the full prediction pipeline: bit-feature encoder geometry,
+/// the optional PCA basis (mean + components + variances), and the K-means
+/// centroids -- everything needed to serve predictions after recovery
+/// without retraining. `model` may be null (a model-less store).
+void EncodeValueModel(const core::ValueModel* model, BufferWriter& w);
+Result<std::shared_ptr<const core::ValueModel>> DecodeValueModel(
+    BufferReader& r);
+
+void EncodeStoreMetrics(const core::StoreMetrics& m, BufferWriter& w);
+Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m);
+
+void EncodeNvmCounters(const nvm::NvmCounters& c, BufferWriter& w);
+Status DecodeNvmCounters(BufferReader& r, nvm::NvmCounters* c);
+
+}  // namespace pnw::persist
+
+#endif  // PNW_PERSIST_STORE_CODEC_H_

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kUnimplemented:
       return "Unimplemented";
+    case Status::Code::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -25,6 +25,11 @@ class Status {
     kFailedPrecondition = 5,
     kInternal = 6,
     kUnimplemented = 7,
+    /// Persisted state (snapshot section, op-log record) failed its
+    /// checksum or structural validation: the bytes on disk cannot be
+    /// trusted. Distinct from kInvalidArgument so recovery callers can
+    /// tell "you asked for something nonsensical" from "the file rotted".
+    kCorruption = 8,
   };
 
   Status() = default;
@@ -57,6 +62,9 @@ class Status {
   static Status Unimplemented(std::string_view msg) {
     return Status(Code::kUnimplemented, msg);
   }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -67,6 +75,7 @@ class Status {
     return code_ == Code::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
