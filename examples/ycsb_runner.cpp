@@ -12,9 +12,17 @@
 // thread runs its own operation stream (own generator seed, own value RNG)
 // and the per-shard metrics are merged into one report. Two throughput
 // numbers are printed: wall-clock kops/s (honest about this machine's core
-// count) and simulated kops/s, which divides the summed simulated
-// device+prediction busy time by the parallelism the shards allow -- the
-// number the rest of this repo's latency accounting speaks in.
+// count) and simulated kops/s, which spreads exclusive-lock busy time
+// (writes, deletes, prediction) over min(threads, shards) lanes and
+// shared-lock read time over all reader threads -- the number the rest of
+// this repo's latency accounting speaks in.
+//
+// --batch=N routes plain reads through ShardedPnwStore::MultiGet in
+// batches of N (one shared-lock acquisition per involved shard per batch),
+// which pays off on the read-mostly B/C/D mixes. Each mix row is followed
+// by a reconciliation line proving the read books balance:
+// gets + get_misses == client reads, and the PUT placement attribution
+// sums to puts. The run exits nonzero if either ever fails.
 //
 // --checkpoint-every=N makes thread 0 checkpoint the whole sharded store
 // into --checkpoint-dir every N of its operations (PR 3 durability: shard
@@ -44,6 +52,7 @@ size_t kRecords = 2048;
 size_t kOps = 8192;
 size_t kThreads = 1;
 size_t kShards = 1;
+size_t kBatch = 1;  // 1 = per-key Get; >1 = MultiGet batches of this size
 size_t kCheckpointEvery = 0;  // 0 = checkpointing off
 std::string kCheckpointDir;
 constexpr size_t kValueBytes = 128;
@@ -57,8 +66,15 @@ void PrintUsage(const char* argv0) {
       "  --threads=N            client threads, each with its own op\n"
       "                         stream (default 1)\n"
       "  --shards=N             ShardedPnwStore shards, power of two;\n"
-      "                         threads scale only as far as shards\n"
+      "                         writes scale only as far as shards, reads\n"
+      "                         scale with threads (shared locks)\n"
       "                         (default 1)\n"
+      "  --batch=N              issue plain reads through MultiGet in\n"
+      "                         batches of N (one shared-lock acquisition\n"
+      "                         per involved shard per batch; pays off on\n"
+      "                         the read-mostly B/C/D mixes). Batches\n"
+      "                         flush before any write so read-your-write\n"
+      "                         order is preserved (default 1 = off)\n"
       "  --checkpoint-every=N   thread 0 checkpoints the store every N of\n"
       "                         its ops while the others keep serving\n"
       "                         (default off)\n"
@@ -139,10 +155,19 @@ std::vector<uint8_t> MakeValue(uint64_t key, uint64_t version,
 }
 
 struct ThreadCounts {
+  /// Store-level tallies: `reads` counts every GET issued to the store
+  /// (including the read half of a read-modify-write), which is what must
+  /// reconcile with StoreMetrics::gets + get_misses.
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t inserts = 0;
-  /// Statuses that are not ok and not a legal NotFound race outcome.
+  /// Read-modify-writes executed. Each RMW contributed to *both* `reads`
+  /// and `writes` above, so client ops = reads + writes + inserts - rmws
+  /// (each client op counted exactly once).
+  uint64_t rmws = 0;
+  /// Statuses that are not ok and not a legal NotFound race outcome,
+  /// counted at most once per client op (an RMW whose halves both fail is
+  /// still one failed client op).
   uint64_t hard_failures = 0;
 };
 
@@ -184,34 +209,76 @@ ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
       ++counts.hard_failures;
     }
   };
+  // --batch: plain reads are buffered and issued through MultiGet. The
+  // buffer flushes when full, before any write (so a read enqueued before
+  // an overwrite of the same key cannot observe the later value), and at
+  // the end of the stream.
+  std::vector<uint64_t> pending_reads;
+  if (kBatch > 1) {
+    pending_reads.reserve(kBatch);
+  }
+  auto flush_reads = [&store, &counts, &pending_reads] {
+    if (pending_reads.empty()) {
+      return;
+    }
+    const auto results = store.MultiGet(pending_reads);
+    for (const auto& got : results) {
+      if (!got.ok() && !got.status().IsNotFound()) {
+        ++counts.hard_failures;
+      }
+    }
+    counts.reads += pending_reads.size();
+    pending_reads.clear();
+  };
   for (size_t i = 0; i < ops; ++i) {
     const YcsbOp op = gen.Next();
     switch (op.type) {
       case YcsbOp::Type::kRead:
-        if (const auto got = store.Get(op.key);
-            !got.ok() && !got.status().IsNotFound()) {
-          ++counts.hard_failures;
+        if (kBatch > 1) {
+          pending_reads.push_back(op.key);
+          if (pending_reads.size() >= kBatch) {
+            flush_reads();
+          }
+        } else {
+          if (const auto got = store.Get(op.key);
+              !got.ok() && !got.status().IsNotFound()) {
+            ++counts.hard_failures;
+          }
+          ++counts.reads;
         }
-        ++counts.reads;
         break;
       case YcsbOp::Type::kUpdate:
+        flush_reads();
         check(store.Put(
             op.key,
             MakeValue(op.key, version_tag | ++version_slot(op.key), rng)));
         ++counts.writes;
         break;
       case YcsbOp::Type::kInsert:
+        flush_reads();
         check(store.Put(op.key, MakeValue(op.key, version_tag, rng)));
         ++counts.inserts;
         break;
       case YcsbOp::Type::kReadModifyWrite: {
-        auto current = store.Get(op.key);
-        (void)current;
-        check(store.Put(
+        flush_reads();
+        // One client op: read the current value, write the new one. The
+        // read half is tallied in `reads` (it reconciles against store
+        // gets/misses) but a failure of either half -- or both -- costs
+        // exactly one `hard_failures`, never two.
+        const auto current = store.Get(op.key);
+        const pnw::Status put_status = store.Put(
             op.key,
-            MakeValue(op.key, version_tag | ++version_slot(op.key), rng)));
+            MakeValue(op.key, version_tag | ++version_slot(op.key), rng));
+        const bool read_failed =
+            !current.ok() && !current.status().IsNotFound();
+        const bool write_failed =
+            !put_status.ok() && !put_status.IsNotFound();
+        if (read_failed || write_failed) {
+          ++counts.hard_failures;
+        }
         ++counts.reads;
         ++counts.writes;
+        ++counts.rmws;
         break;
       }
     }
@@ -235,6 +302,7 @@ ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
       }
     }
   }
+  flush_reads();
   return counts;
 }
 
@@ -254,6 +322,7 @@ int main(int argc, char** argv) {
   kOps = FlagOr(argc, argv, "ops", kOps);
   kThreads = FlagOr(argc, argv, "threads", kThreads);
   kShards = FlagOr(argc, argv, "shards", kShards);
+  kBatch = FlagOr(argc, argv, "batch", kBatch);
   // 0 is the documented "off" value, so it must parse, not error.
   kCheckpointEvery = FlagOr(argc, argv, "checkpoint-every", kCheckpointEvery,
                             /*min_value=*/0);
@@ -262,8 +331,8 @@ int main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() / "pnw_ycsb_ckpt").string());
 
   std::printf("YCSB core mixes on PNW (%zu records, %zu ops, %zuB values, "
-              "%zu threads, %zu shards)\n",
-              kRecords, kOps, kValueBytes, kThreads, kShards);
+              "%zu threads, %zu shards, read batch %zu)\n",
+              kRecords, kOps, kValueBytes, kThreads, kShards, kBatch);
   if (kCheckpointEvery != 0) {
     std::printf("live checkpoints: every %zu thread-0 ops into %s\n",
                 kCheckpointEvery, kCheckpointDir.c_str());
@@ -337,6 +406,7 @@ int main(int argc, char** argv) {
       total.reads += c.reads;
       total.writes += c.writes;
       total.inserts += c.inserts;
+      total.rmws += c.rmws;
       total.hard_failures += c.hard_failures;
     }
     const pnw::core::ShardedMetrics agg = store->AggregatedMetrics();
@@ -345,19 +415,29 @@ int main(int argc, char** argv) {
     const uint64_t failed = total.hard_failures;
     any_failures =
         any_failures || failed != 0 || agg.totals.failed_ops != 0;
+    // Client ops: an RMW contributed to both reads and writes above but is
+    // one operation, so subtract the double count.
     const double ops_done = static_cast<double>(
-        total.reads + total.writes + total.inserts);
-    // Simulated elapsed time: shards serve in parallel, bounded both by the
-    // busiest shard and by the thread count driving them (makespan lower
-    // bound).
-    double busy_ns = 0.0;
+        total.reads + total.writes + total.inserts - total.rmws);
+    // Simulated elapsed time, split by lock mode. Writes hold exclusive
+    // per-shard locks: their busy time spreads over at most
+    // min(threads, shards) lanes and no faster than the busiest shard
+    // allows. Reads hold *shared* locks, so their busy time spreads over
+    // all reader threads, even on a single shard. Summing the two phases
+    // is a conservative makespan (reads and writes interleave in reality).
+    double write_busy_ns = 0.0;
+    double max_shard_write_ns = 0.0;
     for (const auto& s : agg.shards) {
-      busy_ns += s.device_ns;
+      const double shard_write_ns = s.device_ns - s.get_device_ns;
+      write_busy_ns += shard_write_ns;
+      max_shard_write_ns = std::max(max_shard_write_ns, shard_write_ns);
     }
-    const double parallelism =
+    const double read_busy_ns = agg.totals.get_device_ns;
+    const double write_lanes =
         static_cast<double>(std::min(kThreads, kShards));
     const double sim_elapsed_ns =
-        std::max(agg.MaxShardDeviceNs(), busy_ns / parallelism);
+        std::max(max_shard_write_ns, write_busy_ns / write_lanes) +
+        read_busy_ns / static_cast<double>(kThreads);
     std::printf(
         "%-18s %8llu %8llu %8llu %7llu %10.1f %10.2f %10.1f %11.1f %7.2f\n",
         std::string(pnw::workloads::YcsbWorkloadName(workload)).c_str(),
@@ -371,6 +451,23 @@ int main(int argc, char** argv) {
         sim_elapsed_ns > 0.0 ? ops_done / (sim_elapsed_ns / 1e9) / 1000.0
                              : 0.0,
         agg.PutImbalance());
+    // Honest-accounting check, per mix: every read the clients issued is in
+    // the store's books exactly once (a hit in `gets`, a miss in
+    // `get_misses`), and every PUT has exactly one placement attribution.
+    const uint64_t store_reads =
+        agg.totals.gets + agg.totals.get_misses;
+    const bool reads_reconcile = store_reads == total.reads;
+    const bool placement_consistent =
+        agg.totals.PlacementAttributionConsistent();
+    std::printf(
+        "  reconcile: gets=%llu + get_misses=%llu == client reads=%llu "
+        "[%s]; predicted+fallback+inplace == puts [%s]\n",
+        static_cast<unsigned long long>(agg.totals.gets.load()),
+        static_cast<unsigned long long>(agg.totals.get_misses.load()),
+        static_cast<unsigned long long>(total.reads),
+        reads_reconcile ? "ok" : "MISMATCH",
+        placement_consistent ? "ok" : "MISMATCH");
+    any_failures = any_failures || !reads_reconcile || !placement_consistent;
   }
   if (kCheckpointEvery != 0) {
     std::printf("\nlive checkpoints: %llu taken (%llu failed), "
@@ -382,7 +479,8 @@ int main(int argc, char** argv) {
     any_failures = any_failures || total_ckpt.failed != 0;
   }
   std::printf("\n(update-heavy mixes benefit most from PNW: every update is "
-              "re-steered to a similar residue;\n kops/s(sim) divides summed "
-              "simulated busy time by min(threads, shards))\n");
+              "re-steered to a similar residue;\n kops/s(sim) spreads write "
+              "busy time over min(threads, shards) exclusive lanes and read\n"
+              " busy time over all threads -- reads take shared locks)\n");
   return any_failures ? 1 : 0;
 }

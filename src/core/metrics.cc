@@ -35,7 +35,8 @@ double StoreMetrics::AvgPredictNs() const {
 
 void StoreMetrics::Accumulate(const StoreMetrics& other) {
   puts += other.puts;
-  gets += other.gets;
+  gets += other.gets.load();
+  get_misses += other.get_misses.load();
   deletes += other.deletes;
   updates += other.updates;
   failed_ops += other.failed_ops;
@@ -44,7 +45,7 @@ void StoreMetrics::Accumulate(const StoreMetrics& other) {
   put_lines_written += other.put_lines_written;
   put_words_written += other.put_words_written;
   put_device_ns += other.put_device_ns;
-  get_device_ns += other.get_device_ns;
+  get_device_ns += other.get_device_ns.load();
   delete_device_ns += other.delete_device_ns;
   predict_wall_ns += other.predict_wall_ns;
   predicted_placements += other.predicted_placements;
@@ -58,7 +59,8 @@ void StoreMetrics::Accumulate(const StoreMetrics& other) {
 
 std::string StoreMetrics::ToString() const {
   std::ostringstream os;
-  os << "puts=" << puts << " gets=" << gets << " deletes=" << deletes
+  os << "puts=" << puts << " gets=" << gets
+     << " get_misses=" << get_misses << " deletes=" << deletes
      << " updates=" << updates << " failed=" << failed_ops
      << " bit_updates/512b=" << BitUpdatesPer512()
      << " avg_put_ns=" << AvgPutLatencyNs()

@@ -1,17 +1,87 @@
 #ifndef PNW_CORE_METRICS_H_
 #define PNW_CORE_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <ostream>
 #include <string>
+#include <type_traits>
 
 namespace pnw::core {
+
+/// Copyable relaxed-atomic counter for StoreMetrics' read-side slots.
+///
+/// GET/MultiGet run under a *shared* per-shard lock (ShardedPnwStore), so
+/// any number of reader threads may bump these counters concurrently;
+/// relaxed atomics make that race-free without serializing the readers.
+/// StoreMetrics must nevertheless stay a value type -- the checkpoint
+/// codec, aggregation, and tests copy it freely -- so copying a counter
+/// snapshots its current value instead of (illegally) copying the atomic.
+template <typename T>
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(T value) : value_(value) {}  // NOLINT(runtime/explicit)
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(T value) {
+    value_.store(value, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Transparent read: counters behave as a plain T in arithmetic,
+  /// comparisons, and streaming.
+  operator T() const { return load(); }
+  T load() const { return value_.load(std::memory_order_relaxed); }
+
+  RelaxedCounter& operator+=(T delta) {
+    if constexpr (std::is_integral_v<T>) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      // fetch_add on atomic<double> is C++20 but not universally shipped;
+      // a relaxed CAS loop is equivalent here (no ordering required).
+      T current = value_.load(std::memory_order_relaxed);
+      while (!value_.compare_exchange_weak(current, current + delta,
+                                           std::memory_order_relaxed)) {
+      }
+    }
+    return *this;
+  }
+  RelaxedCounter& operator++() { return *this += T{1}; }
+
+ private:
+  std::atomic<T> value_{};
+};
+
+template <typename T>
+inline std::ostream& operator<<(std::ostream& os,
+                                const RelaxedCounter<T>& counter) {
+  return os << counter.load();
+}
 
 /// Per-store operation counters. Device-level wear (bits/words/lines) lives
 /// in nvm::NvmCounters; this struct tracks what the *store* did and how the
 /// simulated time breaks down, which the paper's latency figures need.
+///
+/// Thread-safety: the read-side slots (`gets`, `get_misses`,
+/// `get_device_ns`) are relaxed atomics because GET/MultiGet run under a
+/// shared lock; every other field is written only by mutating operations,
+/// which hold the exclusive lock.
 struct StoreMetrics {
   uint64_t puts = 0;
-  uint64_t gets = 0;
+  /// GETs that returned a value. A GET that found nothing lands in
+  /// `get_misses` instead, so `gets + get_misses` equals every read the
+  /// store served -- the reconciliation ycsb_runner checks per mix.
+  RelaxedCounter<uint64_t> gets;
+  /// GETs that returned no value: index NotFound, or an index entry whose
+  /// data-zone bucket held a different key (surfaced as Internal). Misses
+  /// are an expected workload outcome, not an operation failure, so they
+  /// are deliberately *not* folded into `failed_ops` (which the write path
+  /// owns exclusively).
+  RelaxedCounter<uint64_t> get_misses;
   uint64_t deletes = 0;
   uint64_t updates = 0;
   uint64_t failed_ops = 0;
@@ -24,9 +94,11 @@ struct StoreMetrics {
   uint64_t put_lines_written = 0;
   uint64_t put_words_written = 0;
 
-  /// Simulated device time attributed to PUTs / GETs / DELETEs.
+  /// Simulated device time attributed to PUTs / GETs / DELETEs. GET time
+  /// is charged on every exit that touched the device -- a key-mismatch
+  /// miss has already paid for its bucket read.
   double put_device_ns = 0.0;
-  double get_device_ns = 0.0;
+  RelaxedCounter<double> get_device_ns;
   double delete_device_ns = 0.0;
   /// Measured wall-clock time spent in model Predict() calls (the paper
   /// reports "the latency of prediction per item").

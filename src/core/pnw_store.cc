@@ -446,23 +446,43 @@ Status PnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
 Result<std::vector<uint8_t>> PnwStore::Get(uint64_t key) {
   auto addr = index_->Get(key);
   if (!addr.ok()) {
+    ++metrics_.get_misses;
     return addr.status();
   }
-  std::vector<uint8_t> bucket(bucket_bytes_);
-  {
-    DeviceDeltaScope scope(device_.get(), &metrics_.get_device_ns);
-    PNW_RETURN_IF_ERROR(device_->Read(addr.value(), bucket));
+  // Concurrent-reader discipline: everything below is Peek (const device
+  // access) plus relaxed-atomic metrics, so shared-lock readers never race.
+  // The simulated read cost is charged before the key check -- a mismatch
+  // miss has already paid for its bucket read.
+  const std::span<const uint8_t> bucket =
+      device_->Peek(addr.value(), bucket_bytes_);
+  if (bucket.size() != bucket_bytes_) {
+    ++metrics_.get_misses;
+    return Status::Internal("index points outside the data zone");
   }
+  metrics_.get_device_ns += device_->ReadCostNs(addr.value(), bucket_bytes_);
   if (key_bytes_ > 0) {
     uint64_t stored_key = 0;
     std::memcpy(&stored_key, bucket.data(), key_bytes_);
     if (stored_key != key) {
+      ++metrics_.get_misses;
       return Status::Internal("index/data-zone key mismatch");
     }
   }
   ++metrics_.gets;
+  // One copy, device memory -> returned value (the old path read the full
+  // bucket into a scratch vector and then copied the tail out of it).
   return std::vector<uint8_t>(
       bucket.begin() + static_cast<long>(key_bytes_), bucket.end());
+}
+
+std::vector<Result<std::vector<uint8_t>>> PnwStore::MultiGet(
+    std::span<const uint64_t> keys) {
+  std::vector<Result<std::vector<uint8_t>>> out;
+  out.reserve(keys.size());
+  for (const uint64_t key : keys) {
+    out.push_back(Get(key));
+  }
+  return out;
 }
 
 Status PnwStore::DeleteInternal(uint64_t key) {

@@ -37,18 +37,24 @@ namespace pnw::core {
 /// occupancy flags live in a separate NVM bitmap, and deletes reset a
 /// single flag bit (paper Section V-B2).
 ///
-/// Thread-safety contract: a PnwStore is a *single-shard* store and is not
-/// thread-safe for concurrent operations (matching the paper's
-/// single-writer evaluation); background retraining runs on its own thread
-/// and is integrated via an atomic model swap. The concurrent entry point
-/// is ShardedPnwStore (src/core/sharded_store.h), which owns N independent
-/// PnwStore shards and serializes access per shard.
+/// Thread-safety contract: a PnwStore is a *single-shard* store. Mutating
+/// operations (Put/Delete/Update/Bootstrap/TrainModel/Checkpoint/...) are
+/// not thread-safe against anything (matching the paper's single-writer
+/// evaluation); background retraining runs on its own thread and is
+/// integrated via an atomic model swap. Get/MultiGet, however, are safe to
+/// call concurrently *with each other* (never with a mutating op): the
+/// read path is index lookup (const) + device Peek + relaxed-atomic
+/// metrics, mutating nothing else. The concurrent entry point is
+/// ShardedPnwStore (src/core/sharded_store.h), which owns N independent
+/// PnwStore shards and enforces exactly this contract with a per-shard
+/// reader-writer lock.
 class PnwStore {
  public:
   /// Bumped whenever the snapshot section layout changes; a snapshot
   /// written under any other version is rejected with a clean
   /// InvalidArgument ("snapshot version mismatch") instead of a misparse.
-  static constexpr uint32_t kSnapshotVersion = 1;
+  /// v2: StoreMetrics gained `get_misses` (PR 4 read-accounting overhaul).
+  static constexpr uint32_t kSnapshotVersion = 2;
   /// The op-log of a checkpoint at `path` lives at `path + kOpLogSuffix`.
   static constexpr const char* kOpLogSuffix = ".oplog";
 
@@ -118,8 +124,19 @@ class PnwStore {
   /// an existing key behaves as UPDATE under the configured update mode.
   Status Put(uint64_t key, std::span<const uint8_t> value);
 
-  /// Section V-B4: index lookup + data-zone read.
+  /// Section V-B4: index lookup + data-zone read. One copy, straight from
+  /// device memory into the returned vector. Hits bump `gets`, misses
+  /// (index NotFound, or a key-mismatched bucket -> Internal) bump
+  /// `get_misses`; the simulated device time lands in `get_device_ns` on
+  /// every exit that read the device, mismatches included. Safe to call
+  /// concurrently with other Get/MultiGet calls (see class comment).
   Result<std::vector<uint8_t>> Get(uint64_t key);
+
+  /// Batched Get: one Result per key, in key order. Same accounting and
+  /// concurrency contract as Get; ShardedPnwStore builds its shard-grouped
+  /// MultiGet on top of this.
+  std::vector<Result<std::vector<uint8_t>>> MultiGet(
+      std::span<const uint64_t> keys);
 
   /// Algorithm 3: reset flag bit, re-label the freed address by its
   /// resident content, recycle it into the pool.

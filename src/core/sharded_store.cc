@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -172,7 +173,11 @@ Status ShardedPnwStore::Checkpoint(const std::string& dir) {
     ThreadPool pool(CheckpointThreads(shards_.size()));
     for (size_t i = 0; i < shards_.size(); ++i) {
       pool.Submit([this, &epoch_dir, &statuses, i] {
-        std::lock_guard<std::mutex> lock(shards_[i]->mu);
+        // Exclusive: the snapshot must see a quiesced shard, so in-flight
+        // shared-lock readers drain first and new ones wait; readers of
+        // *other* shards are unaffected (this is the checkpoint-vs-reader
+        // interlock).
+        std::lock_guard<std::shared_mutex> lock(shards_[i]->mu);
         statuses[i] = shards_[i]->store->WriteCheckpoint(
             epoch_dir + "/" + ShardSnapshotName(i));
       });
@@ -198,7 +203,7 @@ Status ShardedPnwStore::Checkpoint(const std::string& dir) {
     ThreadPool pool(CheckpointThreads(shards_.size()));
     for (size_t i = 0; i < shards_.size(); ++i) {
       pool.Submit([this, &epoch_dir, &statuses, i] {
-        std::lock_guard<std::mutex> lock(shards_[i]->mu);
+        std::lock_guard<std::shared_mutex> lock(shards_[i]->mu);
         statuses[i] = shards_[i]->store->FinishCheckpoint(
             epoch_dir + "/" + ShardSnapshotName(i));
       });
@@ -293,7 +298,7 @@ Status ShardedPnwStore::Bootstrap(
     shard_values[s].push_back(values[i]);
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    std::lock_guard<std::shared_mutex> lock(shards_[s]->mu);
     PNW_RETURN_IF_ERROR(
         shards_[s]->store->Bootstrap(shard_keys[s], shard_values[s]));
   }
@@ -302,31 +307,66 @@ Status ShardedPnwStore::Bootstrap(
 
 Status ShardedPnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   return shard.store->Put(key, value);
 }
 
 Result<std::vector<uint8_t>> ShardedPnwStore::Get(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  // Shared: readers of the same shard proceed in parallel (the PnwStore
+  // read path is Peek + relaxed atomics, see its thread-safety contract).
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
   return shard.store->Get(key);
+}
+
+std::vector<Result<std::vector<uint8_t>>> ShardedPnwStore::MultiGet(
+    std::span<const uint64_t> keys) {
+  std::vector<Result<std::vector<uint8_t>>> out;
+  if (keys.empty()) {
+    return out;
+  }
+  // Group by owning shard. Per-shard results keep their in-shard order, so
+  // re-walking the batch with one cursor per shard reassembles key order
+  // without slot bookkeeping or placeholder Results.
+  std::vector<std::vector<uint64_t>> shard_keys(shards_.size());
+  for (const uint64_t key : keys) {
+    shard_keys[ShardOf(key)].push_back(key);
+  }
+  std::vector<std::vector<Result<std::vector<uint8_t>>>> shard_results(
+      shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_keys[s].empty()) {
+      continue;
+    }
+    // One shared-lock acquisition per involved shard, however many keys
+    // the batch routes to it.
+    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
+    shard_results[s] = shards_[s]->store->MultiGet(shard_keys[s]);
+  }
+  out.reserve(keys.size());
+  std::vector<size_t> cursor(shards_.size(), 0);
+  for (const uint64_t key : keys) {
+    const size_t s = ShardOf(key);
+    out.push_back(std::move(shard_results[s][cursor[s]++]));
+  }
+  return out;
 }
 
 Status ShardedPnwStore::Delete(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   return shard.store->Delete(key);
 }
 
 Status ShardedPnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   return shard.store->Update(key, value);
 }
 
 Status ShardedPnwStore::TrainModel() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::lock_guard<std::shared_mutex> lock(shard->mu);
     PNW_RETURN_IF_ERROR(shard->store->TrainModel());
   }
   return Status::OK();
@@ -334,7 +374,7 @@ Status ShardedPnwStore::TrainModel() {
 
 void ShardedPnwStore::ResetWearAndMetrics() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::lock_guard<std::shared_mutex> lock(shard->mu);
     shard->store->ResetWearAndMetrics();
   }
 }
@@ -343,7 +383,9 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
   ShardedMetrics aggregated;
   aggregated.shards.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    // Shared: aggregation is a pure read, so a metrics dashboard never
+    // stalls the readers it is measuring (writers still exclude it).
+    std::shared_lock<std::shared_mutex> lock(shards_[i]->mu);
     PnwStore& store = *shards_[i]->store;
     const StoreMetrics& m = store.metrics();
     aggregated.totals.Accumulate(m);
@@ -351,6 +393,7 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
     summary.shard = i;
     summary.puts = m.puts;
     summary.gets = m.gets;
+    summary.get_misses = m.get_misses;
     summary.deletes = m.deletes;
     summary.failed_ops = m.failed_ops;
     summary.used_buckets = store.size();
@@ -361,6 +404,7 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
     summary.device_ns =
         m.put_device_ns + m.get_device_ns + m.delete_device_ns +
         m.predict_wall_ns;
+    summary.get_device_ns = m.get_device_ns;
     aggregated.shards.push_back(summary);
   }
   return aggregated;
@@ -369,7 +413,7 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
 size_t ShardedPnwStore::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
     total += shard->store->size();
   }
   return total;

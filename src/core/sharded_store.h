@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,6 +43,7 @@ struct ShardSummary {
   size_t shard = 0;
   uint64_t puts = 0;
   uint64_t gets = 0;
+  uint64_t get_misses = 0;
   uint64_t deletes = 0;
   uint64_t failed_ops = 0;
   size_t used_buckets = 0;
@@ -54,6 +55,11 @@ struct ShardSummary {
   uint64_t device_bits_written = 0;
   /// Simulated device time this shard accumulated (its "busy time").
   double device_ns = 0.0;
+  /// The read share of `device_ns`. Callers modeling parallel service
+  /// split on this: reads hold shared locks (they spread over all reader
+  /// threads), the `device_ns - get_device_ns` remainder is exclusive
+  /// write/delete/predict time (it spreads over min(threads, shards)).
+  double get_device_ns = 0.0;
 };
 
 /// Cross-shard aggregate: summed StoreMetrics plus per-shard summaries.
@@ -80,14 +86,27 @@ struct ShardedMetrics {
 /// shard keeps its own K-means model, dynamic address pool, index, and
 /// simulated device -- i.e. its own wear domain -- so the paper's placement
 /// logic is untouched per shard. Keys are routed by a mixed 64-bit hash
-/// masked to the shard count; each shard is guarded by its own mutex, so
-/// operations on different shards proceed in parallel and there is no
-/// global lock anywhere on the data path.
+/// masked to the shard count; each shard is guarded by its own
+/// reader-writer lock (std::shared_mutex), so operations on different
+/// shards proceed in parallel and there is no global lock anywhere on the
+/// data path.
 ///
-/// Thread-safe: any number of threads may call Put/Get/Delete/Update
-/// concurrently. Bootstrap/TrainModel/ResetWearAndMetrics also lock per
-/// shard but are intended for single-threaded setup phases. The unlocked
-/// `shard(i)` accessor is for tests/benches inspecting a quiesced store.
+/// Lock discipline per shard (the read-mostly YCSB mixes the paper reports
+/// on are why reads must not serialize):
+///   - shared:    Get, MultiGet, AggregatedMetrics, size -- any number of
+///                readers proceed concurrently, even on the *same* shard.
+///   - exclusive: Put, Delete, Update, Bootstrap, TrainModel,
+///                ResetWearAndMetrics, and both Checkpoint phases (the
+///                snapshot is a consistent read of a quiesced shard).
+/// The PnwStore read path holds up its end: under a shared lock it only
+/// does const index lookups, device Peeks, and relaxed-atomic metrics
+/// updates (StoreMetrics::gets/get_misses/get_device_ns).
+///
+/// Thread-safe: any number of threads may call Put/Get/MultiGet/Delete/
+/// Update concurrently. Bootstrap/TrainModel/ResetWearAndMetrics also lock
+/// per shard but are intended for single-threaded setup phases. The
+/// unlocked `shard(i)` accessor is for tests/benches inspecting a quiesced
+/// store.
 class ShardedPnwStore {
  public:
   /// Bumped whenever the MANIFEST layout changes (shard snapshots carry
@@ -150,6 +169,17 @@ class ShardedPnwStore {
   Status Delete(uint64_t key);
   Status Update(uint64_t key, std::span<const uint8_t> value);
 
+  /// Batched read: one Result per key, in key order (duplicates allowed).
+  /// Groups the keys by owning shard and acquires each involved shard's
+  /// shared lock exactly once, so a batch of B keys over S shards costs
+  /// min(B, S) lock acquisitions instead of B -- the cheap way to drive
+  /// the read-mostly YCSB mixes. Per-slot statuses mirror Get's: NotFound
+  /// for an absent key, Internal for an index entry whose bucket holds a
+  /// different key (both count as get_misses). An empty batch returns an
+  /// empty vector without locking.
+  std::vector<Result<std::vector<uint8_t>>> MultiGet(
+      std::span<const uint64_t> keys);
+
   /// Retrains every shard's model synchronously.
   Status TrainModel();
 
@@ -177,7 +207,9 @@ class ShardedPnwStore {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    /// Reader-writer lock: Get/MultiGet/metrics hold it shared, every
+    /// mutating operation (and checkpointing) holds it exclusive.
+    mutable std::shared_mutex mu;
     std::unique_ptr<PnwStore> store;
   };
 

@@ -16,7 +16,7 @@ Status DramHashIndex::Put(uint64_t key, uint64_t addr) {
   return Status::OK();
 }
 
-Result<uint64_t> DramHashIndex::Get(uint64_t key) {
+Result<uint64_t> DramHashIndex::Get(uint64_t key) const {
   auto it = map_.find(key);
   if (it == map_.end() || !it->second.live) {
     return Status::NotFound("key not in index");

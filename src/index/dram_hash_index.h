@@ -19,7 +19,7 @@ class DramHashIndex final : public KeyIndex {
   DramHashIndex() = default;
 
   Status Put(uint64_t key, uint64_t addr) override;
-  Result<uint64_t> Get(uint64_t key) override;
+  Result<uint64_t> Get(uint64_t key) const override;
   Status Delete(uint64_t key) override;
   size_t size() const override { return live_; }
 

@@ -20,8 +20,11 @@ class KeyIndex {
   /// Insert or overwrite the mapping for `key`.
   virtual Status Put(uint64_t key, uint64_t addr) = 0;
 
-  /// Address for `key`, or NotFound.
-  virtual Result<uint64_t> Get(uint64_t key) = 0;
+  /// Address for `key`, or NotFound. Const because it is the concurrent
+  /// read path: PnwStore::Get/MultiGet call it under a *shared* lock, so
+  /// implementations must not mutate any state here (both provided indexes
+  /// are pure lookups).
+  virtual Result<uint64_t> Get(uint64_t key) const = 0;
 
   /// Logically delete `key` (the paper resets a flag bit rather than
   /// physically removing the entry). NotFound if absent.

@@ -85,7 +85,7 @@ Status PathHashIndex::StoreCell(uint64_t cell_addr, const Cell& cell) {
   return result.ok() ? Status::OK() : result.status();
 }
 
-Result<uint64_t> PathHashIndex::Locate(uint64_t key) {
+Result<uint64_t> PathHashIndex::Locate(uint64_t key) const {
   const uint64_t p1 = Hash1(key);
   const uint64_t p2 = Hash2(key);
   for (size_t l = 0; l < num_levels_; ++l) {
@@ -138,7 +138,7 @@ Status PathHashIndex::Put(uint64_t key, uint64_t addr) {
   return Status::OutOfSpace("path-hash index: all path cells occupied");
 }
 
-Result<uint64_t> PathHashIndex::Get(uint64_t key) {
+Result<uint64_t> PathHashIndex::Get(uint64_t key) const {
   auto cell_addr = Locate(key);
   if (!cell_addr.ok()) {
     return cell_addr.status();

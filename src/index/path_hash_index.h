@@ -41,7 +41,7 @@ class PathHashIndex final : public KeyIndex {
   static size_t StorageBytes(size_t num_root_cells, size_t num_levels);
 
   Status Put(uint64_t key, uint64_t addr) override;
-  Result<uint64_t> Get(uint64_t key) override;
+  Result<uint64_t> Get(uint64_t key) const override;
   Status Delete(uint64_t key) override;
   size_t size() const override { return live_; }
 
@@ -62,8 +62,8 @@ class PathHashIndex final : public KeyIndex {
   Cell LoadCell(uint64_t cell_addr) const;
   Status StoreCell(uint64_t cell_addr, const Cell& cell);
   /// Find the cell currently holding `key`; returns the cell NVM address or
-  /// NotFound.
-  Result<uint64_t> Locate(uint64_t key);
+  /// NotFound. Const (Peek-only) so Get stays a concurrent read path.
+  Result<uint64_t> Locate(uint64_t key) const;
 
   static uint64_t Hash1(uint64_t key);
   static uint64_t Hash2(uint64_t key);

@@ -64,6 +64,15 @@ std::span<const uint8_t> NvmDevice::Peek(uint64_t addr, size_t len) const {
   return std::span<const uint8_t>(data_.data() + addr, len);
 }
 
+double NvmDevice::ReadCostNs(uint64_t addr, size_t len) const {
+  // Same line-spanning arithmetic as Read(), so a Peek+ReadCostNs pair is
+  // accounted identically to the serialized Read() path.
+  const uint64_t first_line = addr / config_.cache_line_bytes;
+  const uint64_t last_line =
+      len == 0 ? first_line : (addr + len - 1) / config_.cache_line_bytes;
+  return latency_model_.NvmReadCostNs(last_line - first_line + 1);
+}
+
 Result<WriteResult> NvmDevice::WriteConventional(
     uint64_t addr, std::span<const uint8_t> data) {
   PNW_RETURN_IF_ERROR(CheckRange(addr, data.size()));

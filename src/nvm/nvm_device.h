@@ -84,6 +84,13 @@ class NvmDevice {
   /// the DRAM side reading the data zone.
   std::span<const uint8_t> Peek(uint64_t addr, size_t len) const;
 
+  /// Simulated cost in ns of reading `len` bytes at `addr` (the cache lines
+  /// the range spans), without copying anything or touching the cumulative
+  /// counters. The concurrent GET path pairs this with Peek() so shared-lock
+  /// readers never mutate device state; the cost lands in the store's own
+  /// (atomic) StoreMetrics::get_device_ns instead of `counters()`.
+  double ReadCostNs(uint64_t addr, size_t len) const;
+
   /// Conventional write: every cell in the range is rewritten, so wear is
   /// charged for every bit regardless of whether its value changed.
   Result<WriteResult> WriteConventional(uint64_t addr,

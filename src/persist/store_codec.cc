@@ -209,6 +209,7 @@ Result<std::shared_ptr<const core::ValueModel>> DecodeValueModel(
 void EncodeStoreMetrics(const core::StoreMetrics& m, BufferWriter& w) {
   w.PutU64(m.puts);
   w.PutU64(m.gets);
+  w.PutU64(m.get_misses);
   w.PutU64(m.deletes);
   w.PutU64(m.updates);
   w.PutU64(m.failed_ops);
@@ -231,8 +232,14 @@ void EncodeStoreMetrics(const core::StoreMetrics& m, BufferWriter& w) {
 
 Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m) {
   core::StoreMetrics out;
+  // The read-side slots are relaxed atomics wrapped for copyability, so
+  // they decode through plain temporaries.
+  uint64_t gets = 0;
+  uint64_t get_misses = 0;
+  double get_device_ns = 0.0;
   PNW_RETURN_IF_ERROR(r.GetU64(&out.puts));
-  PNW_RETURN_IF_ERROR(r.GetU64(&out.gets));
+  PNW_RETURN_IF_ERROR(r.GetU64(&gets));
+  PNW_RETURN_IF_ERROR(r.GetU64(&get_misses));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.deletes));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.updates));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.failed_ops));
@@ -241,7 +248,7 @@ Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m) {
   PNW_RETURN_IF_ERROR(r.GetU64(&out.put_lines_written));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.put_words_written));
   PNW_RETURN_IF_ERROR(r.GetDouble(&out.put_device_ns));
-  PNW_RETURN_IF_ERROR(r.GetDouble(&out.get_device_ns));
+  PNW_RETURN_IF_ERROR(r.GetDouble(&get_device_ns));
   PNW_RETURN_IF_ERROR(r.GetDouble(&out.delete_device_ns));
   PNW_RETURN_IF_ERROR(r.GetDouble(&out.predict_wall_ns));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.predicted_placements));
@@ -251,6 +258,9 @@ Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m) {
   PNW_RETURN_IF_ERROR(r.GetU64(&out.retrains));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.failed_retrains));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.extensions));
+  out.gets = gets;
+  out.get_misses = get_misses;
+  out.get_device_ns = get_device_ns;
   *m = out;
   return Status::OK();
 }

@@ -48,9 +48,42 @@ TEST(StoreMetricsTest, ToStringMentionsKeyCounters) {
   StoreMetrics m;
   m.puts = 7;
   m.retrains = 2;
+  m.gets = 5;
+  m.get_misses = 3;
   const std::string s = m.ToString();
   EXPECT_NE(s.find("puts=7"), std::string::npos);
   EXPECT_NE(s.find("retrains=2"), std::string::npos);
+  EXPECT_NE(s.find("gets=5"), std::string::npos);
+  EXPECT_NE(s.find("get_misses=3"), std::string::npos);
+}
+
+TEST(StoreMetricsTest, AccumulateSumsReadSideCounters) {
+  // The read-side slots are relaxed atomics wrapped for copyability;
+  // Accumulate (the ShardedPnwStore aggregation path) must sum them like
+  // any other counter.
+  StoreMetrics a;
+  a.gets = 10;
+  a.get_misses = 2;
+  a.get_device_ns = 100.0;
+  StoreMetrics b;
+  b.gets = 5;
+  b.get_misses = 1;
+  b.get_device_ns = 50.0;
+  a.Accumulate(b);
+  EXPECT_EQ(a.gets, 15u);
+  EXPECT_EQ(a.get_misses, 3u);
+  EXPECT_DOUBLE_EQ(a.get_device_ns, 150.0);
+}
+
+TEST(StoreMetricsTest, CopySnapshotsReadSideCounters) {
+  StoreMetrics a;
+  a.gets = 7;
+  a.get_misses = 4;
+  StoreMetrics b = a;
+  ++a.gets;  // the copy must not alias the original's atomics
+  EXPECT_EQ(b.gets, 7u);
+  EXPECT_EQ(b.get_misses, 4u);
+  EXPECT_EQ(a.gets, 8u);
 }
 
 }  // namespace

@@ -181,6 +181,62 @@ TEST(PnwStoreTest, MetricsTrackOperations) {
   EXPECT_GT(m.BitUpdatesPer512(), 0.0);
 }
 
+TEST(PnwStoreTest, GetMissCountsAsMissNotFailure) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  store->ResetWearAndMetrics();
+  EXPECT_TRUE(store->Get(9999).status().IsNotFound());
+  EXPECT_TRUE(store->Get(9998).status().IsNotFound());
+  ASSERT_TRUE(store->Get(1).ok());
+  const auto& m = store->metrics();
+  EXPECT_EQ(m.gets, 1u);
+  EXPECT_EQ(m.get_misses, 2u);
+  // Misses are an expected workload outcome, not an operation failure:
+  // failed_ops stays with the write path.
+  EXPECT_EQ(m.failed_ops, 0u);
+  // An index miss never touched the device, so no read time is charged.
+  EXPECT_GT(m.get_device_ns, 0.0);  // the hit paid its bucket read
+}
+
+TEST(PnwStoreTest, KeyMismatchGetChargesDeviceAndCountsMiss) {
+  // Corrupt the stored key bytes of key 0's bucket so the index points at
+  // a bucket whose resident key no longer matches: the GET must surface
+  // Internal, count a miss, and still charge the device read it performed.
+  auto store = MakeBootstrappedStore(SmallOptions());
+  store->ResetWearAndMetrics();
+  const uint64_t wrong_key = 0xdeadbeefULL;
+  std::vector<uint8_t> key_bytes(8);
+  std::memcpy(key_bytes.data(), &wrong_key, 8);
+  ASSERT_TRUE(
+      store->device().WriteConventional(store->BucketAddr(0), key_bytes).ok());
+  const auto got = store->Get(0);
+  EXPECT_TRUE(got.status().IsInternal());
+  const auto& m = store->metrics();
+  EXPECT_EQ(m.gets, 0u);
+  EXPECT_EQ(m.get_misses, 1u);
+  EXPECT_GT(m.get_device_ns, 0.0);  // the mismatch path already paid the read
+}
+
+TEST(PnwStoreTest, MultiGetMatchesGetAndAccountsPerKey) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  store->ResetWearAndMetrics();
+
+  // Empty batch: no results, no accounting.
+  EXPECT_TRUE(store->MultiGet({}).empty());
+  EXPECT_EQ(store->metrics().gets, 0u);
+
+  // Mixed batch with duplicates and misses, results in key order.
+  const std::vector<uint64_t> keys = {1, 9999, 2, 1, 12345};
+  const auto results = store->MultiGet(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  EXPECT_EQ(results[0].value(), GroupValue(1, 0));
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  EXPECT_EQ(results[2].value(), GroupValue(0, 1));
+  EXPECT_EQ(results[3].value(), GroupValue(1, 0));
+  EXPECT_TRUE(results[4].status().IsNotFound());
+  EXPECT_EQ(store->metrics().gets, 3u);
+  EXPECT_EQ(store->metrics().get_misses, 2u);
+}
+
 TEST(PnwStoreTest, CrashRecoveryRestoresDramIndex) {
   auto store = MakeBootstrappedStore(SmallOptions());
   ASSERT_TRUE(store->Put(700, GroupValue(0, 4)).ok());

@@ -78,6 +78,7 @@ class PersistTest : public ::testing::Test {
 void ExpectMetricsEqual(const StoreMetrics& a, const StoreMetrics& b) {
   EXPECT_EQ(a.puts, b.puts);
   EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.get_misses, b.get_misses);
   EXPECT_EQ(a.deletes, b.deletes);
   EXPECT_EQ(a.updates, b.updates);
   EXPECT_EQ(a.failed_ops, b.failed_ops);
@@ -154,7 +155,10 @@ TEST_F(PersistTest, KillPointRoundTripPreservesEverything) {
       EXPECT_EQ(want.value(), got.value());
     }
   }
+  // Probe the deleted key on *both* stores: misses count (get_misses), so
+  // the metrics comparison below needs symmetric read traffic.
   EXPECT_TRUE(reopened.Get(101).status().IsNotFound());
+  EXPECT_TRUE(store->Get(101).status().IsNotFound());
 
   // Wear counters come back verbatim, at bucket and device granularity.
   EXPECT_EQ(reopened.wear_tracker().bucket_write_counts(),
@@ -184,8 +188,8 @@ TEST_F(PersistTest, KillPointRoundTripPreservesEverything) {
     EXPECT_EQ(reopened.pool().FreeList(c), store->pool().FreeList(c));
   }
 
-  // Metrics equality -- but the checkpointed store served two extra Gets
-  // before Checkpoint, so compare against its state as-is.
+  // Metrics equality -- every post-checkpoint Get above (hits and the
+  // deleted-key miss) was issued symmetrically to both stores.
   ExpectMetricsEqual(reopened.metrics(), store->metrics());
 }
 
@@ -577,8 +581,9 @@ TEST_F(PersistTest, StaleOpLogFromPreviousEpochIsIgnored) {
   ASSERT_TRUE(reopened.ok()) << reopened.status();
   // The stale records were not replayed: state matches the second
   // checkpoint exactly (900 stays deleted, wear/metrics as checkpointed).
-  EXPECT_TRUE(reopened.value()->Get(900).status().IsNotFound());
+  // Metrics first -- the miss probe below would move get_misses.
   ExpectMetricsEqual(reopened.value()->metrics(), store->metrics());
+  EXPECT_TRUE(reopened.value()->Get(900).status().IsNotFound());
   EXPECT_EQ(reopened.value()->wear_tracker().bucket_write_counts(),
             store->wear_tracker().bucket_write_counts());
   // And the re-attached log was re-stamped: a write after recovery is

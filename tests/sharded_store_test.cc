@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -180,6 +181,56 @@ TEST(ShardedPnwStoreTest, PerShardWearSummariesExposeImbalance) {
   EXPECT_NEAR(aggregated.PutImbalance(), 4.0, 1e-9);  // 4 shards, 1 busy
 }
 
+// ------------------------------------------------------------- MultiGet
+
+TEST(ShardedPnwStoreTest, MultiGetEmptyBatch) {
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  store->ResetWearAndMetrics();
+  EXPECT_TRUE(store->MultiGet({}).empty());
+  EXPECT_EQ(store->AggregatedMetrics().totals.gets, 0u);
+}
+
+TEST(ShardedPnwStoreTest, MultiGetGroupsAcrossShardsInKeyOrder) {
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  store->ResetWearAndMetrics();
+  // All 128 bootstrapped keys in one batch: they span every shard, and the
+  // results must come back in batch order regardless of shard grouping.
+  std::vector<uint64_t> keys(128);
+  for (uint64_t i = 0; i < 128; ++i) {
+    keys[i] = i;
+  }
+  const auto results = store->MultiGet(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  for (uint64_t i = 0; i < 128; ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;
+    EXPECT_EQ(results[i].value(),
+              GroupValue(static_cast<int>(i % 2), static_cast<uint8_t>(i / 2)));
+    EXPECT_EQ(results[i].value(), store->Get(keys[i]).value());
+  }
+  const ShardedMetrics aggregated = store->AggregatedMetrics();
+  // 128 batch hits + 128 comparison Gets, all accounted.
+  EXPECT_EQ(aggregated.totals.gets, 256u);
+  EXPECT_EQ(aggregated.totals.get_misses, 0u);
+}
+
+TEST(ShardedPnwStoreTest, MultiGetReportsPartialMissesPerSlot) {
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  store->ResetWearAndMetrics();
+  const std::vector<uint64_t> keys = {3, 70000, 7, 70001, 70002};
+  const auto results = store->MultiGet(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_TRUE(results[3].status().IsNotFound());
+  EXPECT_TRUE(results[4].status().IsNotFound());
+  const ShardedMetrics aggregated = store->AggregatedMetrics();
+  EXPECT_EQ(aggregated.totals.gets, 2u);
+  EXPECT_EQ(aggregated.totals.get_misses, 3u);
+  // Misses are not failures: the books reconcile as reads, not errors.
+  EXPECT_EQ(aggregated.totals.failed_ops, 0u);
+}
+
 // ------------------------------------------------ concurrency (TSan-able)
 
 TEST(ShardedConcurrencyTest, MixedOpsSmokeAcrossThreads) {
@@ -282,6 +333,116 @@ TEST(ShardedConcurrencyTest, ContendedKeysStressUnderSanitizers) {
   }
   EXPECT_TRUE(
       store->AggregatedMetrics().totals.PlacementAttributionConsistent());
+}
+
+TEST(ShardedConcurrencyTest, ManyReadersOneWriterSharedLocks) {
+  // The PR 4 read path: GETs (and MultiGets) hold a *shared* per-shard
+  // lock and mutate only relaxed-atomic metrics, so many readers run
+  // concurrently -- against each other and against one writer that takes
+  // the exclusive side. TSan verifies the discipline; the final
+  // reconciliation verifies no read went unaccounted.
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  store->ResetWearAndMetrics();
+  constexpr size_t kReaders = 4;
+  constexpr uint64_t kReadsPerThread = 300;
+  constexpr uint64_t kWriterOps = 200;
+  std::atomic<uint64_t> hard_failures{0};
+  std::atomic<uint64_t> issued_reads{0};
+
+  std::thread writer([&store, &hard_failures] {
+    // Writes confined to keys >= 10000 so reader expectations stay exact.
+    for (uint64_t i = 0; i < kWriterOps; ++i) {
+      const uint64_t key = 10000 + (i % 32);
+      if (!store->Put(key, GroupValue(static_cast<int>(i % 2),
+                                      static_cast<uint8_t>(i))).ok()) {
+        ++hard_failures;
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&store, &hard_failures, &issued_reads, t] {
+      for (uint64_t i = 0; i < kReadsPerThread; ++i) {
+        if (i % 8 == 7) {
+          // Batched reads take the same shared locks, shard-grouped.
+          const std::vector<uint64_t> batch = {i % 128, (i + t) % 128,
+                                               90000 + i};  // last one misses
+          const auto results = store->MultiGet(batch);
+          for (const auto& got : results) {
+            if (!got.ok() && !got.status().IsNotFound()) {
+              ++hard_failures;
+            }
+          }
+          issued_reads += batch.size();
+        } else {
+          const auto got = store->Get((i * 7 + t) % 128);
+          if (!got.ok() || got.value().size() != kValueBytes) {
+            ++hard_failures;  // bootstrapped keys never miss
+          }
+          ++issued_reads;
+        }
+      }
+    });
+  }
+  for (auto& thread : readers) {
+    thread.join();
+  }
+  writer.join();
+  EXPECT_EQ(hard_failures.load(), 0u);
+  const ShardedMetrics aggregated = store->AggregatedMetrics();
+  // Honest read accounting under full concurrency: every issued read is a
+  // hit or a miss, nothing double counted, nothing dropped.
+  EXPECT_EQ(aggregated.totals.gets + aggregated.totals.get_misses,
+            issued_reads.load());
+  EXPECT_EQ(aggregated.totals.puts, kWriterOps);
+  EXPECT_TRUE(aggregated.totals.PlacementAttributionConsistent());
+}
+
+TEST(ShardedConcurrencyTest, ReadersRunDuringCheckpoint) {
+  // The checkpoint-vs-reader interlock: the snapshot phase takes each
+  // shard's lock exclusively (draining that shard's readers), while
+  // readers of other shards keep serving. Readers looping across all
+  // shards throughout repeated checkpoints must never see an error, and
+  // the committed checkpoint must reopen.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "pnw_sharded_readers_during_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto store = MakeBootstrappedStore(SmallShardedOptions(4));
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> hard_failures{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 3; ++t) {
+    readers.emplace_back([&store, &stop, &hard_failures, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto got = store->Get((i * 13 + t) % 128);
+        if (!got.ok()) {
+          ++hard_failures;
+        }
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(store->Checkpoint(dir.string()).ok());
+  }
+  stop.store(true);
+  for (auto& thread : readers) {
+    thread.join();
+  }
+  EXPECT_EQ(hard_failures.load(), 0u);
+
+  auto reopened = ShardedPnwStore::Open(dir.string());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened.value()->size(), store->size());
+  for (uint64_t key = 0; key < 128; ++key) {
+    EXPECT_EQ(reopened.value()->Get(key).value(), store->Get(key).value());
+  }
+  fs::remove_all(dir);
 }
 
 TEST(ShardedConcurrencyTest, ConcurrentAggregationIsSafe) {
