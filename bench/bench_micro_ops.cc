@@ -1,14 +1,25 @@
 // Micro-benchmarks of the hot kernels and store operations (google-benchmark
 // suite; complements the per-figure harnesses).
+//
+// --json=PATH additionally writes a machine-readable perf record
+// (`{"bench": "micro_ops", "results": [{name, ns_per_op, ops_per_s}, ...]}`)
+// so the repo's performance trajectory is collectable run over run;
+// scripts/bench_to_json.py drives this and stamps the surrounding
+// BENCH_micro_ops.json artifact. Unknown to google-benchmark, the flag is
+// stripped from argv before benchmark::Initialize sees it.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/core/pnw_store.h"
 #include "src/ml/feature_encoder.h"
 #include "src/ml/kmeans.h"
+#include "src/nvm/nvm_device.h"
 #include "src/util/hamming.h"
 #include "src/util/random.h"
 #include "src/workloads/integer_generator.h"
@@ -88,6 +99,49 @@ void BM_PnwStorePut(benchmark::State& state) {
 }
 BENCHMARK(BM_PnwStorePut)->Iterations(1500);
 
+// The PR 5 batched write path: overwrite existing keys through MultiPut in
+// groups of `batch` (endurance-first updates, model re-steered). Compare
+// against BM_PnwStorePut's per-op path for the batching win without an
+// op-log (pure CPU amortization: batch predict, one statuses vector).
+void BM_PnwStoreMultiPut(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  constexpr size_t kRecords = 2048;
+  constexpr size_t kValueBytes = 64;
+  pnw::core::PnwOptions options;
+  options.value_bytes = kValueBytes;
+  options.initial_buckets = kRecords * 2;
+  options.capacity_buckets = kRecords * 4;
+  options.num_clusters = 8;
+  options.max_features = 256;
+  auto store = pnw::core::PnwStore::Open(options).value();
+  pnw::Rng rng(5);
+  std::vector<uint64_t> keys(kRecords);
+  std::vector<std::vector<uint8_t>> values(kRecords);
+  for (size_t i = 0; i < kRecords; ++i) {
+    keys[i] = i;
+    values[i].assign(kValueBytes, static_cast<uint8_t>((i % 8) * 32));
+    std::memcpy(values[i].data(), &i, 8);
+  }
+  if (!store->Bootstrap(keys, values).ok()) {
+    state.SkipWithError("bootstrap failed");
+    return;
+  }
+  std::vector<uint64_t> batch_keys(batch);
+  std::vector<std::span<const uint8_t>> batch_values(batch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      const uint64_t key = rng.NextBelow(kRecords);
+      batch_keys[i] = key;
+      batch_values[i] = values[(key * 7 + i) % kRecords];
+    }
+    benchmark::DoNotOptimize(store->MultiPut(batch_keys, batch_values));
+  }
+  // One iteration = one batch; items/s is the per-record throughput.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_PnwStoreMultiPut)->Arg(8)->Arg(64)->Iterations(200);
+
 void BM_FeatureEncode(benchmark::State& state) {
   const size_t bytes = static_cast<size_t>(state.range(0));
   pnw::ml::BitFeatureEncoder encoder(bytes, 512);
@@ -100,6 +154,136 @@ void BM_FeatureEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureEncode)->Arg(32)->Arg(784)->Arg(4096);
 
+// Scratch-buffer encoding (the allocation-free hot path PredictTimed runs).
+void BM_FeatureEncodeScratch(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  pnw::ml::BitFeatureEncoder encoder(bytes, 512);
+  std::vector<uint8_t> value(bytes, 0xa5);
+  std::vector<float> out(encoder.dims());
+  std::vector<uint64_t> lanes;
+  for (auto _ : state) {
+    encoder.Encode(value, out, lanes);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FeatureEncodeScratch)->Arg(32)->Arg(784)->Arg(4096);
+
+// The differential-write device kernel, word-at-a-time fast path vs the
+// retained byte-at-a-time reference, over a realistic ~10% dirty-byte
+// overwrite stream (PR 5's tentpole device change).
+void BM_WriteDifferential(benchmark::State& state) {
+  const bool word_path = state.range(0) != 0;
+  const size_t len = static_cast<size_t>(state.range(1));
+  pnw::nvm::NvmConfig config;
+  config.size_bytes = 1 << 20;
+  config.word_diff_writes = word_path;
+  pnw::nvm::NvmDevice device(config);
+  pnw::Rng rng(11);
+  std::vector<std::vector<uint8_t>> payloads(64);
+  for (auto& p : payloads) {
+    p.assign(len, 0);
+    for (size_t i = 0; i < len / 10 + 1; ++i) {
+      p[rng.NextBelow(len)] = static_cast<uint8_t>(rng.Next());
+    }
+  }
+  uint64_t addr = 3;  // deliberately unaligned
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.WriteDifferential(addr, payloads[i]));
+    i = (i + 1) % payloads.size();
+    addr = 3 + (addr + len) % (config.size_bytes - len - 8);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_WriteDifferential)
+    ->Args({1, 136})
+    ->Args({0, 136})
+    ->Args({1, 4096})
+    ->Args({0, 4096});
+
+/// Console reporter that additionally captures (name, ns/op) pairs so
+/// --json can emit the perf-trajectory record after the run.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double ns_per_op;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) {
+        continue;
+      }
+      entries.push_back(Entry{
+          run.benchmark_name(),
+          run.real_accumulated_time / static_cast<double>(run.iterations) *
+              1e9});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Entry> entries;
+};
+
+/// Minimal JSON string escaping (benchmark names contain '/' and ':' only,
+/// but stay safe against quotes/backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<CapturingReporter::Entry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_ops\",\n  \"results\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const double ns = entries[i].ns_per_op;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                 "\"ops_per_s\": %.1f}%s\n",
+                 JsonEscape(entries[i].name).c_str(), ns,
+                 ns > 0.0 ? 1e9 / ns : 0.0,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json=PATH before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char kJsonFlag[] = "--json=";
+    if (std::strncmp(argv[i], kJsonFlag, sizeof(kJsonFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kJsonFlag) - 1;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !WriteJson(json_path, reporter.entries)) {
+    return 1;
+  }
+  return 0;
+}

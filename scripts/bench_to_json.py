@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Collect the repo's machine-readable perf records into BENCH_*.json.
+
+Runs ``bench_micro_ops --json=<tmp>`` from a built tree, wraps the result
+with run metadata (UTC timestamp, git revision, smoke flag), and writes it
+to ``BENCH_micro_ops.json`` -- the perf-trajectory artifact CI uploads per
+run, so kernel regressions (predict, differential write, MultiPut) are
+visible as a time series rather than anecdotes.
+
+Usage:
+    python3 scripts/bench_to_json.py [--build-dir build] \
+        [--out BENCH_micro_ops.json] [--smoke]
+
+Exits nonzero when the bench binary is missing (a tree configured without
+google-benchmark) or the bench itself fails.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def git_revision(repo_root: pathlib.Path) -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree holding bench/bench_micro_ops")
+    parser.add_argument("--out", default="BENCH_micro_ops.json",
+                        help="output JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run under PNW_BENCH_SMOKE=1 with a short "
+                             "--benchmark_min_time (CI-sized workloads)")
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    bench = pathlib.Path(args.build_dir) / "bench" / "bench_micro_ops"
+    if not bench.exists():
+        print(f"error: {bench} not found -- build the tree first "
+              "(bench_micro_ops needs the google-benchmark package)",
+              file=sys.stderr)
+        return 1
+
+    env = dict(os.environ)
+    cmd = [str(bench)]
+    if args.smoke:
+        env["PNW_BENCH_SMOKE"] = "1"
+        cmd.append("--benchmark_min_time=0.01")
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        cmd.append(f"--json={tmp_path}")
+        result = subprocess.run(cmd, env=env)
+        if result.returncode != 0:
+            print(f"error: {' '.join(cmd)} exited {result.returncode}",
+                  file=sys.stderr)
+            return result.returncode
+        with open(tmp_path, encoding="utf-8") as f:
+            record = json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+    record["timestamp_utc"] = (
+        datetime.datetime.now(datetime.timezone.utc).isoformat())
+    record["git_revision"] = git_revision(repo_root)
+    record["smoke"] = args.smoke
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(record, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(record.get('results', []))} results")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ void StoreMetrics::Accumulate(const StoreMetrics& other) {
   get_device_ns += other.get_device_ns.load();
   delete_device_ns += other.delete_device_ns;
   predict_wall_ns += other.predict_wall_ns;
+  log_wall_ns += other.log_wall_ns;
   predicted_placements += other.predicted_placements;
   fallback_placements += other.fallback_placements;
   inplace_updates += other.inplace_updates;

@@ -103,6 +103,11 @@ struct StoreMetrics {
   /// Measured wall-clock time spent in model Predict() calls (the paper
   /// reports "the latency of prediction per item").
   double predict_wall_ns = 0.0;
+  /// Measured wall-clock time spent appending operations to the attached
+  /// op-log (zero while no log is attached). Together with
+  /// predict_wall_ns and put_device_ns this completes the write-path cost
+  /// split: predict vs simulated device vs durability capture.
+  double log_wall_ns = 0.0;
 
   /// Placement attribution: PUTs placed by a trained model's prediction vs
   /// PUTs placed model-less (cluster 0, i.e. DCW behaviour). A store whose

@@ -6,29 +6,48 @@
 
 namespace pnw::core {
 
-void ValueModel::Featurize(std::span<const uint8_t> value,
-                           std::vector<float>& features) const {
-  std::vector<float> encoded(encoder_.dims());
-  encoder_.Encode(value, encoded);
-  if (pca_.has_value()) {
-    features.resize(pca_->num_components());
-    pca_->Transform(encoded, features);
-  } else {
-    features = std::move(encoded);
+std::span<const float> ValueModel::Featurize(std::span<const uint8_t> value,
+                                             FeatureScratch& scratch) const {
+  scratch.encoded.resize(encoder_.dims());
+  encoder_.Encode(value, scratch.encoded, scratch.lanes);
+  if (!pca_.has_value()) {
+    return scratch.encoded;
   }
+  scratch.features.resize(pca_->num_components());
+  pca_->Transform(scratch.encoded, scratch.features, scratch.centered);
+  return scratch.features;
 }
 
 size_t ValueModel::Predict(std::span<const uint8_t> value) const {
-  std::vector<float> features;
-  Featurize(value, features);
-  return kmeans_.Predict(features);
+  FeatureScratch scratch;
+  return Predict(value, scratch);
+}
+
+size_t ValueModel::Predict(std::span<const uint8_t> value,
+                           FeatureScratch& scratch) const {
+  return kmeans_.Predict(Featurize(value, scratch));
 }
 
 std::vector<size_t> ValueModel::RankClusters(
     std::span<const uint8_t> value) const {
-  std::vector<float> features;
-  Featurize(value, features);
-  return kmeans_.RankClusters(features);
+  FeatureScratch scratch;
+  return RankClusters(value, scratch);
+}
+
+const std::vector<size_t>& ValueModel::RankClusters(
+    std::span<const uint8_t> value, FeatureScratch& scratch) const {
+  kmeans_.RankClusters(Featurize(value, scratch), scratch.rank_scores,
+                       scratch.ranked);
+  return scratch.ranked;
+}
+
+void ValueModel::PredictBatch(std::span<const std::span<const uint8_t>> values,
+                              FeatureScratch& scratch,
+                              std::vector<size_t>& labels) const {
+  labels.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    labels[i] = Predict(values[i], scratch);
+  }
 }
 
 ModelManager::ModelManager(const ModelTrainingConfig& config)

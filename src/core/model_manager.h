@@ -8,6 +8,7 @@
 #include <optional>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/ml/feature_encoder.h"
@@ -16,6 +17,27 @@
 #include "src/util/status.h"
 
 namespace pnw::core {
+
+/// Caller-owned scratch buffers for the prediction pipeline. Every
+/// ValueModel inference entry point has an overload threading one of these
+/// through, so a steady-state Predict performs zero heap allocations: the
+/// buffers grow to the pipeline's working-set sizes on the first call and
+/// are reused verbatim afterwards. A scratch is *not* thread-safe; give
+/// each predicting thread (the PNW store's single writer, a background
+/// labeler, ...) its own.
+struct FeatureScratch {
+  /// Bit-feature encoder output (encoder dims).
+  std::vector<float> encoded;
+  /// PCA projection output (num_components), when the pipeline uses PCA.
+  std::vector<float> features;
+  /// Folded-encoding lane accumulators (BitFeatureEncoder internals).
+  std::vector<uint64_t> lanes;
+  /// PCA centering buffer (input dims).
+  std::vector<float> centered;
+  /// RankClusters (score, cluster) pairs and the resulting order.
+  std::vector<std::pair<float, size_t>> rank_scores;
+  std::vector<size_t> ranked;
+};
 
 /// A trained prediction pipeline: bit-feature encoding, optional PCA
 /// projection, and a K-means model. Immutable once built, so the store can
@@ -34,8 +56,24 @@ class ValueModel {
   /// Cluster label for a raw value ("E = model.predict(D)", Algorithm 2).
   size_t Predict(std::span<const uint8_t> value) const;
 
+  /// Allocation-free Predict: all pipeline temporaries live in `scratch`
+  /// and are reused across calls. This is the PUT hot path.
+  size_t Predict(std::span<const uint8_t> value, FeatureScratch& scratch) const;
+
   /// Clusters ordered nearest-first for the pool's fallback path.
   std::vector<size_t> RankClusters(std::span<const uint8_t> value) const;
+
+  /// Allocation-free ranking: the order lands in (and is returned as a
+  /// reference to) `scratch.ranked`, valid until the scratch's next use.
+  const std::vector<size_t>& RankClusters(std::span<const uint8_t> value,
+                                          FeatureScratch& scratch) const;
+
+  /// Batched prediction through the same scratch-backed encoder path: one
+  /// label per value into `labels` (resized; capacity reused). The batched
+  /// write path predicts a whole MultiPut with one call.
+  void PredictBatch(std::span<const std::span<const uint8_t>> values,
+                    FeatureScratch& scratch,
+                    std::vector<size_t>& labels) const;
 
   const ml::KMeansModel& kmeans() const { return kmeans_; }
   bool uses_pca() const { return pca_.has_value(); }
@@ -45,9 +83,10 @@ class ValueModel {
   const std::optional<ml::PcaModel>& pca() const { return pca_; }
 
  private:
-  /// Encode + (optionally) project into `features`.
-  void Featurize(std::span<const uint8_t> value,
-                 std::vector<float>& features) const;
+  /// Encode + (optionally) project through `scratch`; the returned span
+  /// aliases scratch storage and stays valid until its next use.
+  std::span<const float> Featurize(std::span<const uint8_t> value,
+                                   FeatureScratch& scratch) const;
 
   ml::BitFeatureEncoder encoder_;
   std::optional<ml::PcaModel> pca_;

@@ -184,13 +184,14 @@ std::span<const uint8_t> PnwStore::PeekBucketValue(size_t bucket) const {
   return device_->Peek(BucketAddr(bucket) + key_bytes_, options_.value_bytes);
 }
 
-std::vector<size_t> PnwStore::RankClustersTimed(
+std::span<const size_t> PnwStore::RankClustersTimed(
     std::span<const uint8_t> value) {
   if (model_ == nullptr) {
-    return {0};
+    predict_scratch_.ranked.assign(1, 0);
+    return predict_scratch_.ranked;
   }
   const auto t0 = std::chrono::steady_clock::now();
-  auto ranked = model_->RankClusters(value);
+  const auto& ranked = model_->RankClusters(value, predict_scratch_);
   const auto t1 = std::chrono::steady_clock::now();
   metrics_.predict_wall_ns +=
       std::chrono::duration<double, std::nano>(t1 - t0).count();
@@ -202,11 +203,27 @@ size_t PnwStore::PredictTimed(std::span<const uint8_t> value) {
     return 0;
   }
   const auto t0 = std::chrono::steady_clock::now();
-  const size_t label = model_->Predict(value);
+  const size_t label = model_->Predict(value, predict_scratch_);
   const auto t1 = std::chrono::steady_clock::now();
   metrics_.predict_wall_ns +=
       std::chrono::duration<double, std::nano>(t1 - t0).count();
   return label;
+}
+
+void PnwStore::PredictBatchTimed(
+    std::span<const std::span<const uint8_t>> values) {
+  batch_labels_.clear();
+  if (model_ == nullptr || values.empty()) {
+    return;
+  }
+  // One timing scope for the whole batch: 2 clock reads per MultiPut
+  // instead of 2 per record, on top of the scratch reuse inside
+  // PredictBatch.
+  const auto t0 = std::chrono::steady_clock::now();
+  model_->PredictBatch(values, predict_scratch_, batch_labels_);
+  const auto t1 = std::chrono::steady_clock::now();
+  metrics_.predict_wall_ns +=
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
 }
 
 Status PnwStore::Bootstrap(std::span<const uint64_t> keys,
@@ -277,7 +294,8 @@ void PnwStore::AdoptModel(std::shared_ptr<const ValueModel> model) {
       continue;
     }
     const size_t label =
-        model_ != nullptr ? model_->Predict(PeekBucketValue(b)) : 0;
+        model_ != nullptr ? model_->Predict(PeekBucketValue(b), predict_scratch_)
+                          : 0;
     pool_.Insert(label, BucketAddr(b));
   }
 }
@@ -322,7 +340,9 @@ Status PnwStore::MaybeExtendAndRetrain() {
     active_buckets_ += grow;
     for (size_t b = first_new; b < active_buckets_; ++b) {
       const size_t label =
-          model_ != nullptr ? model_->Predict(PeekBucketValue(b)) : 0;
+          model_ != nullptr
+              ? model_->Predict(PeekBucketValue(b), predict_scratch_)
+              : 0;
       pool_.Insert(label, BucketAddr(b));
     }
     ++metrics_.extensions;
@@ -346,15 +366,19 @@ Status PnwStore::MaybeExtendAndRetrain() {
   return TrainModel();
 }
 
-Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
+Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value,
+                             const size_t* label_hint, bool hint_by_model) {
   // Attribution is decided here -- the retry path below may install a model
   // mid-operation, but this placement was steered by the model (or lack of
-  // one) present at prediction time.
-  const bool placed_by_model = model_ != nullptr;
-  // Fast path: one Predict (Algorithm 2 line 1) and a pop from that
-  // cluster's free-list. Only when the predicted cluster is empty do we pay
-  // for the full nearest-centroid ranking.
-  const size_t label = PredictTimed(value);
+  // one) present at prediction time. A batch-predicted hint carries its own
+  // attribution from the batch's predict time.
+  const bool placed_by_model =
+      label_hint != nullptr ? hint_by_model : model_ != nullptr;
+  // Fast path: one Predict (Algorithm 2 line 1) -- or the label the batch
+  // encoder path already predicted -- and a pop from that cluster's
+  // free-list. Only when the predicted cluster is empty do we pay for the
+  // full nearest-centroid ranking.
+  const size_t label = label_hint != nullptr ? *label_hint : PredictTimed(value);
   auto addr = pool_.Acquire(label);
   if (!addr.has_value()) {
     const auto ranked = RankClustersTimed(value);
@@ -376,11 +400,15 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
     }
   }
 
-  std::vector<uint8_t> bucket(bucket_bytes_);
+  // Reused staging buffer: every byte is overwritten below (key prefix +
+  // full value), so no clearing is needed and the steady-state write path
+  // stays allocation-free.
+  bucket_scratch_.resize(bucket_bytes_);
   if (key_bytes_ > 0) {
-    std::memcpy(bucket.data(), &key, key_bytes_);
+    std::memcpy(bucket_scratch_.data(), &key, key_bytes_);
   }
-  std::memcpy(bucket.data() + key_bytes_, value.data(), options_.value_bytes);
+  std::memcpy(bucket_scratch_.data() + key_bytes_, value.data(),
+              options_.value_bytes);
   const size_t bucket_index = *addr / bucket_bytes_;
   Status write_status;
   {
@@ -388,7 +416,7 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
                            &metrics_.put_bits_written,
                            &metrics_.put_lines_written,
                            &metrics_.put_words_written);
-    auto write = device_->WriteDifferential(*addr, bucket);
+    auto write = device_->WriteDifferential(*addr, bucket_scratch_);
     write_status = write.ok() ? Status::OK() : write.status();
     if (write_status.ok()) {
       write_status = SetBucketFlag(bucket_index, true);
@@ -404,7 +432,9 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
     // payload write may or may not have landed before the failure).
     (void)SetBucketFlag(bucket_index, false);
     const size_t resident_label =
-        model_ != nullptr ? model_->Predict(PeekBucketValue(bucket_index)) : 0;
+        model_ != nullptr
+            ? model_->Predict(PeekBucketValue(bucket_index), predict_scratch_)
+            : 0;
     pool_.Insert(resident_label, *addr);
     ++metrics_.failed_ops;
     return write_status;
@@ -426,7 +456,8 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value) {
   return MaybeExtendAndRetrain();
 }
 
-Status PnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
+Status PnwStore::PutOne(uint64_t key, std::span<const uint8_t> value,
+                        const size_t* label_hint, bool hint_by_model) {
   if (!bootstrapped_) {
     return Status::FailedPrecondition("Bootstrap the store before Put");
   }
@@ -434,13 +465,69 @@ Status PnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
     return Status::InvalidArgument("value size mismatch");
   }
   if (index_->Get(key).ok()) {
-    return Update(key, value);
+    return UpdateInternal(key, value, label_hint, hint_by_model);
   }
-  Status s = PutInternal(key, value);
+  Status s = PutInternal(key, value, label_hint, hint_by_model);
   if (s.ok()) {
     PNW_RETURN_IF_ERROR(LogOp(persist::OpType::kPut, key, value));
   }
   return s;
+}
+
+Status PnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
+  return PutOne(key, value, /*label_hint=*/nullptr, /*hint_by_model=*/false);
+}
+
+std::vector<Status> PnwStore::MultiPut(
+    std::span<const uint64_t> keys,
+    std::span<const std::span<const uint8_t>> values) {
+  std::vector<Status> out;
+  if (keys.size() != values.size()) {
+    out.assign(std::max(keys.size(), values.size()),
+               Status::InvalidArgument("keys/values size mismatch"));
+    return out;
+  }
+  out.assign(keys.size(), Status::OK());
+  if (keys.empty()) {
+    return out;
+  }
+  if (!bootstrapped_) {
+    out.assign(keys.size(),
+               Status::FailedPrecondition("Bootstrap the store before Put"));
+    return out;
+  }
+  // Predict the whole batch up front through the scratch-backed batch
+  // encoder path; attribution is fixed at batch-predict time. A mid-batch
+  // retrain (triggered by an earlier slot crossing the load factor) keeps
+  // serving the remaining slots with these labels -- labels steer placement
+  // quality only, so this trades a few possibly-stale placements for not
+  // re-predicting the tail of the batch.
+  PredictBatchTimed(values);
+  const bool by_model = model_ != nullptr;
+  batch_logging_ = true;
+  pending_log_.clear();
+  pending_log_slots_.clear();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    batch_slot_ = i;
+    const size_t* hint =
+        by_model && i < batch_labels_.size() ? &batch_labels_[i] : nullptr;
+    out[i] = PutOne(keys[i], values[i], hint, by_model);
+  }
+  batch_slot_ = SIZE_MAX;
+  batch_logging_ = false;
+  // One group append for every operation the batch applied: one buffer
+  // build, one flush, at most one (deferred, group-paced) fsync.
+  FlushBatchLog(out);
+  pending_log_.clear();
+  pending_log_slots_.clear();
+  return out;
+}
+
+std::vector<Status> PnwStore::MultiPut(
+    std::span<const uint64_t> keys,
+    std::span<const std::vector<uint8_t>> values) {
+  std::vector<std::span<const uint8_t>> spans(values.begin(), values.end());
+  return MultiPut(keys, spans);
 }
 
 Result<std::vector<uint8_t>> PnwStore::Get(uint64_t key) {
@@ -495,13 +582,16 @@ Status PnwStore::DeleteInternal(uint64_t key) {
     PNW_RETURN_IF_ERROR(index_->Delete(key));
     const size_t bucket_index = addr.value() / bucket_bytes_;
     PNW_RETURN_IF_ERROR(SetBucketFlag(bucket_index, false));
-    // Algorithm 3 line 3: E = model.predict(Read(A)) -- an NVM read.
-    std::vector<uint8_t> bucket(bucket_bytes_);
-    PNW_RETURN_IF_ERROR(device_->Read(addr.value(), bucket));
-    const std::span<const uint8_t> value(bucket.data() + key_bytes_,
+    // Algorithm 3 line 3: E = model.predict(Read(A)) -- an NVM read,
+    // staged through the reused bucket scratch (DELETE is half of every
+    // endurance-first UPDATE, so it shares the allocation-free discipline
+    // of the write path).
+    bucket_scratch_.resize(bucket_bytes_);
+    PNW_RETURN_IF_ERROR(device_->Read(addr.value(), bucket_scratch_));
+    const std::span<const uint8_t> value(bucket_scratch_.data() + key_bytes_,
                                          options_.value_bytes);
     const size_t label =
-        model_ != nullptr ? model_->Predict(value) : 0;
+        model_ != nullptr ? model_->Predict(value, predict_scratch_) : 0;
     pool_.Insert(label, addr.value());
   }
   --used_buckets_;
@@ -522,6 +612,12 @@ Status PnwStore::Delete(uint64_t key) {
 }
 
 Status PnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
+  return UpdateInternal(key, value, /*label_hint=*/nullptr,
+                        /*hint_by_model=*/false);
+}
+
+Status PnwStore::UpdateInternal(uint64_t key, std::span<const uint8_t> value,
+                                const size_t* label_hint, bool hint_by_model) {
   if (value.size() != options_.value_bytes) {
     return Status::InvalidArgument("value size mismatch");
   }
@@ -530,7 +626,7 @@ Status PnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
     // `puts` keeps counting every write placed via the model; `updates`
     // additionally records that it replaced an existing key.
     PNW_RETURN_IF_ERROR(DeleteInternal(key));
-    Status s = PutInternal(key, value);
+    Status s = PutInternal(key, value, label_hint, hint_by_model);
     if (s.ok()) {
       ++metrics_.updates;
       PNW_RETURN_IF_ERROR(LogOp(persist::OpType::kUpdate, key, value));
@@ -546,17 +642,18 @@ Status PnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
   if (!addr.ok()) {
     return addr.status();
   }
-  std::vector<uint8_t> bucket(bucket_bytes_);
+  bucket_scratch_.resize(bucket_bytes_);
   if (key_bytes_ > 0) {
-    std::memcpy(bucket.data(), &key, key_bytes_);
+    std::memcpy(bucket_scratch_.data(), &key, key_bytes_);
   }
-  std::memcpy(bucket.data() + key_bytes_, value.data(), options_.value_bytes);
+  std::memcpy(bucket_scratch_.data() + key_bytes_, value.data(),
+              options_.value_bytes);
   {
     DeviceDeltaScope scope(device_.get(), &metrics_.put_device_ns,
                            &metrics_.put_bits_written,
                            &metrics_.put_lines_written,
                            &metrics_.put_words_written);
-    auto write = device_->WriteDifferential(addr.value(), bucket);
+    auto write = device_->WriteDifferential(addr.value(), bucket_scratch_);
     if (!write.ok()) {
       // Nothing to roll back: no address was acquired and the index still
       // points at the (unmodified or partially updated) resident bucket.
@@ -988,7 +1085,19 @@ Status PnwStore::LogOp(persist::OpType op, uint64_t key,
   if (op_log_ == nullptr || replaying_) {
     return Status::OK();
   }
+  if (batch_logging_) {
+    // Open MultiPut batch: defer. The value span borrows the caller's
+    // batch storage, which outlives the batch; FlushBatchLog turns the
+    // whole set into one group append.
+    pending_log_.push_back(persist::OpLogEntry{op, key, value});
+    pending_log_slots_.push_back(batch_slot_);
+    return Status::OK();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
   Status s = op_log_->Append(op, key, value);
+  metrics_.log_wall_ns += std::chrono::duration<double, std::nano>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
   if (!s.ok()) {
     // The log no longer matches the store; detach it rather than keep
     // writing records recovery would replay out of order.
@@ -997,6 +1106,27 @@ Status PnwStore::LogOp(persist::OpType op, uint64_t key,
         "operation applied but its op-log append failed: " + s.ToString());
   }
   return Status::OK();
+}
+
+void PnwStore::FlushBatchLog(std::span<Status> statuses) {
+  if (op_log_ == nullptr || pending_log_.empty()) {
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  Status s = op_log_->AppendBatch(pending_log_);
+  metrics_.log_wall_ns += std::chrono::duration<double, std::nano>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  if (!s.ok()) {
+    // Same contract as the single-op path, per slot: the operations are
+    // applied but no longer captured, so each logged slot surfaces
+    // Internal and the log is detached.
+    op_log_.reset();
+    for (const size_t slot : pending_log_slots_) {
+      statuses[slot] = Status::Internal(
+          "operation applied but its op-log append failed: " + s.ToString());
+    }
+  }
 }
 
 void PnwStore::ResetWearAndMetrics() {

@@ -54,7 +54,8 @@ class PnwStore {
   /// written under any other version is rejected with a clean
   /// InvalidArgument ("snapshot version mismatch") instead of a misparse.
   /// v2: StoreMetrics gained `get_misses` (PR 4 read-accounting overhaul).
-  static constexpr uint32_t kSnapshotVersion = 2;
+  /// v3: StoreMetrics gained `log_wall_ns` (PR 5 write-path cost split).
+  static constexpr uint32_t kSnapshotVersion = 3;
   /// The op-log of a checkpoint at `path` lives at `path + kOpLogSuffix`.
   static constexpr const char* kOpLogSuffix = ".oplog";
 
@@ -123,6 +124,29 @@ class PnwStore {
   /// Algorithm 2. `value.size()` must equal options.value_bytes. A PUT of
   /// an existing key behaves as UPDATE under the configured update mode.
   Status Put(uint64_t key, std::span<const uint8_t> value);
+
+  /// Batched write: one Status per (key, value) slot, in slot order
+  /// (duplicate keys allowed; later slots observe earlier ones, so the
+  /// second occurrence of a key is an UPDATE). Semantically each slot
+  /// behaves exactly like Put(keys[i], values[i]); the batch form buys
+  /// the amortizations of the write hot path:
+  ///   - the whole batch is predicted up front through the scratch-backed
+  ///     batch encoder path (one wall-clock timing scope, zero
+  ///     steady-state allocations);
+  ///   - the attached op-log receives ONE group append for every applied
+  ///     operation (one buffer build + one flush + at most one deferred
+  ///     group fsync) instead of a flush per record. If that single group
+  ///     append fails, every applied-but-uncaptured slot reports Internal
+  ///     (mirroring Put's contract) and the log is detached.
+  /// A mid-batch model swap (a retrain triggered by an earlier slot) keeps
+  /// serving the remaining slots with their batch-time predictions: labels
+  /// steer placement quality, never correctness.
+  std::vector<Status> MultiPut(std::span<const uint64_t> keys,
+                               std::span<const std::span<const uint8_t>> values);
+
+  /// Convenience overload for callers holding owned values.
+  std::vector<Status> MultiPut(std::span<const uint64_t> keys,
+                               std::span<const std::vector<uint8_t>> values);
 
   /// Section V-B4: index lookup + data-zone read. One copy, straight from
   /// device memory into the returned vector. Hits bump `gets`, misses
@@ -198,15 +222,33 @@ class PnwStore {
   explicit PnwStore(const PnwOptions& options);
 
   Status Init();
-  Status PutInternal(uint64_t key, std::span<const uint8_t> value);
+  /// `label_hint`, when non-null, is a cluster label the caller already
+  /// predicted for `value` (MultiPut's batch predict); `hint_by_model`
+  /// records whether a trained model produced it, deciding placement
+  /// attribution. With a null hint the label is predicted here.
+  Status PutInternal(uint64_t key, std::span<const uint8_t> value,
+                     const size_t* label_hint = nullptr,
+                     bool hint_by_model = false);
   Status DeleteInternal(uint64_t key);
+  /// Shared Put/MultiPut slot body: upgrade to Update when the key exists,
+  /// otherwise PutInternal + op-log capture (deferred while batching).
+  Status PutOne(uint64_t key, std::span<const uint8_t> value,
+                const size_t* label_hint, bool hint_by_model);
+  /// Update under the configured mode, reusing `label_hint` for the
+  /// endurance-first re-placement.
+  Status UpdateInternal(uint64_t key, std::span<const uint8_t> value,
+                        const size_t* label_hint, bool hint_by_model);
 
   /// Predicted-cluster ranking with wall-clock accounting; returns {0} when
   /// no model is trained yet (the store then degenerates to DCW placement,
-  /// exactly the paper's k=1 behaviour).
-  std::vector<size_t> RankClustersTimed(std::span<const uint8_t> value);
+  /// exactly the paper's k=1 behaviour). The returned span aliases
+  /// per-store scratch, valid until the next predict/rank call.
+  std::span<const size_t> RankClustersTimed(std::span<const uint8_t> value);
   /// Single-label prediction with wall-clock accounting (the PUT fast path).
   size_t PredictTimed(std::span<const uint8_t> value);
+  /// Batch prediction with one wall-clock scope for the whole batch; fills
+  /// batch_labels_. No-op (labels cleared) when no model is trained.
+  void PredictBatchTimed(std::span<const std::span<const uint8_t>> values);
 
   /// Occupancy flag bitmap ops (each is a 1-byte differential NVM write).
   bool GetBucketFlag(size_t bucket) const;
@@ -238,10 +280,19 @@ class PnwStore {
   Status AttachOpLog(const std::string& path, bool truncate);
 
   /// Append one record to the attached op-log (no-op when none is
-  /// attached or while replaying). On append failure the log is detached
-  /// -- it no longer matches the store -- and Internal is returned.
+  /// attached or while replaying). While a MultiPut batch is open the
+  /// record is deferred into pending_log_ instead -- FlushBatchLog turns
+  /// the whole batch into one group append. On (immediate) append failure
+  /// the log is detached -- it no longer matches the store -- and Internal
+  /// is returned.
   Status LogOp(persist::OpType op, uint64_t key,
                std::span<const uint8_t> value);
+
+  /// Group-append every deferred record of the open batch (one flush, at
+  /// most one deferred fsync). On failure the log is detached and the
+  /// slots whose operations were applied but not captured are overwritten
+  /// with Internal in `statuses`.
+  void FlushBatchLog(std::span<Status> statuses);
 
   PnwOptions options_;
   size_t key_bytes_;  // 8 when keys live in the data zone, else 0
@@ -291,6 +342,22 @@ class PnwStore {
   bool log_switched_in_write_ = false;
   /// True while Open() replays the log: replayed ops must not re-append.
   bool replaying_ = false;
+
+  /// Hot-path scratch (all mutating operations run under the exclusive
+  /// lock, so one set per store suffices): prediction pipeline buffers,
+  /// the [key|value] bucket staging buffer, batch-predicted labels, and
+  /// the deferred op-log records (+ their batch slots) of an open
+  /// MultiPut. Capacity persists across operations -- the steady-state
+  /// write path allocates nothing.
+  FeatureScratch predict_scratch_;
+  std::vector<uint8_t> bucket_scratch_;
+  std::vector<size_t> batch_labels_;
+  std::vector<persist::OpLogEntry> pending_log_;
+  std::vector<size_t> pending_log_slots_;
+  /// Index of the MultiPut slot currently executing (drives
+  /// pending_log_slots_); SIZE_MAX outside a batch.
+  size_t batch_slot_ = SIZE_MAX;
+  bool batch_logging_ = false;
 };
 
 }  // namespace pnw::core

@@ -319,30 +319,23 @@ Result<std::vector<uint8_t>> ShardedPnwStore::Get(uint64_t key) {
   return shard.store->Get(key);
 }
 
-std::vector<Result<std::vector<uint8_t>>> ShardedPnwStore::MultiGet(
-    std::span<const uint64_t> keys) {
-  std::vector<Result<std::vector<uint8_t>>> out;
-  if (keys.empty()) {
-    return out;
+template <typename Result, typename PerShardFn>
+std::vector<Result> ShardedPnwStore::ScatterGatherBatch(
+    std::span<const uint64_t> keys, PerShardFn&& per_shard) {
+  // Group slot indices by owning shard. Per-shard results keep their
+  // in-shard order, so re-walking the batch with one cursor per shard
+  // reassembles slot order without placeholder results.
+  std::vector<std::vector<size_t>> shard_slots(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    shard_slots[ShardOf(keys[i])].push_back(i);
   }
-  // Group by owning shard. Per-shard results keep their in-shard order, so
-  // re-walking the batch with one cursor per shard reassembles key order
-  // without slot bookkeeping or placeholder Results.
-  std::vector<std::vector<uint64_t>> shard_keys(shards_.size());
-  for (const uint64_t key : keys) {
-    shard_keys[ShardOf(key)].push_back(key);
-  }
-  std::vector<std::vector<Result<std::vector<uint8_t>>>> shard_results(
-      shards_.size());
+  std::vector<std::vector<Result>> shard_results(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    if (shard_keys[s].empty()) {
-      continue;
+    if (!shard_slots[s].empty()) {
+      shard_results[s] = per_shard(s, shard_slots[s]);
     }
-    // One shared-lock acquisition per involved shard, however many keys
-    // the batch routes to it.
-    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
-    shard_results[s] = shards_[s]->store->MultiGet(shard_keys[s]);
   }
+  std::vector<Result> out;
   out.reserve(keys.size());
   std::vector<size_t> cursor(shards_.size(), 0);
   for (const uint64_t key : keys) {
@@ -350,6 +343,63 @@ std::vector<Result<std::vector<uint8_t>>> ShardedPnwStore::MultiGet(
     out.push_back(std::move(shard_results[s][cursor[s]++]));
   }
   return out;
+}
+
+std::vector<Status> ShardedPnwStore::MultiPut(
+    std::span<const uint64_t> keys,
+    std::span<const std::span<const uint8_t>> values) {
+  if (keys.size() != values.size()) {
+    return std::vector<Status>(
+        std::max(keys.size(), values.size()),
+        Status::InvalidArgument("keys/values size mismatch"));
+  }
+  if (keys.empty()) {
+    return {};
+  }
+  return ScatterGatherBatch<Status>(
+      keys, [this, keys, values](size_t s, const std::vector<size_t>& slots) {
+        // Values travel as borrowed spans -- no payload copies on the way
+        // to the owning shard.
+        std::vector<uint64_t> shard_keys;
+        std::vector<std::span<const uint8_t>> shard_values;
+        shard_keys.reserve(slots.size());
+        shard_values.reserve(slots.size());
+        for (const size_t slot : slots) {
+          shard_keys.push_back(keys[slot]);
+          shard_values.push_back(values[slot]);
+        }
+        // One *exclusive*-lock acquisition per involved shard, however
+        // many writes the batch routes to it; the shard-level MultiPut
+        // then amortizes prediction and the op-log flush across the group.
+        std::lock_guard<std::shared_mutex> lock(shards_[s]->mu);
+        return shards_[s]->store->MultiPut(shard_keys, shard_values);
+      });
+}
+
+std::vector<Status> ShardedPnwStore::MultiPut(
+    std::span<const uint64_t> keys,
+    std::span<const std::vector<uint8_t>> values) {
+  std::vector<std::span<const uint8_t>> spans(values.begin(), values.end());
+  return MultiPut(keys, spans);
+}
+
+std::vector<Result<std::vector<uint8_t>>> ShardedPnwStore::MultiGet(
+    std::span<const uint64_t> keys) {
+  if (keys.empty()) {
+    return {};
+  }
+  return ScatterGatherBatch<Result<std::vector<uint8_t>>>(
+      keys, [this, keys](size_t s, const std::vector<size_t>& slots) {
+        std::vector<uint64_t> shard_keys;
+        shard_keys.reserve(slots.size());
+        for (const size_t slot : slots) {
+          shard_keys.push_back(keys[slot]);
+        }
+        // One *shared*-lock acquisition per involved shard, however many
+        // keys the batch routes to it.
+        std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
+        return shards_[s]->store->MultiGet(shard_keys);
+      });
 }
 
 Status ShardedPnwStore::Delete(uint64_t key) {
@@ -403,7 +453,7 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
     summary.device_bits_written = store.device().counters().total_bits_written;
     summary.device_ns =
         m.put_device_ns + m.get_device_ns + m.delete_device_ns +
-        m.predict_wall_ns;
+        m.predict_wall_ns + m.log_wall_ns;
     summary.get_device_ns = m.get_device_ns;
     aggregated.shards.push_back(summary);
   }

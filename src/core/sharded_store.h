@@ -53,7 +53,9 @@ struct ShardSummary {
   uint32_t max_bucket_writes = 0;
   /// NVM cells this shard's device updated in total.
   uint64_t device_bits_written = 0;
-  /// Simulated device time this shard accumulated (its "busy time").
+  /// This shard's total busy time: simulated device time plus the
+  /// measured wall time of prediction and op-log capture -- the full
+  /// write-path cost split (predict + device + durability) lands here.
   double device_ns = 0.0;
   /// The read share of `device_ns`. Callers modeling parallel service
   /// split on this: reads hold shared locks (they spread over all reader
@@ -169,6 +171,21 @@ class ShardedPnwStore {
   Status Delete(uint64_t key);
   Status Update(uint64_t key, std::span<const uint8_t> value);
 
+  /// Batched write: one Status per (key, value) slot, in slot order
+  /// (duplicates allowed; later slots observe earlier ones). Groups the
+  /// slots by owning shard and takes each involved shard's *exclusive*
+  /// lock exactly once, so a batch of B writes over S shards costs
+  /// min(B, S) lock acquisitions instead of B; within a shard the group
+  /// goes through PnwStore::MultiPut (batch-predicted labels, one group
+  /// op-log append). Writes to different shards still serialize only
+  /// against their own shard's readers/writers. An empty batch returns an
+  /// empty vector without locking.
+  std::vector<Status> MultiPut(std::span<const uint64_t> keys,
+                               std::span<const std::span<const uint8_t>> values);
+  /// Convenience overload for callers holding owned values.
+  std::vector<Status> MultiPut(std::span<const uint64_t> keys,
+                               std::span<const std::vector<uint8_t>> values);
+
   /// Batched read: one Result per key, in key order (duplicates allowed).
   /// Groups the keys by owning shard and acquires each involved shard's
   /// shared lock exactly once, so a batch of B keys over S shards costs
@@ -214,6 +231,16 @@ class ShardedPnwStore {
   };
 
   explicit ShardedPnwStore(const ShardedOptions& options);
+
+  /// Shared scatter/gather scaffolding of the batched entry points
+  /// (MultiGet/MultiPut): group batch slots by owning shard, invoke
+  /// `per_shard(shard, slot_indices)` once per involved shard -- the
+  /// callable takes the lock its operation requires and returns that
+  /// shard's results in slot_indices order -- then reassemble per-slot
+  /// results in slot order. Defined in the .cc (only used there).
+  template <typename Result, typename PerShardFn>
+  std::vector<Result> ScatterGatherBatch(std::span<const uint64_t> keys,
+                                         PerShardFn&& per_shard);
 
   ShardedOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -24,6 +24,13 @@ BitFeatureEncoder::BitFeatureEncoder(size_t value_bytes, size_t max_features,
 
 void BitFeatureEncoder::Encode(std::span<const uint8_t> value,
                                std::span<float> out) const {
+  std::vector<uint64_t> lanes;
+  Encode(value, out, lanes);
+}
+
+void BitFeatureEncoder::Encode(std::span<const uint8_t> value,
+                               std::span<float> out,
+                               std::vector<uint64_t>& lanes_scratch) const {
   std::fill(out.begin(), out.end(), 0.0f);
   const size_t n = std::min(value.size(), value_bytes_);
   if (!folded_) {
@@ -54,7 +61,8 @@ void BitFeatureEncoder::Encode(std::span<const uint8_t> value,
   }();
 
   const size_t num_slots = dims_ / 8;
-  std::vector<uint64_t> lanes(num_slots, 0);
+  lanes_scratch.assign(num_slots, 0);
+  std::vector<uint64_t>& lanes = lanes_scratch;
   // Each lane is one byte wide: flush before 256 accumulations per slot.
   const size_t flush_every = 255 * num_slots;
   size_t since_flush = 0;

@@ -40,6 +40,13 @@ class BitFeatureEncoder {
   /// Encode one value into `out` (must have size dims()).
   void Encode(std::span<const uint8_t> value, std::span<float> out) const;
 
+  /// Allocation-free variant for hot paths: `lanes_scratch` is resized (and
+  /// reused across calls, so steady-state encoding never touches the heap)
+  /// to hold the folded-mode lane accumulators. Identical output to
+  /// Encode(value, out).
+  void Encode(std::span<const uint8_t> value, std::span<float> out,
+              std::vector<uint64_t>& lanes_scratch) const;
+
   /// Encode a batch into a fresh matrix (one row per value).
   Matrix EncodeBatch(std::span<const std::vector<uint8_t>> values) const;
 

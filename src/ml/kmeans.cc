@@ -53,13 +53,24 @@ Matrix SeedCentroids(const Matrix& data, size_t k, Rng& rng) {
 
 }  // namespace
 
-size_t KMeansModel::Predict(std::span<const float> features) const {
-  size_t best = 0;
-  float best_dist = std::numeric_limits<float>::max();
+void KMeansModel::ComputeCentroidNorms() {
+  centroid_norms_.resize(centroids_.rows());
   for (size_t c = 0; c < centroids_.rows(); ++c) {
-    const float dist = SquaredDistance(features, centroids_.Row(c));
-    if (dist < best_dist) {
-      best_dist = dist;
+    const auto row = centroids_.Row(c);
+    centroid_norms_[c] = DotProduct(row, row);
+  }
+}
+
+size_t KMeansModel::Predict(std::span<const float> features) const {
+  // ‖x − c‖² = ‖x‖² + ‖c‖² − 2·x·c; ‖x‖² is the same for every candidate,
+  // so the argmin needs only the precomputed ‖c‖² and one dot per centroid.
+  size_t best = 0;
+  float best_score = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    const float score = centroid_norms_[c] -
+                        2.0f * DotProduct(features, centroids_.Row(c));
+    if (score < best_score) {
+      best_score = score;
       best = c;
     }
   }
@@ -68,18 +79,30 @@ size_t KMeansModel::Predict(std::span<const float> features) const {
 
 std::vector<size_t> KMeansModel::RankClusters(
     std::span<const float> features) const {
-  std::vector<std::pair<float, size_t>> by_dist;
-  by_dist.reserve(centroids_.rows());
-  for (size_t c = 0; c < centroids_.rows(); ++c) {
-    by_dist.emplace_back(SquaredDistance(features, centroids_.Row(c)), c);
-  }
-  std::sort(by_dist.begin(), by_dist.end());
+  std::vector<std::pair<float, size_t>> by_score;
   std::vector<size_t> order;
-  order.reserve(by_dist.size());
-  for (const auto& [dist, c] : by_dist) {
-    order.push_back(c);
-  }
+  RankClusters(features, by_score, order);
   return order;
+}
+
+void KMeansModel::RankClusters(
+    std::span<const float> features,
+    std::vector<std::pair<float, size_t>>& by_score,
+    std::vector<size_t>& out) const {
+  by_score.clear();
+  by_score.reserve(centroids_.rows());
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    // Same ‖c‖² − 2·x·c score as Predict: shifted from the true squared
+    // distance by the centroid-independent ‖x‖², so the ordering is equal.
+    by_score.emplace_back(centroid_norms_[c] -
+                              2.0f * DotProduct(features, centroids_.Row(c)),
+                          c);
+  }
+  std::sort(by_score.begin(), by_score.end());
+  out.resize(by_score.size());
+  for (size_t i = 0; i < by_score.size(); ++i) {
+    out[i] = by_score[i].second;
+  }
 }
 
 Result<KMeansModel> KMeansTrainer::Fit(const Matrix& data) const {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/ml/matrix.h"
@@ -39,7 +40,9 @@ class KMeansModel {
  public:
   KMeansModel() = default;
   KMeansModel(Matrix centroids, double sse)
-      : centroids_(std::move(centroids)), sse_(sse) {}
+      : centroids_(std::move(centroids)), sse_(sse) {
+    ComputeCentroidNorms();
+  }
 
   size_t k() const { return centroids_.rows(); }
   size_t dims() const { return centroids_.cols(); }
@@ -47,6 +50,12 @@ class KMeansModel {
 
   /// Index of the nearest centroid. Pre-condition: trained() and
   /// features.size() == dims().
+  ///
+  /// Hot-loop form: with per-centroid squared norms precomputed at
+  /// construction, argmin_c ‖x − c‖² == argmin_c (‖c‖² − 2·x·c) -- the
+  /// ‖x‖² term is constant across centroids -- so each candidate costs one
+  /// fused multiply-add dot product, which auto-vectorizes, instead of a
+  /// subtract-square-accumulate loop. No allocation.
   size_t Predict(std::span<const float> features) const;
 
   /// All cluster indices ordered by increasing distance to `features`.
@@ -54,15 +63,27 @@ class KMeansModel {
   /// cluster when the predicted one has no free address.
   std::vector<size_t> RankClusters(std::span<const float> features) const;
 
+  /// Allocation-free ranking into caller-owned scratch: `by_score` and
+  /// `out` are resized (capacity reused across calls). Same order as
+  /// RankClusters(features).
+  void RankClusters(std::span<const float> features,
+                    std::vector<std::pair<float, size_t>>& by_score,
+                    std::vector<size_t>& out) const;
+
   std::span<const float> Centroid(size_t c) const { return centroids_.Row(c); }
   const Matrix& centroids() const { return centroids_; }
+  /// ‖c‖² per centroid, precomputed at construction (exposed for tests).
+  const std::vector<float>& centroid_norms() const { return centroid_norms_; }
 
   /// Final sum of squared errors (inertia) on the training set; the elbow
   /// method (paper Eq. 1, Fig. 4) plots this against K.
   double sse() const { return sse_; }
 
  private:
+  void ComputeCentroidNorms();
+
   Matrix centroids_;
+  std::vector<float> centroid_norms_;
   double sse_ = 0.0;
 };
 

@@ -10,6 +10,14 @@ void Matrix::AppendRow(std::span<const float> row) {
   ++rows_;
 }
 
+float DotProduct(std::span<const float> a, std::span<const float> b) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
 float SquaredDistance(std::span<const float> a, std::span<const float> b) {
   float acc = 0.0f;
   for (size_t i = 0; i < a.size(); ++i) {

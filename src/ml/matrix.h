@@ -45,6 +45,12 @@ class Matrix {
 /// Squared Euclidean distance between two equal-length vectors.
 float SquaredDistance(std::span<const float> a, std::span<const float> b);
 
+/// Inner product of two equal-length vectors. The single fused loop is the
+/// auto-vectorizable kernel behind KMeansModel::Predict's
+/// "‖c‖² − 2·x·c" distance form and PcaModel::Transform's per-component
+/// projection over a pre-centered sample.
+float DotProduct(std::span<const float> a, std::span<const float> b);
+
 }  // namespace pnw::ml
 
 #endif  // PNW_ML_MATRIX_H_

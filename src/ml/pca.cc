@@ -9,11 +9,24 @@ namespace pnw::ml {
 
 void PcaModel::Transform(std::span<const float> sample,
                          std::span<float> out) const {
+  std::vector<float> centered;
+  Transform(sample, out, centered);
+}
+
+void PcaModel::Transform(std::span<const float> sample, std::span<float> out,
+                         std::vector<float>& centered_scratch) const {
+  const size_t d = components_.cols();
+  centered_scratch.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    centered_scratch[j] = sample[j] - mean_[j];
+  }
+  // Pure dot product per component, double-accumulated exactly like the
+  // historical single-loop form so trained pipelines stay bit-identical.
   for (size_t c = 0; c < components_.rows(); ++c) {
     const auto comp = components_.Row(c);
     double acc = 0.0;
-    for (size_t j = 0; j < comp.size(); ++j) {
-      acc += (sample[j] - mean_[j]) * comp[j];
+    for (size_t j = 0; j < d; ++j) {
+      acc += centered_scratch[j] * comp[j];
     }
     out[c] = static_cast<float>(acc);
   }

@@ -43,6 +43,15 @@ class PcaModel {
   /// size num_components().
   void Transform(std::span<const float> sample, std::span<float> out) const;
 
+  /// Allocation-free variant for hot paths: `centered_scratch` is resized
+  /// to input_dims() and reused across calls. The sample is centered once
+  /// into it, then every component is projected with a pure dot product
+  /// over the centered buffer -- one subtraction per input element total,
+  /// instead of one per element *per component*. Identical output to
+  /// Transform(sample, out).
+  void Transform(std::span<const float> sample, std::span<float> out,
+                 std::vector<float>& centered_scratch) const;
+
   /// Project every row of `data`.
   Matrix TransformBatch(const Matrix& data) const;
 

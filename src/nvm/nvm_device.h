@@ -23,6 +23,13 @@ struct NvmConfig {
   /// Keep a per-bit write counter (memory-heavy: 2 bytes per stored bit).
   /// Needed only by the wear-leveling experiments (paper Fig. 13).
   bool track_bit_wear = false;
+  /// Use the word-at-a-time differential-write inner loop (uint64_t loads,
+  /// XOR, popcount; unaligned head/tail handled bytewise). Accounting is
+  /// bit-identical to the byte-at-a-time reference loop, which is retained
+  /// and used when this is false -- the equivalence property tests compare
+  /// the two -- or when the geometry rules the fast path out
+  /// (word_bytes != 8, or a cache line not a multiple of a word).
+  bool word_diff_writes = true;
   /// Latency parameters for the simulated device.
   LatencyParams latency;
 };
@@ -163,6 +170,17 @@ class NvmDevice {
   Status CheckRange(uint64_t addr, size_t len) const;
   /// Consumes one armed write fault, if any (see InjectWriteFaults).
   Status ConsumeWriteFault();
+
+  /// Differential inner loops: diff `data` against the resident bytes,
+  /// store the changed bytes, and account bits/words/lines (plus wear
+  /// histograms) into `result`. `DiffWords` is the word-at-a-time fast
+  /// path (requires word_bytes == 8 and 8 | cache_line_bytes);
+  /// `DiffBytesReference` is the byte-at-a-time reference kept for odd
+  /// geometries and for the equivalence property tests.
+  void DiffWords(uint64_t addr, std::span<const uint8_t> data,
+                 WriteResult* result);
+  void DiffBytesReference(uint64_t addr, std::span<const uint8_t> data,
+                          WriteResult* result);
 
   uint64_t fault_skip_ = 0;
   uint64_t fault_count_ = 0;

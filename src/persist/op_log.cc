@@ -73,25 +73,40 @@ OpLogWriter::~OpLogWriter() {
 
 Status OpLogWriter::Append(OpType op, uint64_t key,
                            std::span<const uint8_t> value) {
-  BufferWriter body;
-  body.PutU8(static_cast<uint8_t>(op));
-  body.PutU64(key);
-  body.PutBytes(value);
-  BufferWriter frame;
-  frame.PutU32(Crc32(body.data()));
-  frame.PutU32(static_cast<uint32_t>(body.size()));
-  frame.PutBytes(body.data());
-  const auto& bytes = frame.data();
+  const OpLogEntry entry{op, key, value};
+  return AppendBatch(std::span<const OpLogEntry>(&entry, 1));
+}
+
+Status OpLogWriter::AppendBatch(std::span<const OpLogEntry> entries) {
+  if (entries.empty()) {
+    return Status::OK();
+  }
+  // Frame every record into one contiguous buffer (scratch capacity is
+  // reused, so a warm append path allocates nothing), then hand the whole
+  // group to stdio with a single fwrite + fflush.
+  frame_scratch_.Clear();
+  for (const OpLogEntry& entry : entries) {
+    body_scratch_.Clear();
+    body_scratch_.PutU8(static_cast<uint8_t>(entry.op));
+    body_scratch_.PutU64(entry.key);
+    body_scratch_.PutBytes(entry.value);
+    frame_scratch_.PutU32(Crc32(body_scratch_.data()));
+    frame_scratch_.PutU32(static_cast<uint32_t>(body_scratch_.size()));
+    frame_scratch_.PutBytes(body_scratch_.data());
+  }
+  const auto& bytes = frame_scratch_.data();
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
     return Status::Internal("op-log append failed for " + path_);
   }
-  // Hand the record to the OS on every append (a process crash loses
-  // nothing); pay the device sync only per group.
+  // Hand the group to the OS in one flush (a process crash loses nothing);
+  // pay the device sync only when the record counter crosses the group
+  // boundary -- one deferred fsync per batch at most, never one per record.
   if (std::fflush(file_) != 0) {
     return Status::Internal("op-log flush failed for " + path_);
   }
-  ++appended_;
-  if (++since_sync_ >= sync_every_) {
+  appended_ += entries.size();
+  since_sync_ += entries.size();
+  if (since_sync_ >= sync_every_) {
     return Sync();
   }
   return Status::OK();

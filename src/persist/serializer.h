@@ -37,6 +37,10 @@ class BufferWriter {
 
   const std::vector<uint8_t>& data() const { return buf_; }
   size_t size() const { return buf_.size(); }
+  /// Drop the content but keep the capacity, so a writer reused as a
+  /// per-record scratch (the op-log's append path) stops allocating once
+  /// warm.
+  void Clear() { buf_.clear(); }
 
  private:
   std::vector<uint8_t> buf_;

@@ -221,6 +221,7 @@ void EncodeStoreMetrics(const core::StoreMetrics& m, BufferWriter& w) {
   w.PutDouble(m.get_device_ns);
   w.PutDouble(m.delete_device_ns);
   w.PutDouble(m.predict_wall_ns);
+  w.PutDouble(m.log_wall_ns);
   w.PutU64(m.predicted_placements);
   w.PutU64(m.fallback_placements);
   w.PutU64(m.inplace_updates);
@@ -251,6 +252,7 @@ Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m) {
   PNW_RETURN_IF_ERROR(r.GetDouble(&get_device_ns));
   PNW_RETURN_IF_ERROR(r.GetDouble(&out.delete_device_ns));
   PNW_RETURN_IF_ERROR(r.GetDouble(&out.predict_wall_ns));
+  PNW_RETURN_IF_ERROR(r.GetDouble(&out.log_wall_ns));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.predicted_placements));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.fallback_placements));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.inplace_updates));

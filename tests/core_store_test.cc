@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -235,6 +236,115 @@ TEST(PnwStoreTest, MultiGetMatchesGetAndAccountsPerKey) {
   EXPECT_TRUE(results[4].status().IsNotFound());
   EXPECT_EQ(store->metrics().gets, 3u);
   EXPECT_EQ(store->metrics().get_misses, 2u);
+}
+
+// --- PR 5: the batched write path.
+
+TEST(PnwStoreTest, MultiPutMatchesSequentialPutsExactly) {
+  // The same (key, value) stream through MultiPut and through per-op Puts
+  // must produce identical stores: same placements, same device wear, same
+  // operation metrics. Batch prediction is the same model over the same
+  // values, so placement is deterministic either way.
+  auto batch_store = MakeBootstrappedStore(SmallOptions());
+  auto serial_store = MakeBootstrappedStore(SmallOptions());
+
+  std::vector<uint64_t> keys;
+  std::vector<std::vector<uint8_t>> values;
+  for (size_t i = 0; i < 20; ++i) {
+    // Mix of fresh keys and overwrites of bootstrapped keys (upgrade to
+    // endurance-first UPDATE), plus an in-batch duplicate below.
+    keys.push_back(i % 3 == 0 ? i : 200 + i);
+    values.push_back(GroupValue(static_cast<int>(i % 2),
+                                static_cast<uint8_t>(40 + i)));
+  }
+  keys.push_back(keys[4]);  // duplicate within the batch -> second is UPDATE
+  values.push_back(GroupValue(1, 0x77));
+
+  const auto statuses = batch_store->MultiPut(keys, values);
+  ASSERT_EQ(statuses.size(), keys.size());
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    EXPECT_TRUE(statuses[i].ok()) << "slot " << i;
+    EXPECT_TRUE(serial_store->Put(keys[i], values[i]).ok()) << "slot " << i;
+  }
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto got = batch_store->Get(keys[i]);
+    ASSERT_TRUE(got.ok());
+    // The duplicate key's final value is the last slot's.
+    if (keys[i] != keys[4] || i == keys.size() - 1) {
+      EXPECT_EQ(got.value(), values[i]);
+    }
+  }
+  const StoreMetrics& bm = batch_store->metrics();
+  const StoreMetrics& sm = serial_store->metrics();
+  EXPECT_EQ(bm.puts, sm.puts);
+  EXPECT_EQ(bm.updates, sm.updates);
+  EXPECT_EQ(bm.deletes, sm.deletes);
+  EXPECT_EQ(bm.put_bits_written, sm.put_bits_written);
+  EXPECT_EQ(bm.put_lines_written, sm.put_lines_written);
+  EXPECT_EQ(bm.put_words_written, sm.put_words_written);
+  EXPECT_TRUE(bm.PlacementAttributionConsistent());
+  EXPECT_EQ(batch_store->device().counters().total_bits_written,
+            serial_store->device().counters().total_bits_written);
+}
+
+TEST(PnwStoreTest, MultiPutSlotStatuses) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  const std::vector<uint64_t> keys = {300, 301, 302};
+  std::vector<std::vector<uint8_t>> values = {
+      GroupValue(0, 1), std::vector<uint8_t>(7, 0xaa),  // wrong size
+      GroupValue(1, 2)};
+  const auto statuses = store->MultiPut(keys, values);
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].IsInvalidArgument());
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_TRUE(store->Get(300).ok());
+  EXPECT_TRUE(store->Get(301).status().IsNotFound());
+  EXPECT_TRUE(store->Get(302).ok());
+}
+
+TEST(PnwStoreTest, MultiPutSizeMismatchAndEmptyBatch) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  const std::vector<uint64_t> keys = {1, 2};
+  const std::vector<std::vector<uint8_t>> one_value = {GroupValue(0, 0)};
+  const auto mismatched = store->MultiPut(keys, one_value);
+  ASSERT_EQ(mismatched.size(), 2u);
+  EXPECT_TRUE(mismatched[0].IsInvalidArgument());
+  EXPECT_TRUE(store->MultiPut({}, std::span<const std::vector<uint8_t>>{})
+                  .empty());
+}
+
+TEST(PnwStoreTest, MultiPutRequiresBootstrap) {
+  auto store = PnwStore::Open(SmallOptions()).value();
+  const std::vector<uint64_t> keys = {1};
+  const std::vector<std::vector<uint8_t>> values = {GroupValue(0, 0)};
+  const auto statuses = store->MultiPut(keys, values);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].IsFailedPrecondition());
+}
+
+TEST(PnwStoreTest, MultiPutFaultInjectionFailsSlotAndRollsBack) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  const size_t free_before = store->pool().FreeCount();
+  // Fail the payload write of the second slot only (slot 1's first device
+  // write); slots 0 and 2 must land normally and the acquired address of
+  // slot 1 must return to the pool.
+  store->device().InjectWriteFaults(/*skip=*/3, /*count=*/1);
+  const std::vector<uint64_t> keys = {400, 401, 402};
+  const std::vector<std::vector<uint8_t>> values = {
+      GroupValue(0, 3), GroupValue(0, 4), GroupValue(1, 5)};
+  const auto statuses = store->MultiPut(keys, values);
+  store->device().InjectWriteFaults(0, 0);
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_FALSE(statuses[1].ok());
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ(store->metrics().failed_ops, 1u);
+  EXPECT_TRUE(store->Get(401).status().IsNotFound());
+  // Two slots consumed a free address; the failed one was reinserted.
+  EXPECT_EQ(store->pool().FreeCount(), free_before - 2);
+  EXPECT_TRUE(store->metrics().PlacementAttributionConsistent());
 }
 
 TEST(PnwStoreTest, CrashRecoveryRestoresDramIndex) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "src/ml/elbow.h"
@@ -286,6 +288,122 @@ TEST(FeatureEncoderTest, FoldingPreservesSimilarity) {
   encoder.Encode(near, fn);
   encoder.Encode(far, ff);
   EXPECT_LT(SquaredDistance(fb, fn), SquaredDistance(fb, ff));
+}
+
+// --- PR 5 scratch-path equivalence: every allocation-free overload must
+// produce exactly what its allocating counterpart produces.
+
+TEST(KMeansTest, NormTrickPredictMatchesBruteForceDistance) {
+  // Predict now scores candidates as ‖c‖² − 2·x·c with precomputed norms;
+  // on random data it must keep agreeing with the literal nearest-centroid
+  // argmin it replaced.
+  Rng rng(733);
+  Matrix data(256, 16);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t c = 0; c < data.cols(); ++c) {
+      data.At(r, c) = static_cast<float>(rng.NextDouble() * 4.0 - 2.0);
+    }
+  }
+  KMeansOptions options;
+  options.k = 7;
+  auto model = KMeansTrainer(options).Fit(data).value();
+  ASSERT_EQ(model.centroid_norms().size(), model.k());
+  for (size_t trial = 0; trial < 200; ++trial) {
+    std::vector<float> q(16);
+    for (auto& v : q) {
+      v = static_cast<float>(rng.NextDouble() * 4.0 - 2.0);
+    }
+    size_t brute = 0;
+    float best = std::numeric_limits<float>::max();
+    for (size_t c = 0; c < model.k(); ++c) {
+      const float dist = SquaredDistance(q, model.Centroid(c));
+      if (dist < best) {
+        best = dist;
+        brute = c;
+      }
+    }
+    // The norm form reassociates float math, so allow the one legal
+    // divergence: a tie (or near-tie) between two centroids. Anything
+    // farther apart must agree exactly.
+    const size_t predicted = model.Predict(q);
+    if (predicted != brute) {
+      EXPECT_NEAR(SquaredDistance(q, model.Centroid(predicted)), best,
+                  1e-3f * (1.0f + best));
+    }
+  }
+}
+
+TEST(KMeansTest, RankClustersScratchMatchesAllocating) {
+  Rng rng(877);
+  Matrix data(128, 8);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t c = 0; c < data.cols(); ++c) {
+      data.At(r, c) = static_cast<float>(rng.NextDouble());
+    }
+  }
+  KMeansOptions options;
+  options.k = 5;
+  auto model = KMeansTrainer(options).Fit(data).value();
+  std::vector<std::pair<float, size_t>> by_score;
+  std::vector<size_t> scratch_order;
+  for (size_t trial = 0; trial < 50; ++trial) {
+    std::vector<float> q(8);
+    for (auto& v : q) {
+      v = static_cast<float>(rng.NextDouble());
+    }
+    model.RankClusters(q, by_score, scratch_order);
+    EXPECT_EQ(scratch_order, model.RankClusters(q));
+  }
+}
+
+TEST(PcaTest, TransformScratchMatchesAllocating) {
+  Rng rng(911);
+  Matrix data(64, 12);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t c = 0; c < data.cols(); ++c) {
+      data.At(r, c) = static_cast<float>(rng.NextDouble());
+    }
+  }
+  PcaOptions options;
+  options.num_components = 4;
+  auto pca = PcaTrainer(options).Fit(data).value();
+  std::vector<float> centered;
+  for (size_t trial = 0; trial < 20; ++trial) {
+    std::vector<float> sample(12);
+    for (auto& v : sample) {
+      v = static_cast<float>(rng.NextDouble());
+    }
+    std::vector<float> plain(4), scratch(4);
+    pca.Transform(sample, plain);
+    pca.Transform(sample, scratch, centered);
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(plain[c], scratch[c]);  // bit-identical, same arithmetic
+    }
+  }
+}
+
+TEST(FeatureEncoderTest, ScratchEncodeMatchesAllocating) {
+  Rng rng(953);
+  for (const size_t max_features : {0u, 64u}) {
+    BitFeatureEncoder encoder(96, max_features);
+    std::vector<uint8_t> value(96);
+    std::vector<uint64_t> lanes;
+    for (size_t trial = 0; trial < 20; ++trial) {
+      for (auto& b : value) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      std::vector<float> plain(encoder.dims()), scratch(encoder.dims());
+      encoder.Encode(value, plain);
+      encoder.Encode(value, scratch, lanes);
+      EXPECT_EQ(plain, scratch);
+    }
+  }
+}
+
+TEST(MatrixTest, DotProduct) {
+  std::vector<float> a = {1.0f, 2.0f, -3.0f};
+  std::vector<float> b = {4.0f, 0.5f, 2.0f};
+  EXPECT_FLOAT_EQ(DotProduct(a, b), 4.0f + 1.0f - 6.0f);
 }
 
 TEST(FeatureEncoderTest, BatchMatchesSingle) {

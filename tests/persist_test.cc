@@ -638,5 +638,86 @@ TEST_F(PersistTest, ShardedRepeatedCheckpointsAndCrashFallback) {
   EXPECT_TRUE(latest.value()->Get(3).ok());
 }
 
+// --- PR 5: batched op-log capture.
+
+TEST_F(PersistTest, AppendBatchIsByteIdenticalToSingleAppends) {
+  // A batch of N must leave exactly the bytes N single Appends leave --
+  // same framing, same CRCs -- so recovery replays either identically.
+  const std::vector<uint8_t> v1 = GroupValue(0, 1);
+  const std::vector<uint8_t> v2 = GroupValue(1, 2);
+  {
+    auto single =
+        persist::OpLogWriter::Open(Path("single.oplog"), 32, 7).value();
+    ASSERT_TRUE(single->Append(persist::OpType::kPut, 10, v1).ok());
+    ASSERT_TRUE(single->Append(persist::OpType::kUpdate, 11, v2).ok());
+    ASSERT_TRUE(single->Append(persist::OpType::kDelete, 12, {}).ok());
+  }
+  {
+    auto batched =
+        persist::OpLogWriter::Open(Path("batched.oplog"), 32, 7).value();
+    const std::vector<persist::OpLogEntry> entries = {
+        {persist::OpType::kPut, 10, v1},
+        {persist::OpType::kUpdate, 11, v2},
+        {persist::OpType::kDelete, 12, {}},
+    };
+    ASSERT_TRUE(batched->AppendBatch(entries).ok());
+    EXPECT_EQ(batched->appended(), 3u);
+  }
+  const auto single_bytes = persist::ReadFileBytes(Path("single.oplog"));
+  const auto batched_bytes = persist::ReadFileBytes(Path("batched.oplog"));
+  ASSERT_TRUE(single_bytes.ok());
+  ASSERT_TRUE(batched_bytes.ok());
+  EXPECT_EQ(single_bytes.value(), batched_bytes.value());
+}
+
+TEST_F(PersistTest, MultiPutBatchCaptureReplaysOnRecovery) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  ASSERT_TRUE(store->Checkpoint(Path("mp.snap")).ok());
+
+  // One MultiPut batch mixing fresh keys, an overwrite of a bootstrapped
+  // key (endurance-first UPDATE), and an in-batch duplicate. Everything it
+  // applies must come back from snapshot + group-appended log replay.
+  const std::vector<uint64_t> keys = {100, 3, 101, 100};
+  const std::vector<std::vector<uint8_t>> values = {
+      GroupValue(0, 0x11), GroupValue(1, 0x22), GroupValue(0, 0x33),
+      GroupValue(1, 0x44)};
+  const auto statuses = store->MultiPut(keys, values);
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    ASSERT_TRUE(statuses[i].ok()) << "slot " << i;
+  }
+  // The group append captured one record per applied operation, already
+  // flushed to the OS.
+  auto log = persist::ReadOpLog(Path("mp.snap") + PnwStore::kOpLogSuffix);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log.value().records.size(), 4u);
+  EXPECT_FALSE(log.value().tail_truncated);
+  // Slot 0 inserted a fresh key (PUT); slot 3 overwrote it (UPDATE).
+  EXPECT_EQ(log.value().records[0].op, persist::OpType::kPut);
+  EXPECT_EQ(log.value().records[3].op, persist::OpType::kUpdate);
+  EXPECT_GT(store->metrics().log_wall_ns, 0.0);
+
+  auto reopened = PnwStore::Open(Path("mp.snap"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened.value()->Get(100).value(), GroupValue(1, 0x44));
+  EXPECT_EQ(reopened.value()->Get(3).value(), GroupValue(1, 0x22));
+  EXPECT_EQ(reopened.value()->Get(101).value(), GroupValue(0, 0x33));
+  EXPECT_EQ(reopened.value()->size(), store->size());
+  EXPECT_EQ(reopened.value()->device().counters().total_bits_written,
+            store->device().counters().total_bits_written);
+}
+
+TEST_F(PersistTest, LogWallTimeRoundTripsInSnapshot) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  ASSERT_TRUE(store->Checkpoint(Path("wall.snap")).ok());
+  ASSERT_TRUE(store->Put(70, GroupValue(0, 9)).ok());
+  ASSERT_GT(store->metrics().log_wall_ns, 0.0);
+  // Re-checkpoint so the accrued log wall time lands in the snapshot.
+  ASSERT_TRUE(store->Checkpoint(Path("wall.snap")).ok());
+  auto reopened = PnwStore::Open(Path("wall.snap"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_DOUBLE_EQ(reopened.value()->metrics().log_wall_ns,
+                   store->metrics().log_wall_ns);
+}
+
 }  // namespace
 }  // namespace pnw::core
