@@ -2,13 +2,21 @@
 // (data-zone bucket) is written, for k=5 and k=30, on the MNIST+Fashion
 // mixture with every word updated 4 times on average. The paper's claim:
 // regardless of K, PNW spreads write activity across the whole chip.
+//
+// --json=PATH additionally writes the headline CDF points as a
+// machine-readable record (scripts/bench_to_json.py conventions), so the
+// wear baseline the endurance layer must beat joins the perf trajectory.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/wear_common.h"
 #include "src/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = pnw::bench::JsonPathFromArgs(argc, argv);
+  std::vector<pnw::bench::JsonMetric> metrics;
   std::printf("=== Fig. 12: per-address max-write CDF (MNIST+Fashion mix, "
               "4x overwrite) ===\n");
   for (size_t k : {5, 30}) {
@@ -27,8 +35,19 @@ int main() {
                 max,
                 static_cast<double>(experiment.writes_streamed) /
                     static_cast<double>(experiment.zone_buckets));
+    std::string prefix = "k";
+    prefix += std::to_string(k);
+    prefix += '/';
+    metrics.push_back({prefix + "p_le_5", cdf.CumulativeProbability(5)});
+    metrics.push_back({prefix + "p_le_10", cdf.CumulativeProbability(10)});
+    metrics.push_back({prefix + "max_address_writes", max});
   }
   std::printf("\n(paper: P(X<=5)~0.85 and >99%% of addresses under 10-15 "
               "writes for both k -- PNW wears the chip evenly)\n");
+  if (!json_path.empty() &&
+      !pnw::bench::WriteJsonMetrics(json_path, "fig12_wear_addresses",
+                                    metrics)) {
+    return 1;
+  }
   return 0;
 }

@@ -2,13 +2,20 @@
 // The paper's key observation: increasing K distributes bit flips more
 // evenly (items within a cluster grow more similar), so the per-bit wear
 // CDF rises faster at k=30 than at k=5.
+//
+// --json=PATH additionally writes the headline CDF points as a
+// machine-readable record (scripts/bench_to_json.py conventions).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/wear_common.h"
 #include "src/util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = pnw::bench::JsonPathFromArgs(argc, argv);
+  std::vector<pnw::bench::JsonMetric> metrics;
   std::printf("=== Fig. 13: per-bit write-count CDF (MNIST+Fashion mix, "
               "4x overwrite) ===\n");
   double p4_k5 = 0.0;
@@ -31,9 +38,19 @@ int main() {
     } else {
       p4_k30 = p4;
     }
+    std::string prefix = "k";
+    prefix += std::to_string(k);
+    prefix += '/';
+    metrics.push_back({prefix + "p_bit_le_4", p4});
+    metrics.push_back({prefix + "p_bit_le_8", cdf.CumulativeProbability(8)});
+    metrics.push_back({prefix + "max_bit_writes", cdf.max_value()});
   }
   std::printf("\nk=30 vs k=5 at x=4: %.3f vs %.3f (paper: 0.98 vs 0.74 -- "
               "more clusters spread bit flips more evenly)\n", p4_k30,
               p4_k5);
+  if (!json_path.empty() &&
+      !pnw::bench::WriteJsonMetrics(json_path, "fig13_wear_bits", metrics)) {
+    return 1;
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "bench/harness.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -188,6 +189,52 @@ bool DatasetFilteredOut(int argc, char** argv, const std::string& name) {
     }
   }
   return false;
+}
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      return arg.substr(7);
+    }
+  }
+  return "";
+}
+
+namespace {
+
+// Metric names are generated in-repo ("k5/p_le_5"), but stay safe against
+// quotes/backslashes anyway.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool WriteJsonMetrics(const std::string& path, const std::string& bench,
+                      const std::vector<JsonMetric>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+               JsonEscape(bench).c_str());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6f}%s\n",
+                 JsonEscape(metrics[i].name).c_str(), metrics[i].value,
+                 i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace pnw::bench

@@ -58,6 +58,24 @@ std::vector<std::string> Fig6DatasetNames();
 /// (harnesses use this to let CI filter one sub-plot).
 bool DatasetFilteredOut(int argc, char** argv, const std::string& name);
 
+/// The PATH of a `--json=PATH` argv flag, or "" when absent. Figure
+/// benches accept this flag to join the machine-readable perf trajectory
+/// (scripts/bench_to_json.py wraps the record with run metadata).
+std::string JsonPathFromArgs(int argc, char** argv);
+
+/// One scalar emitted into a bench's machine-readable record.
+struct JsonMetric {
+  std::string name;
+  double value;
+};
+
+/// Write `{"bench": <bench>, "results": [{"name":..., "value":...}, ...]}`
+/// to `path` -- the same envelope shape as BENCH_micro_ops.json so the
+/// collection script treats every bench uniformly. Returns false (with a
+/// message on stderr) when the file cannot be written.
+bool WriteJsonMetrics(const std::string& path, const std::string& bench,
+                      const std::vector<JsonMetric>& metrics);
+
 /// True when the PNW_BENCH_SMOKE environment variable is set -- the CTest
 /// `bench_smoke` fixture runs every bench this way so the binaries are
 /// exercised on every verify without paying full figure-quality sizes.

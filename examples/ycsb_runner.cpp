@@ -36,6 +36,15 @@
 // serving -- a live-backup drill. The run reports how many checkpoints were
 // taken and their total wall cost.
 //
+// --start-gap=N turns on Start-Gap wear leveling under the address pool
+// (gap moves every N data-zone writes per shard); --migrate-every=N makes
+// thread 0 sweep the store for hot buckets every N of its ops
+// (ShardedPnwStore::MigrateOnce). --wear-report prints the endurance
+// ledger per shard at the end of each mix -- max/mean physical bucket
+// wear, rotations, migrations -- plus a reconcile line proving client
+// writes + migration copies + gap moves == device bucket writes, exiting
+// nonzero on a mismatch exactly like the read/write reconcile lines.
+//
 // The flags exist so CTest can smoke-run the binary with tiny parameters.
 
 #include <algorithm>
@@ -61,6 +70,9 @@ size_t kShards = 1;
 size_t kBatch = 1;  // 1 = per-key Get; >1 = MultiGet batches of this size
 size_t kCheckpointEvery = 0;  // 0 = checkpointing off
 std::string kCheckpointDir;
+size_t kStartGap = 0;      // 0 = wear leveling off; else gap-move interval
+size_t kMigrateEvery = 0;  // 0 = no hot-bucket sweeps
+bool kWearReport = false;
 constexpr size_t kValueBytes = 128;
 
 void PrintUsage(const char* argv0) {
@@ -89,6 +101,18 @@ void PrintUsage(const char* argv0) {
       "  --checkpoint-dir=PATH  checkpoint directory (default: a\n"
       "                         pnw_ycsb_ckpt dir under the system temp\n"
       "                         path)\n"
+      "  --start-gap=N          Start-Gap wear leveling: move the gap every\n"
+      "                         N data-zone writes per shard (default 0 =\n"
+      "                         off)\n"
+      "  --migrate-every=N      thread 0 sweeps every shard for hot\n"
+      "                         buckets every N of its ops and re-places\n"
+      "                         them into cold addresses (default off)\n"
+      "  --wear-report          per-shard endurance ledger after each mix:\n"
+      "                         max/mean physical bucket wear, rotations,\n"
+      "                         migrations, and a reconcile line (client\n"
+      "                         writes + migrations + gap moves == device\n"
+      "                         bucket writes) that fails the run on\n"
+      "                         mismatch\n"
       "  --help                 this text\n"
       "\n"
       "--flag N is accepted as well as --flag=N. Exits nonzero if any\n"
@@ -190,13 +214,21 @@ struct CheckpointStats {
   double wall_ms = 0.0;
 };
 
+/// Hot-bucket sweep accounting (thread 0 only; see --migrate-every).
+struct MigrateStats {
+  uint64_t passes = 0;
+  uint64_t moved = 0;
+  uint64_t failed = 0;
+};
+
 /// One thread's share of the run: its own generator (offset seed), its own
 /// value RNG, its own version counters -- no cross-thread state besides the
 /// store itself.
 ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
                          pnw::workloads::YcsbWorkload workload,
                          size_t thread_id, size_t ops,
-                         CheckpointStats* ckpt = nullptr) {
+                         CheckpointStats* ckpt = nullptr,
+                         MigrateStats* migrate = nullptr) {
   using pnw::workloads::YcsbOp;
   ThreadCounts counts;
   pnw::workloads::YcsbOptions gen_options;
@@ -362,6 +394,21 @@ ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
         break;
       }
     }
+    // Hot-bucket sweep: thread 0 paces the migrator while the other
+    // threads keep serving (per-shard exclusive locks, same interlock the
+    // background migrator uses).
+    if (migrate != nullptr && kMigrateEvery != 0 &&
+        (i + 1) % kMigrateEvery == 0) {
+      const auto moved = store.MigrateOnce(/*max_buckets_per_shard=*/4);
+      ++migrate->passes;
+      if (moved.ok()) {
+        migrate->moved += moved.value();
+      } else {
+        std::fprintf(stderr, "migration sweep failed: %s\n",
+                     moved.status().ToString().c_str());
+        ++migrate->failed;
+      }
+    }
     // Live backup drill: this thread pauses to checkpoint while the other
     // threads keep serving (shards are locked one at a time).
     if (ckpt != nullptr && kCheckpointEvery != 0 &&
@@ -410,6 +457,15 @@ int main(int argc, char** argv) {
   kCheckpointDir = StringFlagOr(
       argc, argv, "checkpoint-dir",
       (std::filesystem::temp_directory_path() / "pnw_ycsb_ckpt").string());
+  // 0 is the documented "off" value for both endurance pacers.
+  kStartGap = FlagOr(argc, argv, "start-gap", kStartGap, /*min_value=*/0);
+  kMigrateEvery = FlagOr(argc, argv, "migrate-every", kMigrateEvery,
+                         /*min_value=*/0);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wear-report") == 0) {
+      kWearReport = true;
+    }
+  }
 
   std::printf("YCSB core mixes on PNW (%zu records, %zu ops, %zuB values, "
               "%zu threads, %zu shards, read batch %zu)\n",
@@ -418,12 +474,21 @@ int main(int argc, char** argv) {
     std::printf("live checkpoints: every %zu thread-0 ops into %s\n",
                 kCheckpointEvery, kCheckpointDir.c_str());
   }
+  if (kStartGap != 0) {
+    std::printf("start-gap wear leveling: gap moves every %zu writes per "
+                "shard\n", kStartGap);
+  }
+  if (kMigrateEvery != 0) {
+    std::printf("hot-bucket migration: sweep every %zu thread-0 ops\n",
+                kMigrateEvery);
+  }
   std::printf("%-18s %8s %8s %8s %7s %10s %10s %10s %11s %7s\n", "workload",
               "reads", "writes", "inserts", "failed", "bits/512b",
               "us/write", "kops/s", "kops/s(sim)", "imbal");
 
   bool any_failures = false;
   CheckpointStats total_ckpt;
+  MigrateStats total_migrate;
   for (YcsbWorkload workload :
        {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
         YcsbWorkload::kD, YcsbWorkload::kF}) {
@@ -435,6 +500,10 @@ int main(int argc, char** argv) {
     options.store.num_clusters = 8;
     options.store.max_features = 256;
     options.store.load_factor = 0.85;
+    if (kStartGap != 0) {
+      options.store.start_gap_wear_leveling = true;
+      options.store.gap_write_interval = kStartGap;
+    }
     auto opened = pnw::core::ShardedPnwStore::Open(options);
     if (!opened.ok()) {
       std::fprintf(stderr, "open failed: %s\n",
@@ -458,18 +527,20 @@ int main(int argc, char** argv) {
 
     std::vector<ThreadCounts> counts(kThreads);
     CheckpointStats ckpt;
+    MigrateStats migrate;
     const auto t0 = std::chrono::steady_clock::now();
     if (kThreads == 1) {
-      counts[0] = RunOpStream(*store, workload, 0, kOps, &ckpt);
+      counts[0] = RunOpStream(*store, workload, 0, kOps, &ckpt, &migrate);
     } else {
       std::vector<std::thread> threads;
       threads.reserve(kThreads);
       const size_t per_thread = (kOps + kThreads - 1) / kThreads;
       for (size_t t = 0; t < kThreads; ++t) {
         threads.emplace_back(
-            [&store, &counts, &ckpt, workload, t, per_thread] {
+            [&store, &counts, &ckpt, &migrate, workload, t, per_thread] {
               counts[t] = RunOpStream(*store, workload, t, per_thread,
-                                      t == 0 ? &ckpt : nullptr);
+                                      t == 0 ? &ckpt : nullptr,
+                                      t == 0 ? &migrate : nullptr);
             });
       }
       for (auto& thread : threads) {
@@ -479,6 +550,9 @@ int main(int argc, char** argv) {
     total_ckpt.taken += ckpt.taken;
     total_ckpt.failed += ckpt.failed;
     total_ckpt.wall_ms += ckpt.wall_ms;
+    total_migrate.passes += migrate.passes;
+    total_migrate.moved += migrate.moved;
+    total_migrate.failed += migrate.failed;
     const auto t1 = std::chrono::steady_clock::now();
     const double wall_s = std::chrono::duration<double>(t1 - t0).count();
 
@@ -581,6 +655,32 @@ int main(int argc, char** argv) {
         writes_reconcile ? "ok" : "MISMATCH");
     any_failures = any_failures || !reads_reconcile ||
                    !placement_consistent || !writes_reconcile;
+    if (kWearReport) {
+      // Endurance ledger, per shard: the clients' successful writes plus
+      // the endurance layer's own copies (hot-bucket migrations, Start-Gap
+      // moves) must equal the device bucket writes the wear histogram
+      // recorded -- every physical write accounted exactly once.
+      const size_t slots =
+          options.store.capacity_buckets + (kStartGap != 0 ? 1 : 0);
+      for (const auto& s : agg.shards) {
+        const uint64_t accounted = s.puts + s.migrations + s.gap_moves;
+        const bool wear_reconciles = s.physical_bucket_writes == accounted;
+        std::printf(
+            "  wear[shard %zu]: max=%u mean=%.2f rotations=%llu "
+            "migrations=%llu gap_moves=%llu | puts=%llu + migrations + "
+            "gap_moves == device bucket writes=%llu [%s]\n",
+            s.shard, s.max_physical_writes,
+            static_cast<double>(s.physical_bucket_writes) /
+                static_cast<double>(slots),
+            static_cast<unsigned long long>(s.start_gap_rotations),
+            static_cast<unsigned long long>(s.migrations),
+            static_cast<unsigned long long>(s.gap_moves),
+            static_cast<unsigned long long>(s.puts),
+            static_cast<unsigned long long>(s.physical_bucket_writes),
+            wear_reconciles ? "ok" : "MISMATCH");
+        any_failures = any_failures || !wear_reconciles;
+      }
+    }
   }
   if (kCheckpointEvery != 0) {
     std::printf("\nlive checkpoints: %llu taken (%llu failed), "
@@ -590,6 +690,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(total_ckpt.failed),
                 total_ckpt.wall_ms, kCheckpointDir.c_str());
     any_failures = any_failures || total_ckpt.failed != 0;
+  }
+  if (kMigrateEvery != 0) {
+    std::printf("\nhot-bucket migration: %llu sweeps moved %llu buckets "
+                "(%llu failed sweeps)\n",
+                static_cast<unsigned long long>(total_migrate.passes),
+                static_cast<unsigned long long>(total_migrate.moved),
+                static_cast<unsigned long long>(total_migrate.failed));
+    any_failures = any_failures || total_migrate.failed != 0;
   }
   std::printf("\n(update-heavy mixes benefit most from PNW: every update is "
               "re-steered to a similar residue;\n kops/s(sim) spreads write "

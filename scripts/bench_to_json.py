@@ -1,18 +1,20 @@
 #!/usr/bin/env python3
 """Collect the repo's machine-readable perf records into BENCH_*.json.
 
-Runs ``bench_micro_ops --json=<tmp>`` from a built tree, wraps the result
-with run metadata (UTC timestamp, git revision, smoke flag), and writes it
-to ``BENCH_micro_ops.json`` -- the perf-trajectory artifact CI uploads per
-run, so kernel regressions (predict, differential write, MultiPut) are
-visible as a time series rather than anecdotes.
+Runs a ``--json``-capable bench binary (``bench_micro_ops`` by default;
+``--bench fig12_wear_addresses|fig13_wear_bits|fig18_aging`` for the wear
+benches) from a built tree, wraps the result with run metadata (UTC
+timestamp, git revision, smoke flag), and writes it to ``BENCH_<name>.json``
+-- the perf-trajectory artifacts CI uploads per run, so kernel and wear
+regressions are visible as a time series rather than anecdotes.
 
 Usage:
     python3 scripts/bench_to_json.py [--build-dir build] \
-        [--out BENCH_micro_ops.json] [--smoke]
+        [--bench micro_ops] [--out BENCH_<bench>.json] [--smoke]
 
-Exits nonzero when the bench binary is missing (a tree configured without
-google-benchmark) or the bench itself fails.
+Exits nonzero when the bench binary is missing (for micro_ops: a tree
+configured without google-benchmark) or the bench itself fails (the wear
+benches gate their own claims and exit nonzero on a miss).
 """
 
 import argparse
@@ -41,16 +43,23 @@ def git_revision(repo_root: pathlib.Path) -> str:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build",
-                        help="CMake build tree holding bench/bench_micro_ops")
-    parser.add_argument("--out", default="BENCH_micro_ops.json",
-                        help="output JSON path")
+                        help="CMake build tree holding the bench binaries")
+    parser.add_argument("--bench", default="micro_ops",
+                        help="bench to run (binary bench_<name>); any "
+                             "--json-capable bench works, e.g. micro_ops, "
+                             "fig12_wear_addresses, fig13_wear_bits, "
+                             "fig18_aging")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_<bench>.json)")
     parser.add_argument("--smoke", action="store_true",
-                        help="run under PNW_BENCH_SMOKE=1 with a short "
-                             "--benchmark_min_time (CI-sized workloads)")
+                        help="run under PNW_BENCH_SMOKE=1 (CI-sized "
+                             "workloads; micro_ops also gets a short "
+                             "--benchmark_min_time)")
     args = parser.parse_args()
+    out_path = args.out or f"BENCH_{args.bench}.json"
 
     repo_root = pathlib.Path(__file__).resolve().parent.parent
-    bench = pathlib.Path(args.build_dir) / "bench" / "bench_micro_ops"
+    bench = pathlib.Path(args.build_dir) / "bench" / f"bench_{args.bench}"
     if not bench.exists():
         print(f"error: {bench} not found -- build the tree first "
               "(bench_micro_ops needs the google-benchmark package)",
@@ -61,7 +70,8 @@ def main() -> int:
     cmd = [str(bench)]
     if args.smoke:
         env["PNW_BENCH_SMOKE"] = "1"
-        cmd.append("--benchmark_min_time=0.01")
+        if args.bench == "micro_ops":
+            cmd.append("--benchmark_min_time=0.01")
 
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         tmp_path = tmp.name
@@ -81,10 +91,10 @@ def main() -> int:
         datetime.datetime.now(datetime.timezone.utc).isoformat())
     record["git_revision"] = git_revision(repo_root)
     record["smoke"] = args.smoke
-    with open(args.out, "w", encoding="utf-8") as f:
+    with open(out_path, "w", encoding="utf-8") as f:
         json.dump(record, f, indent=2)
         f.write("\n")
-    print(f"wrote {args.out}: {len(record.get('results', []))} results")
+    print(f"wrote {out_path}: {len(record.get('results', []))} results")
     return 0
 
 

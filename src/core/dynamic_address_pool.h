@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -40,6 +41,22 @@ class DynamicAddressPool {
   /// `*used_fallback` if the address did not come from the first entry.
   std::optional<uint64_t> AcquireRanked(std::span<const size_t> ranked_clusters,
                                         bool* used_fallback);
+
+  /// Cold-placement acquire for the hot-bucket migrator: walk
+  /// `ranked_clusters` in order and take, from the first cluster holding
+  /// any address with `wear_of(addr) < max_wear`, the address with the
+  /// smallest wear (ties broken toward the front of the list, i.e. the
+  /// least recently freed). Returns nullopt -- with the pool untouched --
+  /// when no free address anywhere is colder than `max_wear`, so a
+  /// migration that would not improve wear has no side effects. Sets
+  /// `*used_fallback` when the address did not come from the first entry.
+  /// Removal swaps with the back, so it stays O(1) after the scan (the
+  /// resulting order change is deterministic, which checkpoint replay
+  /// relies on).
+  std::optional<uint64_t> AcquireRankedMinWear(
+      std::span<const size_t> ranked_clusters,
+      const std::function<uint32_t(uint64_t)>& wear_of, uint32_t max_wear,
+      bool* used_fallback);
 
   /// Total free addresses across all clusters.
   size_t FreeCount() const { return total_free_; }

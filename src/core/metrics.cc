@@ -56,6 +56,9 @@ void StoreMetrics::Accumulate(const StoreMetrics& other) {
   retrains += other.retrains;
   failed_retrains += other.failed_retrains;
   extensions += other.extensions;
+  migrations += other.migrations;
+  gap_moves += other.gap_moves;
+  wear_device_ns += other.wear_device_ns;
 }
 
 std::string StoreMetrics::ToString() const {
@@ -71,7 +74,8 @@ std::string StoreMetrics::ToString() const {
      << " inplace_updates=" << inplace_updates
      << " fallbacks=" << pool_fallbacks << " retrains=" << retrains
      << " failed_retrains=" << failed_retrains
-     << " extensions=" << extensions;
+     << " extensions=" << extensions << " migrations=" << migrations
+     << " gap_moves=" << gap_moves;
   return os.str();
 }
 

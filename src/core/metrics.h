@@ -138,6 +138,17 @@ struct StoreMetrics {
   uint64_t failed_retrains = 0;
   uint64_t extensions = 0;
 
+  /// Endurance layer (Start-Gap + hot-bucket migration). Together with
+  /// `puts` these reconcile against the device's physical view: every
+  /// data-zone block write is a client PUT, a migration copy, or a gap
+  /// move, so puts + migrations + gap_moves == total physical bucket
+  /// writes (ycsb_runner --wear-report checks exactly this).
+  uint64_t migrations = 0;  // hot buckets re-placed into colder addresses
+  uint64_t gap_moves = 0;   // Start-Gap copies since the last reset
+  /// Simulated device time of migration copies and gap moves -- the
+  /// endurance layer's own cost, kept out of the client-op latency split.
+  double wear_device_ns = 0.0;
+
   /// Average bit updates per 512 payload bits written (paper Fig. 6 y-axis).
   double BitUpdatesPer512() const;
   /// Average end-to-end PUT latency in ns: prediction + simulated device

@@ -101,6 +101,27 @@ struct PnwOptions {
   /// Keep per-bit wear counters on the device (Fig. 13; memory heavy).
   bool track_bit_wear = false;
 
+  /// Rotate data-zone buckets through physical slots with Start-Gap wear
+  /// leveling (Qureshi et al., MICRO'09): the data zone gains one spare
+  /// bucket slot and every bucket access translates through the remapper's
+  /// (start, gap) registers -- the orthogonal endurance substrate under
+  /// the paper's content-aware placement (Section VI-G). Off by default:
+  /// the figure harnesses reproduce the paper without it.
+  bool start_gap_wear_leveling = false;
+  /// Bucket writes between gap movements (Start-Gap's psi; Qureshi et al.
+  /// use 100). Smaller rotates faster at a higher copy overhead; the
+  /// write amplification is 1/psi.
+  size_t gap_write_interval = 100;
+
+  /// Hot-bucket migration thresholds (used by MigrateHotBuckets and the
+  /// sharded background migrator): a resident bucket qualifies as a
+  /// victim when its K/V write count is at least `migration_hot_multiplier`
+  /// times the mean over the active zone...
+  double migration_hot_multiplier = 4.0;
+  /// ...and at least this many writes absolutely (so a cold store never
+  /// churns buckets over single-digit imbalances).
+  size_t migration_min_writes = 16;
+
   uint64_t seed = 42;
   nvm::LatencyParams latency;
 };

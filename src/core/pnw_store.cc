@@ -27,6 +27,9 @@ enum SnapshotSection : uint32_t {
   kSectionIndex = 6,
   kSectionModel = 7,
   kSectionPool = 8,
+  /// Start-Gap translation registers; present iff the store was opened
+  /// with start_gap_wear_leveling (v4).
+  kSectionRemap = 9,
 };
 
 /// Scoped attribution of device-counter deltas to a metrics slot: every NVM
@@ -103,7 +106,15 @@ Result<std::unique_ptr<PnwStore>> PnwStore::Open(const PnwOptions& options) {
 }
 
 Status PnwStore::Init() {
-  const size_t data_bytes = options_.capacity_buckets * bucket_bytes_;
+  // With Start-Gap wear leveling the data zone holds one spare bucket slot
+  // (the initial gap); the flag bitmap and NVM index regions sit above it
+  // and are never remapped -- only bucket-granular data-zone accesses
+  // translate.
+  const size_t data_bytes =
+      options_.start_gap_wear_leveling
+          ? nvm::StartGapRemapper::StorageBytes(options_.capacity_buckets,
+                                                bucket_bytes_)
+          : options_.capacity_buckets * bucket_bytes_;
   const size_t flag_bytes = (options_.capacity_buckets + 7) / 8;
   flags_base_ = data_bytes;
   index_base_ = data_bytes + flag_bytes;
@@ -123,6 +134,11 @@ Status PnwStore::Init() {
   config.latency = options_.latency;
   device_ = std::make_unique<nvm::NvmDevice>(config);
   wear_ = std::make_unique<nvm::WearTracker>(device_.get(), bucket_bytes_);
+  if (options_.start_gap_wear_leveling) {
+    remapper_ = std::make_unique<nvm::StartGapRemapper>(
+        device_.get(), /*base=*/0, options_.capacity_buckets, bucket_bytes_,
+        options_.gap_write_interval);
+  }
 
   if (options_.index_placement == IndexPlacement::kNvmPathHash) {
     index_ = std::make_unique<index::PathHashIndex>(
@@ -181,7 +197,8 @@ Status PnwStore::SetBucketFlag(size_t bucket, bool occupied) {
 }
 
 std::span<const uint8_t> PnwStore::PeekBucketValue(size_t bucket) const {
-  return device_->Peek(BucketAddr(bucket) + key_bytes_, options_.value_bytes);
+  return device_->Peek(PhysBucketAddr(bucket) + key_bytes_,
+                       options_.value_bytes);
 }
 
 std::span<const size_t> PnwStore::RankClustersTimed(
@@ -247,7 +264,7 @@ Status PnwStore::Bootstrap(std::span<const uint64_t> keys,
     }
     std::memcpy(bucket.data() + key_bytes_, values[i].data(),
                 options_.value_bytes);
-    auto write = device_->WriteConventional(BucketAddr(i), bucket);
+    auto write = device_->WriteConventional(PhysBucketAddr(i), bucket);
     if (!write.ok()) {
       return write.status();
     }
@@ -416,7 +433,8 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value,
                            &metrics_.put_bits_written,
                            &metrics_.put_lines_written,
                            &metrics_.put_words_written);
-    auto write = device_->WriteDifferential(*addr, bucket_scratch_);
+    auto write =
+        device_->WriteDifferential(PhysBucketAddr(bucket_index), bucket_scratch_);
     write_status = write.ok() ? Status::OK() : write.status();
     if (write_status.ok()) {
       write_status = SetBucketFlag(bucket_index, true);
@@ -450,9 +468,11 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value,
   }
   metrics_.put_payload_bits += value.size() * 8;
   wear_->RecordBucketWrite(*addr);
+  wear_->RecordPhysicalWrite(PhysBucketAddr(bucket_index));
   ++used_buckets_;
   ++metrics_.puts;
   ++puts_since_retrain_;
+  AdvanceGapAfterBlockWrite();
   return MaybeExtendAndRetrain();
 }
 
@@ -538,15 +558,22 @@ Result<std::vector<uint8_t>> PnwStore::Get(uint64_t key) {
   }
   // Concurrent-reader discipline: everything below is Peek (const device
   // access) plus relaxed-atomic metrics, so shared-lock readers never race.
-  // The simulated read cost is charged before the key check -- a mismatch
-  // miss has already paid for its bucket read.
-  const std::span<const uint8_t> bucket =
-      device_->Peek(addr.value(), bucket_bytes_);
+  // (Start-Gap translation reads the remapper registers, which only move
+  // under the same exclusive lock that guards writes.) The simulated read
+  // cost is charged before the key check -- a mismatch miss has already
+  // paid for its bucket read.
+  const size_t bucket_index = addr.value() / bucket_bytes_;
+  if (bucket_index >= options_.capacity_buckets) {
+    ++metrics_.get_misses;
+    return Status::Internal("index points outside the data zone");
+  }
+  const uint64_t phys = PhysBucketAddr(bucket_index);
+  const std::span<const uint8_t> bucket = device_->Peek(phys, bucket_bytes_);
   if (bucket.size() != bucket_bytes_) {
     ++metrics_.get_misses;
     return Status::Internal("index points outside the data zone");
   }
-  metrics_.get_device_ns += device_->ReadCostNs(addr.value(), bucket_bytes_);
+  metrics_.get_device_ns += device_->ReadCostNs(phys, bucket_bytes_);
   if (key_bytes_ > 0) {
     uint64_t stored_key = 0;
     std::memcpy(&stored_key, bucket.data(), key_bytes_);
@@ -587,7 +614,8 @@ Status PnwStore::DeleteInternal(uint64_t key) {
     // endurance-first UPDATE, so it shares the allocation-free discipline
     // of the write path).
     bucket_scratch_.resize(bucket_bytes_);
-    PNW_RETURN_IF_ERROR(device_->Read(addr.value(), bucket_scratch_));
+    PNW_RETURN_IF_ERROR(
+        device_->Read(PhysBucketAddr(bucket_index), bucket_scratch_));
     const std::span<const uint8_t> value(bucket_scratch_.data() + key_bytes_,
                                          options_.value_bytes);
     const size_t label =
@@ -648,12 +676,14 @@ Status PnwStore::UpdateInternal(uint64_t key, std::span<const uint8_t> value,
   }
   std::memcpy(bucket_scratch_.data() + key_bytes_, value.data(),
               options_.value_bytes);
+  const size_t bucket_index = addr.value() / bucket_bytes_;
   {
     DeviceDeltaScope scope(device_.get(), &metrics_.put_device_ns,
                            &metrics_.put_bits_written,
                            &metrics_.put_lines_written,
                            &metrics_.put_words_written);
-    auto write = device_->WriteDifferential(addr.value(), bucket_scratch_);
+    auto write = device_->WriteDifferential(PhysBucketAddr(bucket_index),
+                                            bucket_scratch_);
     if (!write.ok()) {
       // Nothing to roll back: no address was acquired and the index still
       // points at the (unmodified or partially updated) resident bucket.
@@ -663,10 +693,171 @@ Status PnwStore::UpdateInternal(uint64_t key, std::span<const uint8_t> value,
   }
   metrics_.put_payload_bits += value.size() * 8;
   wear_->RecordBucketWrite(addr.value());
+  wear_->RecordPhysicalWrite(PhysBucketAddr(bucket_index));
   ++metrics_.puts;
   ++metrics_.inplace_updates;
   ++metrics_.updates;
+  AdvanceGapAfterBlockWrite();
   return LogOp(persist::OpType::kUpdate, key, value);
+}
+
+void PnwStore::AdvanceGapAfterBlockWrite() {
+  if (remapper_ == nullptr) {
+    return;
+  }
+  // The gap move's block copy is endurance overhead, not client traffic:
+  // its device costs land in wear_device_ns, outside the PUT accounting
+  // scope that already closed.
+  DeviceDeltaScope scope(device_.get(), &metrics_.wear_device_ns);
+  uint64_t moved = 0;
+  auto advanced = remapper_->AdvanceAfterWrite(&moved);
+  if (advanced.ok() && advanced.value()) {
+    ++metrics_.gap_moves;
+    wear_->RecordPhysicalWrite(moved);
+  }
+  // On failure the remapper keeps its interval counter saturated and the
+  // next bucket write retries the move; the client write that triggered
+  // this advance already landed, so nothing is surfaced here.
+}
+
+Result<bool> PnwStore::MigrateBucket(size_t bucket) {
+  if (bucket >= active_buckets_ || !GetBucketFlag(bucket)) {
+    return Status::InvalidArgument(
+        "migration source is not a resident bucket");
+  }
+  // Decision phase: Peek-only (no device counters, no accounted reads).
+  // A migration that is skipped below leaves literally zero trace, which
+  // is what lets replay -- which only sees the *logged* migrations --
+  // reproduce device counters and wear histograms bit-for-bit.
+  const std::span<const uint8_t> resident =
+      device_->Peek(PhysBucketAddr(bucket), bucket_bytes_);
+  uint64_t key = 0;
+  std::memcpy(&key, resident.data(), key_bytes_);
+  const std::span<const uint8_t> value(resident.data() + key_bytes_,
+                                       options_.value_bytes);
+  std::span<const size_t> ranked;
+  if (model_ != nullptr) {
+    // Untimed ranking: migration is background work, so its prediction
+    // cost stays out of the client-facing predict_wall_ns.
+    ranked = model_->RankClusters(value, predict_scratch_);
+  } else {
+    predict_scratch_.ranked.assign(1, 0);
+    ranked = predict_scratch_.ranked;
+  }
+  const auto counts = wear_->bucket_write_counts();
+  bool used_fallback = false;
+  const auto dst = pool_.AcquireRankedMinWear(
+      ranked, [&](uint64_t addr) { return counts[addr / bucket_bytes_]; },
+      counts[bucket], &used_fallback);
+  if (!dst.has_value()) {
+    // No strictly colder free address anywhere: not worth moving. The
+    // pool was left untouched, so this non-event is invisible to replay.
+    return false;
+  }
+  const size_t dst_bucket = *dst / bucket_bytes_;
+  bucket_scratch_.resize(bucket_bytes_);
+  Status s;
+  {
+    DeviceDeltaScope scope(device_.get(), &metrics_.wear_device_ns);
+    s = device_->Read(PhysBucketAddr(bucket), bucket_scratch_);
+    if (s.ok()) {
+      auto write = device_->WriteDifferential(PhysBucketAddr(dst_bucket),
+                                              bucket_scratch_);
+      s = write.ok() ? Status::OK() : write.status();
+    }
+    if (s.ok()) {
+      s = SetBucketFlag(dst_bucket, true);
+    }
+    if (s.ok()) {
+      // The index upsert re-points the key at its new logical home; a
+      // reader that raced in before this line still found the old copy.
+      s = index_->Put(key, *dst);
+    }
+    if (s.ok()) {
+      s = SetBucketFlag(bucket, false);
+    }
+  }
+  if (!s.ok()) {
+    // Same discipline as PutInternal: the acquired destination must not
+    // leak. Clear its flag and reinsert it under whatever bits are now
+    // resident there (the copy may or may not have landed).
+    (void)SetBucketFlag(dst_bucket, false);
+    const size_t resident_label =
+        model_ != nullptr
+            ? model_->Predict(PeekBucketValue(dst_bucket), predict_scratch_)
+            : 0;
+    pool_.Insert(resident_label, *dst);
+    ++metrics_.failed_ops;
+    return s;
+  }
+  // Free the source under the label of its (still resident, now stale)
+  // content -- exactly how DELETE returns addresses, so the pool keeps
+  // placing future writes onto similar bits.
+  const size_t source_label =
+      model_ != nullptr
+          ? model_->Predict(PeekBucketValue(bucket), predict_scratch_)
+          : 0;
+  pool_.Insert(source_label, BucketAddr(bucket));
+  wear_->RecordBucketWrite(*dst);
+  wear_->RecordPhysicalWrite(PhysBucketAddr(dst_bucket));
+  ++metrics_.migrations;
+  AdvanceGapAfterBlockWrite();
+  return true;
+}
+
+Result<size_t> PnwStore::MigrateHotBuckets(size_t max_buckets) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap the store before migration");
+  }
+  if (key_bytes_ == 0) {
+    return Status::FailedPrecondition(
+        "hot-bucket migration requires store_keys_in_data_zone (the index "
+        "entry is re-pointed by the key read from the bucket)");
+  }
+  if (max_buckets == 0) {
+    return size_t{0};
+  }
+  const auto counts = wear_->bucket_write_counts();
+  uint64_t total = 0;
+  for (size_t b = 0; b < active_buckets_; ++b) {
+    total += counts[b];
+  }
+  const double mean =
+      active_buckets_ > 0
+          ? static_cast<double>(total) / static_cast<double>(active_buckets_)
+          : 0.0;
+  const uint64_t threshold = std::max<uint64_t>(
+      options_.migration_min_writes,
+      static_cast<uint64_t>(options_.migration_hot_multiplier * mean));
+  std::vector<size_t> victims;
+  for (size_t b = 0; b < active_buckets_; ++b) {
+    if (counts[b] >= threshold && GetBucketFlag(b)) {
+      victims.push_back(b);
+    }
+  }
+  // Hottest first; bucket index breaks ties so a replayed pass visits
+  // victims in the identical order.
+  std::sort(victims.begin(), victims.end(), [&](size_t a, size_t b) {
+    return counts[a] != counts[b] ? counts[a] > counts[b] : a < b;
+  });
+  if (victims.size() > max_buckets) {
+    victims.resize(max_buckets);
+  }
+  size_t migrated = 0;
+  for (const size_t b : victims) {
+    auto moved = MigrateBucket(b);
+    if (!moved.ok()) {
+      return moved.status();
+    }
+    if (!moved.value()) {
+      // Nothing in the pool is colder than this victim -- and every later
+      // victim demands an even colder destination, so stop the pass.
+      break;
+    }
+    ++migrated;
+    PNW_RETURN_IF_ERROR(LogOp(persist::OpType::kMigrate, b, {}));
+  }
+  return migrated;
 }
 
 Status PnwStore::SimulateCrashAndRecover() {
@@ -691,7 +882,9 @@ Status PnwStore::SimulateCrashAndRecover() {
         continue;
       }
       uint64_t key = 0;
-      std::memcpy(&key, device_->Peek(BucketAddr(b), key_bytes_).data(),
+      // The remapper registers survive the simulated crash like any other
+      // NV controller register, so translation still finds each bucket.
+      std::memcpy(&key, device_->Peek(PhysBucketAddr(b), key_bytes_).data(),
                   key_bytes_);
       PNW_RETURN_IF_ERROR(index_->Put(key, BucketAddr(b)));
       ++used_buckets_;
@@ -738,6 +931,7 @@ Status PnwStore::WriteCheckpoint(const std::string& path) {
   {
     auto& w = snap.AddSection(kSectionWear);
     w.PutU32Vec(wear_->bucket_write_counts());
+    w.PutU32Vec(wear_->physical_write_counts());
   }
   if (!options_.occupancy_flags_on_nvm) {
     auto& w = snap.AddSection(kSectionDramFlags);
@@ -769,6 +963,15 @@ Status PnwStore::WriteCheckpoint(const std::string& path) {
     for (size_t c = 0; c < pool_.num_clusters(); ++c) {
       w.PutU64Vec(pool_.FreeList(c));
     }
+  }
+  if (remapper_ != nullptr) {
+    auto& w = snap.AddSection(kSectionRemap);
+    const nvm::StartGapRegisters regs = remapper_->registers();
+    w.PutU64(regs.start);
+    w.PutU64(regs.gap);
+    w.PutU64(regs.writes_since_move);
+    w.PutU64(regs.gap_moves);
+    w.PutU64(regs.rotations);
   }
   Status s = snap.WriteToFile(path);
   if (!s.ok()) {
@@ -904,6 +1107,19 @@ Result<std::unique_ptr<PnwStore>> PnwStore::Open(
           case persist::OpType::kDelete:
             s = store->Delete(rec.key);
             break;
+          case persist::OpType::kMigrate: {
+            // Re-run the relocation the live store performed. The restored
+            // pool, model, and wear histogram are bit-identical, so the
+            // decision resolves to the same destination; a skip here means
+            // the log and snapshot disagree.
+            auto moved = store->MigrateBucket(static_cast<size_t>(rec.key));
+            s = !moved.ok()
+                    ? moved.status()
+                    : (moved.value() ? Status::OK()
+                                     : Status::Corruption(
+                                           "logged migration did not replay"));
+            break;
+          }
         }
         if (!s.ok()) {
           store->replaying_ = false;
@@ -975,9 +1191,13 @@ Status PnwStore::RestoreFrom(const persist::SnapshotReader& snap) {
     if (!section.ok()) {
       return Status::Corruption("snapshot has no wear section");
     }
+    persist::BufferReader& r = section.value();
     std::vector<uint32_t> counts;
-    PNW_RETURN_IF_ERROR(section.value().GetU32Vec(&counts));
+    PNW_RETURN_IF_ERROR(r.GetU32Vec(&counts));
     PNW_RETURN_IF_ERROR(wear_->RestoreCounts(counts));
+    std::vector<uint32_t> physical;
+    PNW_RETURN_IF_ERROR(r.GetU32Vec(&physical));
+    PNW_RETURN_IF_ERROR(wear_->RestorePhysicalCounts(physical));
   }
   if (!options_.occupancy_flags_on_nvm) {
     auto section = snap.Section(kSectionDramFlags);
@@ -1063,6 +1283,21 @@ Status PnwStore::RestoreFrom(const persist::SnapshotReader& snap) {
         pool_.Insert(c, addr);
       }
     }
+  }
+  if (options_.start_gap_wear_leveling) {
+    auto section = snap.Section(kSectionRemap);
+    if (!section.ok()) {
+      return Status::Corruption(
+          "snapshot has no remap section (start_gap_wear_leveling on)");
+    }
+    persist::BufferReader& r = section.value();
+    nvm::StartGapRegisters regs;
+    PNW_RETURN_IF_ERROR(r.GetU64(&regs.start));
+    PNW_RETURN_IF_ERROR(r.GetU64(&regs.gap));
+    PNW_RETURN_IF_ERROR(r.GetU64(&regs.writes_since_move));
+    PNW_RETURN_IF_ERROR(r.GetU64(&regs.gap_moves));
+    PNW_RETURN_IF_ERROR(r.GetU64(&regs.rotations));
+    PNW_RETURN_IF_ERROR(remapper_->RestoreRegisters(regs));
   }
   return Status::OK();
 }

@@ -13,6 +13,7 @@
 #include "src/core/pnw_options.h"
 #include "src/index/key_index.h"
 #include "src/nvm/nvm_device.h"
+#include "src/nvm/start_gap.h"
 #include "src/nvm/wear_tracker.h"
 #include "src/persist/op_log.h"
 #include "src/persist/recovery.h"
@@ -55,7 +56,11 @@ class PnwStore {
   /// InvalidArgument ("snapshot version mismatch") instead of a misparse.
   /// v2: StoreMetrics gained `get_misses` (PR 4 read-accounting overhaul).
   /// v3: StoreMetrics gained `log_wall_ns` (PR 5 write-path cost split).
-  static constexpr uint32_t kSnapshotVersion = 3;
+  /// v4: endurance layer -- PnwOptions gained the Start-Gap/migration
+  ///     knobs, StoreMetrics gained migrations/gap_moves/wear_device_ns,
+  ///     the wear section carries the physical-slot histogram, and a new
+  ///     remap section serializes the Start-Gap registers.
+  static constexpr uint32_t kSnapshotVersion = 4;
   /// The op-log of a checkpoint at `path` lives at `path + kOpLogSuffix`.
   static constexpr const char* kOpLogSuffix = ".oplog";
 
@@ -173,6 +178,21 @@ class PnwStore {
   /// swap it in, and re-label the pool's free addresses.
   Status TrainModel();
 
+  /// Endurance maintenance: re-place up to `max_buckets` of the
+  /// hottest-worn resident buckets into colder free addresses, choosing
+  /// each destination in the stored value's ranked-cluster order (the
+  /// pool's min-wear acquire) so placement quality survives relocation. A
+  /// bucket qualifies as a victim when its K/V write count reaches both
+  /// options().migration_min_writes and migration_hot_multiplier times
+  /// the active-zone mean; a victim with no colder free destination is
+  /// skipped without side effects. Each performed relocation is op-logged
+  /// (OpType::kMigrate, keyed by the logical bucket index) and replayed
+  /// deterministically on recovery. Requires store_keys_in_data_zone (the
+  /// index entry is re-pointed via the bucket's key prefix). Callers
+  /// serialize like any mutating op (ShardedPnwStore's migrator holds the
+  /// shard's exclusive lock). Returns the number of buckets relocated.
+  Result<size_t> MigrateHotBuckets(size_t max_buckets);
+
   /// Drop all DRAM state (index if DRAM-resident, model, pool) and rebuild
   /// it from the NVM data zone -- the recovery path of the Fig. 2a design.
   Status SimulateCrashAndRecover();
@@ -203,6 +223,9 @@ class PnwStore {
   nvm::NvmDevice& device() { return *device_; }
   /// Per-bucket K/V write counts (paper Fig. 12 input).
   const nvm::WearTracker& wear_tracker() const { return *wear_; }
+  /// The Start-Gap remapper in front of the data zone; null unless
+  /// options().start_gap_wear_leveling.
+  const nvm::StartGapRemapper* remapper() const { return remapper_.get(); }
   /// The dynamic address pool: one free-list per predicted cluster.
   DynamicAddressPool& pool() { return pool_; }
   /// Currently served model; null while the store places model-less (DCW).
@@ -214,9 +237,19 @@ class PnwStore {
   /// warm-up so only measured traffic is scored).
   void ResetWearAndMetrics();
 
-  /// Data-zone bucket geometry (exposed for tests and benches).
+  /// Data-zone bucket geometry (exposed for tests and benches). Addresses
+  /// everywhere above the device -- index entries, pool free-lists, the
+  /// occupancy bitmap, the per-bucket wear histogram -- are *logical*
+  /// (BucketAddr); only the final device access translates, through
+  /// PhysBucketAddr.
   size_t bucket_bytes() const { return bucket_bytes_; }
   uint64_t BucketAddr(size_t bucket) const { return bucket * bucket_bytes_; }
+  /// Physical device address currently backing `bucket`: the Start-Gap
+  /// translation when wear leveling is on, the identity otherwise.
+  uint64_t PhysBucketAddr(size_t bucket) const {
+    return remapper_ != nullptr ? remapper_->Translate(bucket)
+                                : BucketAddr(bucket);
+  }
 
  private:
   explicit PnwStore(const PnwOptions& options);
@@ -267,6 +300,19 @@ class PnwStore {
   /// current model) and trigger retraining per options.
   Status MaybeExtendAndRetrain();
 
+  /// After a (successful, already accounted) data-zone block write:
+  /// advance the Start-Gap interval, charging a resulting gap move to
+  /// metrics_.wear_device_ns / gap_moves and the physical histogram.
+  /// No-op without wear leveling.
+  void AdvanceGapAfterBlockWrite();
+
+  /// Relocate one resident bucket to a colder free address (the shared
+  /// body of MigrateHotBuckets and kMigrate replay). Decision phase is
+  /// Peek-only, so "no colder destination" returns false with zero state
+  /// or accounting side effects -- only performed (hence logged)
+  /// relocations touch anything, which is what keeps replay bit-for-bit.
+  Result<bool> MigrateBucket(size_t bucket);
+
   /// Collect a finished background model, if any.
   void PollBackgroundModel();
 
@@ -302,6 +348,11 @@ class PnwStore {
 
   std::unique_ptr<nvm::NvmDevice> device_;
   std::unique_ptr<nvm::WearTracker> wear_;
+  /// Logical->physical indirection over the data zone (one spare bucket
+  /// slot at the top); null unless options_.start_gap_wear_leveling. Its
+  /// registers are position state, not metrics: ResetWearAndMetrics leaves
+  /// them alone and checkpoints serialize them (kSectionRemap).
+  std::unique_ptr<nvm::StartGapRemapper> remapper_;
   std::unique_ptr<index::KeyIndex> index_;
   std::unique_ptr<ModelManager> manager_;
   std::shared_ptr<const ValueModel> model_;

@@ -1,6 +1,7 @@
 #include "src/core/sharded_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -84,6 +85,8 @@ std::string ShardedMetrics::ToString() const {
 ShardedPnwStore::ShardedPnwStore(const ShardedOptions& options)
     : options_(options) {}
 
+ShardedPnwStore::~ShardedPnwStore() { StopBackgroundMigration(); }
+
 Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
     const ShardedOptions& options) {
   const size_t n = options.num_shards;
@@ -115,6 +118,9 @@ Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
     auto slot = std::make_unique<Shard>();
     slot->store = std::move(shard.value());
     store->shards_.push_back(std::move(slot));
+  }
+  if (options.background_migration) {
+    PNW_RETURN_IF_ERROR(store->StartBackgroundMigration());
   }
   return store;
 }
@@ -193,6 +199,9 @@ Status ShardedPnwStore::Checkpoint(const std::string& dir) {
   w.PutBool(options_.split_buckets);
   w.PutU64(epoch);
   persist::EncodePnwOptions(options_.store, w);
+  w.PutBool(options_.background_migration);
+  w.PutU64(options_.migration_interval_ms);
+  w.PutU64(options_.migration_max_buckets);
   PNW_RETURN_IF_ERROR(manifest.WriteToFile(dir + "/" + kManifestName));
   checkpoint_epoch_ = epoch;
   // Phase 2, after the commit point: switch every shard's op-log to the
@@ -250,6 +259,15 @@ Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
   PNW_RETURN_IF_ERROR(r.GetBool(&options.split_buckets));
   PNW_RETURN_IF_ERROR(r.GetU64(&epoch));
   PNW_RETURN_IF_ERROR(persist::DecodePnwOptions(r, &options.store));
+  {
+    uint64_t interval = 0;
+    uint64_t max_buckets = 0;
+    PNW_RETURN_IF_ERROR(r.GetBool(&options.background_migration));
+    PNW_RETURN_IF_ERROR(r.GetU64(&interval));
+    PNW_RETURN_IF_ERROR(r.GetU64(&max_buckets));
+    options.migration_interval_ms = interval;
+    options.migration_max_buckets = max_buckets;
+  }
   if (num_shards == 0 || (num_shards & (num_shards - 1)) != 0 ||
       num_shards > (size_t{1} << 20)) {
     return Status::Corruption("sharded manifest shard count out of range");
@@ -281,7 +299,101 @@ Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
   for (const Status& s : statuses) {
     PNW_RETURN_IF_ERROR(s);
   }
+  if (options.background_migration) {
+    PNW_RETURN_IF_ERROR(store->StartBackgroundMigration());
+  }
   return store;
+}
+
+Result<size_t> ShardedPnwStore::MigrateOnce(size_t max_buckets_per_shard) {
+  std::vector<Status> statuses(shards_.size());
+  std::vector<size_t> moved(shards_.size(), 0);
+  {
+    ThreadPool pool(CheckpointThreads(shards_.size()));
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      pool.Submit([this, &statuses, &moved, max_buckets_per_shard, i] {
+        // Exclusive, like any writer: migration mutates the shard's index,
+        // pool, flags, and device, so readers drain first and checkpoints
+        // never observe a half-moved bucket.
+        std::lock_guard<std::shared_mutex> lock(shards_[i]->mu);
+        auto migrated =
+            shards_[i]->store->MigrateHotBuckets(max_buckets_per_shard);
+        if (migrated.ok()) {
+          moved[i] = migrated.value();
+        } else {
+          statuses[i] = migrated.status();
+        }
+      });
+    }
+    pool.Wait();
+  }
+  size_t total = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    PNW_RETURN_IF_ERROR(statuses[i]);
+    total += moved[i];
+  }
+  return total;
+}
+
+Status ShardedPnwStore::StartBackgroundMigration() {
+  if (!options_.store.store_keys_in_data_zone) {
+    return Status::FailedPrecondition(
+        "background migration requires store_keys_in_data_zone");
+  }
+  if (migration_pacer_.joinable()) {
+    return Status::OK();  // already running
+  }
+  migration_stop_ = false;
+  migrator_pool_ = std::make_unique<ThreadPool>(
+      CheckpointThreads(shards_.size()));
+  const auto interval =
+      std::chrono::milliseconds(std::max<size_t>(1, options_.migration_interval_ms));
+  migration_pacer_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(migration_mu_);
+    while (!migration_cv_.wait_for(lock, interval,
+                                   [this] { return migration_stop_; })) {
+      // Run one pass outside the pacer mutex so Stop never waits on a
+      // full pass's worth of shard locks just to deliver its signal.
+      lock.unlock();
+      std::vector<Status> statuses(shards_.size());
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        migrator_pool_->Submit([this, &statuses, i] {
+          std::lock_guard<std::shared_mutex> shard_lock(shards_[i]->mu);
+          auto migrated = shards_[i]->store->MigrateHotBuckets(
+              options_.migration_max_buckets);
+          // A FailedPrecondition here only means the shard is not
+          // bootstrapped yet (Open starts the pacer before the caller
+          // loads data): a benign no-op sweep, not a failure.
+          if (!migrated.ok() &&
+              !migrated.status().IsFailedPrecondition()) {
+            statuses[i] = migrated.status();
+          }
+        });
+      }
+      migrator_pool_->Wait();
+      for (const Status& s : statuses) {
+        if (!s.ok()) {
+          background_migration_failures_.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          break;
+        }
+      }
+      lock.lock();
+    }
+  });
+  return Status::OK();
+}
+
+void ShardedPnwStore::StopBackgroundMigration() {
+  {
+    std::lock_guard<std::mutex> lock(migration_mu_);
+    migration_stop_ = true;
+  }
+  migration_cv_.notify_all();
+  if (migration_pacer_.joinable()) {
+    migration_pacer_.join();
+  }
+  migrator_pool_.reset();
 }
 
 Status ShardedPnwStore::Bootstrap(
@@ -453,8 +565,14 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
     summary.device_bits_written = store.device().counters().total_bits_written;
     summary.device_ns =
         m.put_device_ns + m.get_device_ns + m.delete_device_ns +
-        m.predict_wall_ns + m.log_wall_ns;
+        m.predict_wall_ns + m.log_wall_ns + m.wear_device_ns;
     summary.get_device_ns = m.get_device_ns;
+    summary.max_physical_writes = store.wear_tracker().MaxPhysicalWrites();
+    summary.physical_bucket_writes = store.wear_tracker().TotalPhysicalWrites();
+    summary.migrations = m.migrations;
+    summary.gap_moves = m.gap_moves;
+    summary.start_gap_rotations =
+        store.remapper() != nullptr ? store.remapper()->rotations() : 0;
     aggregated.shards.push_back(summary);
   }
   return aggregated;

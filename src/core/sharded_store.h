@@ -1,17 +1,25 @@
 #ifndef PNW_CORE_SHARDED_STORE_H_
 #define PNW_CORE_SHARDED_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/metrics.h"
 #include "src/core/pnw_store.h"
 #include "src/persist/recovery.h"
 #include "src/util/status.h"
+
+namespace pnw {
+class ThreadPool;
+}
 
 namespace pnw::core {
 
@@ -34,6 +42,18 @@ struct ShardedOptions {
   /// unsharded configuration. Disable to give every shard the full bucket
   /// counts as written.
   bool split_buckets = true;
+
+  /// Run the background hot-bucket migrator: a pacer thread wakes every
+  /// `migration_interval_ms` and fans one migration pass per shard out on
+  /// a util::ThreadPool; each pass takes that shard's *exclusive* lock
+  /// (the same lock writers and checkpoints take, so migration never
+  /// races either) and calls PnwStore::MigrateHotBuckets. Requires
+  /// store.store_keys_in_data_zone.
+  bool background_migration = false;
+  size_t migration_interval_ms = 20;
+  /// Victim budget of each per-shard pass (relocations are paced, not
+  /// bursty: a pass moves at most this many buckets).
+  size_t migration_max_buckets = 4;
 };
 
 /// One shard's health snapshot inside a ShardedMetrics report: enough to
@@ -62,6 +82,14 @@ struct ShardSummary {
   /// threads), the `device_ns - get_device_ns` remainder is exclusive
   /// write/delete/predict time (it spreads over min(threads, shards)).
   double get_device_ns = 0.0;
+  /// Endurance-layer view of the same shard: hottest *physical* bucket
+  /// slot, total physical bucket writes (client + migration + gap moves),
+  /// and how much endurance work produced them.
+  uint32_t max_physical_writes = 0;
+  uint64_t physical_bucket_writes = 0;
+  uint64_t migrations = 0;
+  uint64_t gap_moves = 0;
+  uint64_t start_gap_rotations = 0;
 };
 
 /// Cross-shard aggregate: summed StoreMetrics plus per-shard summaries.
@@ -113,7 +141,9 @@ class ShardedPnwStore {
  public:
   /// Bumped whenever the MANIFEST layout changes (shard snapshots carry
   /// their own version, PnwStore::kSnapshotVersion).
-  static constexpr uint32_t kManifestVersion = 1;
+  ///   v2: background-migration options (enabled flag, interval, per-pass
+  ///       victim budget) follow the encoded store options.
+  static constexpr uint32_t kManifestVersion = 2;
   /// Checkpoint-directory file names: the manifest, and one snapshot (plus
   /// its `.oplog`) per shard, named by ShardSnapshotName().
   static constexpr const char* kManifestName = "MANIFEST";
@@ -155,7 +185,8 @@ class ShardedPnwStore {
   /// File name of shard `i`'s snapshot inside a checkpoint generation.
   static std::string ShardSnapshotName(size_t i);
 
-  ~ShardedPnwStore() = default;
+  /// Stops the background migrator (if running) before the shards die.
+  ~ShardedPnwStore();
   ShardedPnwStore(const ShardedPnwStore&) = delete;
   ShardedPnwStore& operator=(const ShardedPnwStore&) = delete;
 
@@ -196,6 +227,29 @@ class ShardedPnwStore {
   /// empty vector without locking.
   std::vector<Result<std::vector<uint8_t>>> MultiGet(
       std::span<const uint64_t> keys);
+
+  /// One synchronous migration pass: fans MigrateHotBuckets(
+  /// max_buckets_per_shard) out across the shards on a util::ThreadPool,
+  /// each task under its shard's exclusive lock, and returns the total
+  /// number of buckets relocated (or the first shard error). This is the
+  /// same pass the background pacer runs on its interval; callers that
+  /// want deterministic pacing (benchmarks, tests, the YCSB runner's
+  /// --migrate-every) drive it directly instead of enabling the thread.
+  Result<size_t> MigrateOnce(size_t max_buckets_per_shard);
+
+  /// Start/stop the background migration pacer explicitly. Open() starts
+  /// it automatically when options.background_migration is set; Stop is
+  /// idempotent and is always called by the destructor before the shards
+  /// are torn down.
+  Status StartBackgroundMigration();
+  void StopBackgroundMigration();
+
+  /// Migration passes the background pacer observed failing (the pass's
+  /// first error is counted; the pacer keeps running -- endurance work is
+  /// best-effort and must never take the store down).
+  uint64_t background_migration_failures() const {
+    return background_migration_failures_.load(std::memory_order_relaxed);
+  }
 
   /// Retrains every shard's model synchronously.
   Status TrainModel();
@@ -247,6 +301,16 @@ class ShardedPnwStore {
   /// Monotonic checkpoint generation; each Checkpoint() writes into
   /// dir/epoch-<n>/ and commits it via the manifest (restored on Open).
   uint64_t checkpoint_epoch_ = 0;
+
+  /// Background migrator: `migration_pacer_` sleeps on the condition
+  /// variable (so StopBackgroundMigration interrupts a wait instead of
+  /// riding it out) and fans per-shard passes out on `migrator_pool_`.
+  std::unique_ptr<ThreadPool> migrator_pool_;
+  std::thread migration_pacer_;
+  std::mutex migration_mu_;
+  std::condition_variable migration_cv_;
+  bool migration_stop_ = false;
+  std::atomic<uint64_t> background_migration_failures_{0};
 };
 
 }  // namespace pnw::core

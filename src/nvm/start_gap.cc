@@ -1,7 +1,5 @@
 #include "src/nvm/start_gap.h"
 
-#include <vector>
-
 namespace pnw::nvm {
 
 StartGapRemapper::StartGapRemapper(NvmDevice* device, uint64_t base,
@@ -22,32 +20,61 @@ uint64_t StartGapRemapper::Translate(size_t logical_block) const {
   return base_ + slot * block_bytes_;
 }
 
-Status StartGapRemapper::MoveGap() {
-  std::vector<uint8_t> block(block_bytes_);
+Status StartGapRemapper::MoveGap(uint64_t* moved_physical) {
+  move_scratch_.resize(block_bytes_);
+  uint64_t src = 0;
+  uint64_t dst = 0;
   if (gap_ > 0) {
     // Slide the block just below the gap up into it.
-    const uint64_t src = base_ + (gap_ - 1) * block_bytes_;
-    const uint64_t dst = base_ + gap_ * block_bytes_;
-    PNW_RETURN_IF_ERROR(device_->Read(src, block));
-    auto write = device_->WriteDifferential(dst, block);
-    if (!write.ok()) {
-      return write.status();
-    }
-    --gap_;
+    src = base_ + (gap_ - 1) * block_bytes_;
+    dst = base_ + gap_ * block_bytes_;
   } else {
     // Gap wrapped: the top slot's block moves to slot 0 and the start
     // pointer advances, completing one rotation step.
-    const uint64_t src = base_ + num_blocks_ * block_bytes_;
-    PNW_RETURN_IF_ERROR(device_->Read(src, block));
-    auto write = device_->WriteDifferential(base_, block);
-    if (!write.ok()) {
-      return write.status();
-    }
+    src = base_ + num_blocks_ * block_bytes_;
+    dst = base_;
+  }
+  PNW_RETURN_IF_ERROR(device_->Read(src, move_scratch_));
+  auto write = device_->WriteDifferential(dst, move_scratch_);
+  if (!write.ok()) {
+    return write.status();
+  }
+  if (gap_ > 0) {
+    --gap_;
+  } else {
     gap_ = num_blocks_;
     start_ = (start_ + 1) % num_blocks_;
     ++rotations_;
   }
   ++gap_moves_;
+  if (moved_physical != nullptr) {
+    *moved_physical = dst;
+  }
+  return Status::OK();
+}
+
+Result<bool> StartGapRemapper::AdvanceAfterWrite(uint64_t* moved_physical) {
+  if (++writes_since_move_ < gap_write_interval_) {
+    return false;
+  }
+  // Reset the interval only after the move lands: a failed move (an
+  // injected device fault) keeps the counter saturated, so the very next
+  // write retries instead of silently skipping a rotation step.
+  PNW_RETURN_IF_ERROR(MoveGap(moved_physical));
+  writes_since_move_ = 0;
+  return true;
+}
+
+Status StartGapRemapper::RestoreRegisters(const StartGapRegisters& regs) {
+  if (regs.start >= num_blocks_ || regs.gap > num_blocks_) {
+    return Status::InvalidArgument(
+        "start-gap registers do not address this geometry");
+  }
+  start_ = regs.start;
+  gap_ = regs.gap;
+  writes_since_move_ = regs.writes_since_move;
+  gap_moves_ = regs.gap_moves;
+  rotations_ = regs.rotations;
   return Status::OK();
 }
 
@@ -60,9 +87,9 @@ Result<WriteResult> StartGapRemapper::WriteBlock(
   if (!result.ok()) {
     return result;
   }
-  if (++writes_since_move_ >= gap_write_interval_) {
-    writes_since_move_ = 0;
-    PNW_RETURN_IF_ERROR(MoveGap());
+  auto advanced = AdvanceAfterWrite();
+  if (!advanced.ok()) {
+    return advanced.status();
   }
   return result;
 }

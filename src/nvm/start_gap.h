@@ -3,11 +3,25 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "src/nvm/nvm_device.h"
 #include "src/util/status.h"
 
 namespace pnw::nvm {
+
+/// The remapper's complete translation state: two address registers plus
+/// the write-interval and movement counters. In hardware these are a few
+/// on-controller registers; here they are exactly what a checkpoint must
+/// serialize (and recovery restore) for logical->physical translation to
+/// survive a restart -- the data zone's bytes are meaningless without them.
+struct StartGapRegisters {
+  uint64_t start = 0;
+  uint64_t gap = 0;
+  uint64_t writes_since_move = 0;
+  uint64_t gap_moves = 0;
+  uint64_t rotations = 0;
+};
 
 /// Start-Gap wear leveling (Qureshi et al., MICRO'09): the canonical
 /// low-overhead PCM address-rotation scheme, provided as an orthogonal
@@ -50,15 +64,38 @@ class StartGapRemapper {
   /// Read a logical block's current content.
   Status ReadBlock(size_t logical_block, std::span<uint8_t> out);
 
+  /// Advance the write interval after the caller performed (and accounted)
+  /// a block write at Translate() itself -- the integration point for a
+  /// store that owns its device writes (PnwStore writes buckets through its
+  /// own accounting scopes and only delegates rotation here). Returns true
+  /// when the interval elapsed and the gap moved; in that case
+  /// `*moved_physical` (if non-null) receives the physical byte address the
+  /// displaced block was copied to, so the caller can charge that copy to
+  /// its wear histograms. On a gap-move failure the interval counter stays
+  /// saturated, so the next successful write retries the move.
+  Result<bool> AdvanceAfterWrite(uint64_t* moved_physical = nullptr);
+
+  /// Translation-state snapshot for checkpointing.
+  StartGapRegisters registers() const {
+    return StartGapRegisters{start_, gap_, writes_since_move_, gap_moves_,
+                             rotations_};
+  }
+  /// Restore checkpointed registers verbatim (recovery path). Rejects
+  /// registers that cannot address this geometry with InvalidArgument.
+  Status RestoreRegisters(const StartGapRegisters& regs);
+
   size_t num_blocks() const { return num_blocks_; }
+  size_t block_bytes() const { return block_bytes_; }
+  size_t gap_write_interval() const { return gap_write_interval_; }
   /// Completed full rotations of the start pointer.
   uint64_t rotations() const { return rotations_; }
   /// Gap movements performed so far.
   uint64_t gap_moves() const { return gap_moves_; }
 
  private:
-  /// Move the block above the gap into the gap slot; shift the gap.
-  Status MoveGap();
+  /// Move the block above the gap into the gap slot; shift the gap. On
+  /// success `*moved_physical` (if non-null) receives the copy destination.
+  Status MoveGap(uint64_t* moved_physical);
 
   NvmDevice* device_;
   uint64_t base_;
@@ -70,6 +107,9 @@ class StartGapRemapper {
   uint64_t writes_since_move_ = 0;
   uint64_t gap_moves_ = 0;
   uint64_t rotations_ = 0;
+  /// Gap-move staging buffer; capacity persists so steady-state rotation
+  /// allocates nothing (gap moves happen inside the store's write path).
+  std::vector<uint8_t> move_scratch_;
 };
 
 }  // namespace pnw::nvm

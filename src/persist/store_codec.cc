@@ -28,6 +28,10 @@ void EncodePnwOptions(const core::PnwOptions& options, BufferWriter& w) {
   w.PutBool(options.store_keys_in_data_zone);
   w.PutBool(options.occupancy_flags_on_nvm);
   w.PutBool(options.track_bit_wear);
+  w.PutBool(options.start_gap_wear_leveling);
+  w.PutU64(options.gap_write_interval);
+  w.PutDouble(options.migration_hot_multiplier);
+  w.PutU64(options.migration_min_writes);
   w.PutU64(options.seed);
   w.PutDouble(options.latency.dram_read_ns);
   w.PutDouble(options.latency.dram_write_ns);
@@ -81,6 +85,12 @@ Status DecodePnwOptions(BufferReader& r, core::PnwOptions* options) {
   PNW_RETURN_IF_ERROR(r.GetBool(&o.store_keys_in_data_zone));
   PNW_RETURN_IF_ERROR(r.GetBool(&o.occupancy_flags_on_nvm));
   PNW_RETURN_IF_ERROR(r.GetBool(&o.track_bit_wear));
+  PNW_RETURN_IF_ERROR(r.GetBool(&o.start_gap_wear_leveling));
+  PNW_RETURN_IF_ERROR(r.GetU64(&u));
+  o.gap_write_interval = u;
+  PNW_RETURN_IF_ERROR(r.GetDouble(&o.migration_hot_multiplier));
+  PNW_RETURN_IF_ERROR(r.GetU64(&u));
+  o.migration_min_writes = u;
   PNW_RETURN_IF_ERROR(r.GetU64(&o.seed));
   PNW_RETURN_IF_ERROR(r.GetDouble(&o.latency.dram_read_ns));
   PNW_RETURN_IF_ERROR(r.GetDouble(&o.latency.dram_write_ns));
@@ -229,6 +239,9 @@ void EncodeStoreMetrics(const core::StoreMetrics& m, BufferWriter& w) {
   w.PutU64(m.retrains);
   w.PutU64(m.failed_retrains);
   w.PutU64(m.extensions);
+  w.PutU64(m.migrations);
+  w.PutU64(m.gap_moves);
+  w.PutDouble(m.wear_device_ns);
 }
 
 Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m) {
@@ -260,6 +273,9 @@ Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m) {
   PNW_RETURN_IF_ERROR(r.GetU64(&out.retrains));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.failed_retrains));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.extensions));
+  PNW_RETURN_IF_ERROR(r.GetU64(&out.migrations));
+  PNW_RETURN_IF_ERROR(r.GetU64(&out.gap_moves));
+  PNW_RETURN_IF_ERROR(r.GetDouble(&out.wear_device_ns));
   out.gets = gets;
   out.get_misses = get_misses;
   out.get_device_ns = get_device_ns;

@@ -591,6 +591,113 @@ TEST(PnwStoreTest, ResetWearAndMetricsSettlesBackgroundFailures) {
 
 // ------------------------------------------------------- Table II example
 
+PnwOptions EnduranceOptions() {
+  PnwOptions options = SmallOptions();
+  options.start_gap_wear_leveling = true;
+  options.gap_write_interval = 4;
+  options.update_mode = UpdateMode::kLatencyFirst;  // in-place: buckets run hot
+  options.migration_min_writes = 4;
+  options.migration_hot_multiplier = 2.0;
+  return options;
+}
+
+TEST(PnwStoreTest, StartGapServesKeysAcrossRotations) {
+  auto store = MakeBootstrappedStore(EnduranceOptions());
+  ASSERT_NE(store->remapper(), nullptr);
+  // Hammer in-place updates until the start pointer has swept the data
+  // zone at least once: every logical bucket's physical home has moved,
+  // yet every key must keep serving its latest value through Translate().
+  const size_t writes_per_rotation =
+      (store->remapper()->num_blocks() + 1) *
+      store->remapper()->gap_write_interval();
+  size_t writes = 0;
+  uint8_t round = 0;
+  while (store->remapper()->rotations() < 1) {
+    ++round;
+    for (uint64_t key = 0; key < 32; ++key) {
+      ASSERT_TRUE(store->Update(key, GroupValue(key % 2, round)).ok());
+      ++writes;
+    }
+    ASSERT_LT(writes, 4 * writes_per_rotation) << "rotation never completed";
+  }
+  for (uint64_t key = 0; key < 32; ++key) {
+    EXPECT_EQ(store->Get(key).value(), GroupValue(key % 2, round));
+  }
+  EXPECT_GT(store->metrics().gap_moves, 0u);
+  EXPECT_GT(store->metrics().wear_device_ns, 0.0);
+}
+
+TEST(PnwStoreTest, MigrateHotBucketsRelocatesAndReconciles) {
+  auto store = MakeBootstrappedStore(EnduranceOptions());
+  // Concentrate writes on a handful of keys: their buckets blow past the
+  // hot threshold while the rest of the zone stays cold.
+  for (int round = 0; round < 16; ++round) {
+    for (uint64_t key = 0; key < 4; ++key) {
+      ASSERT_TRUE(
+          store->Update(key, GroupValue(key % 2, static_cast<uint8_t>(round)))
+              .ok());
+    }
+  }
+  const uint32_t hottest_before = store->wear_tracker().MaxBucketWrites();
+  ASSERT_GE(hottest_before, 16u);
+  auto migrated = store->MigrateHotBuckets(8);
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  EXPECT_GT(migrated.value(), 0u);
+  EXPECT_EQ(store->metrics().migrations, migrated.value());
+  // The hot keys moved to cold addresses and still serve their values.
+  for (uint64_t key = 0; key < 4; ++key) {
+    EXPECT_EQ(store->Get(key).value(), GroupValue(key % 2, 15));
+  }
+  // Accounting invariant of the endurance layer: every physical bucket
+  // write is a client placement, a migration copy, or a gap-move copy.
+  EXPECT_EQ(store->wear_tracker().TotalPhysicalWrites(),
+            store->metrics().puts + store->metrics().migrations +
+                store->metrics().gap_moves);
+}
+
+TEST(PnwStoreTest, MigrationRequiresKeysInDataZone) {
+  PnwOptions options = EnduranceOptions();
+  options.store_keys_in_data_zone = false;
+  auto store = MakeBootstrappedStore(options);
+  EXPECT_TRUE(store->MigrateHotBuckets(4).status().IsFailedPrecondition());
+}
+
+TEST(PnwStoreTest, MigrationSkipsWhenNoColderDestination) {
+  // A store with zero free addresses has nowhere to relocate to: the pass
+  // must report 0 moved buckets and leave no trace (no metrics, no pool
+  // mutation) -- the property replay determinism rests on.
+  PnwOptions options = EnduranceOptions();
+  options.initial_buckets = 32;
+  options.capacity_buckets = 32;
+  options.load_factor = 1.0;
+  options.auto_retrain = false;
+  auto store = MakeBootstrappedStore(options, /*n=*/32);
+  for (int round = 0; round < 8; ++round) {
+    for (uint64_t key = 0; key < 4; ++key) {
+      ASSERT_TRUE(
+          store->Update(key, GroupValue(key % 2, static_cast<uint8_t>(round)))
+              .ok());
+    }
+  }
+  ASSERT_EQ(store->pool().FreeCount(), 0u);
+  auto migrated = store->MigrateHotBuckets(8);
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  EXPECT_EQ(migrated.value(), 0u);
+  EXPECT_EQ(store->metrics().migrations, 0u);
+}
+
+TEST(PnwStoreTest, WearLevelingDisabledKeepsIdentityTranslation) {
+  auto store = MakeBootstrappedStore(SmallOptions());
+  EXPECT_EQ(store->remapper(), nullptr);
+  for (size_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(store->PhysBucketAddr(b), b * (8 + 16));  // key + value bytes
+  }
+  // Physical and logical wear histograms coincide without the remapper.
+  ASSERT_TRUE(store->Put(100, GroupValue(0, 1)).ok());
+  EXPECT_EQ(store->wear_tracker().TotalPhysicalWrites(),
+            store->metrics().puts);
+}
+
 TEST(PnwStoreTest, Table2WorkedExample) {
   // The paper's Table II: six 8-bit locations in three natural groups.
   // After clustering with k=3, writing d1=00001111 and d2=11110000 must

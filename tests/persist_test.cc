@@ -227,6 +227,108 @@ TEST_F(PersistTest, OpLogReplayRecoversPostCheckpointWrites) {
   }
 }
 
+PnwOptions EnduranceOptions() {
+  PnwOptions options = SmallOptions();
+  options.start_gap_wear_leveling = true;
+  options.gap_write_interval = 4;
+  options.update_mode = UpdateMode::kLatencyFirst;
+  options.migration_min_writes = 4;
+  options.migration_hot_multiplier = 2.0;
+  return options;
+}
+
+/// Endurance state the v4 snapshot must reproduce exactly: Start-Gap
+/// registers, both wear histograms, and the migration/gap-move counters.
+void ExpectEnduranceStateEqual(PnwStore& a, PnwStore& b) {
+  ASSERT_NE(a.remapper(), nullptr);
+  ASSERT_NE(b.remapper(), nullptr);
+  const nvm::StartGapRegisters ra = a.remapper()->registers();
+  const nvm::StartGapRegisters rb = b.remapper()->registers();
+  EXPECT_EQ(ra.start, rb.start);
+  EXPECT_EQ(ra.gap, rb.gap);
+  EXPECT_EQ(ra.writes_since_move, rb.writes_since_move);
+  EXPECT_EQ(ra.gap_moves, rb.gap_moves);
+  EXPECT_EQ(ra.rotations, rb.rotations);
+  EXPECT_EQ(a.wear_tracker().bucket_write_counts(),
+            b.wear_tracker().bucket_write_counts());
+  EXPECT_EQ(a.wear_tracker().physical_write_counts(),
+            b.wear_tracker().physical_write_counts());
+  EXPECT_EQ(a.metrics().migrations, b.metrics().migrations);
+  EXPECT_EQ(a.metrics().gap_moves, b.metrics().gap_moves);
+  EXPECT_DOUBLE_EQ(a.metrics().wear_device_ns, b.metrics().wear_device_ns);
+  EXPECT_EQ(a.device().counters().total_bits_written,
+            b.device().counters().total_bits_written);
+  EXPECT_EQ(a.device().counters().total_write_ops,
+            b.device().counters().total_write_ops);
+}
+
+// Acceptance scenario of the endurance layer: traffic + migrations,
+// Checkpoint, crash, Open -- the remapper registers, migration counters,
+// and both wear histograms come back bit-for-bit from the snapshot alone.
+TEST_F(PersistTest, EnduranceSnapshotRoundTripsBitForBit) {
+  auto store = MakeBootstrappedStore(EnduranceOptions());
+  for (int round = 0; round < 16; ++round) {
+    for (uint64_t key = 0; key < 4; ++key) {
+      ASSERT_TRUE(
+          store->Update(key, GroupValue(key % 2, static_cast<uint8_t>(round)))
+              .ok());
+    }
+  }
+  auto migrated = store->MigrateHotBuckets(8);
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  ASSERT_GT(migrated.value(), 0u);
+  ASSERT_GT(store->metrics().gap_moves, 0u);
+
+  ASSERT_TRUE(store->Checkpoint(Path("endurance.snap")).ok());
+  auto reopened = PnwStore::Open(Path("endurance.snap"));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ExpectEnduranceStateEqual(*reopened.value(), *store);
+  for (uint64_t key = 0; key < 32; ++key) {
+    EXPECT_EQ(reopened.value()->Get(key).value(), store->Get(key).value());
+  }
+}
+
+// The same scenario with the migrations *after* the checkpoint: recovery
+// must re-run the kMigrate op-log records through the deterministic
+// relocation path and land on the identical endurance state.
+TEST_F(PersistTest, MigrationReplayReproducesEnduranceStateBitForBit) {
+  auto store = MakeBootstrappedStore(EnduranceOptions());
+  ASSERT_TRUE(store->Checkpoint(Path("endurance.snap")).ok());
+  ASSERT_TRUE(store->op_log_attached());
+
+  // Post-checkpoint: hot traffic, a migration pass (logged as kMigrate
+  // records), and more traffic on top of the relocated buckets.
+  for (int round = 0; round < 16; ++round) {
+    for (uint64_t key = 0; key < 4; ++key) {
+      ASSERT_TRUE(
+          store->Update(key, GroupValue(key % 2, static_cast<uint8_t>(round)))
+              .ok());
+    }
+  }
+  auto migrated = store->MigrateHotBuckets(8);
+  ASSERT_TRUE(migrated.ok()) << migrated.status();
+  ASSERT_GT(migrated.value(), 0u);
+  for (uint64_t key = 0; key < 4; ++key) {
+    ASSERT_TRUE(store->Update(key, GroupValue(key % 2, 0x5a)).ok());
+  }
+  ASSERT_TRUE(store->Put(500, GroupValue(0, 0x11)).ok());
+
+  // Crash: reopen from the pre-migration snapshot plus the op-log.
+  auto reopened_result = PnwStore::Open(Path("endurance.snap"));
+  ASSERT_TRUE(reopened_result.ok()) << reopened_result.status();
+  auto& reopened = *reopened_result.value();
+  ExpectEnduranceStateEqual(reopened, *store);
+  ExpectMetricsEqual(reopened.metrics(), store->metrics());
+  EXPECT_EQ(reopened.pool().FreeCount(), store->pool().FreeCount());
+  for (size_t c = 0; c < store->pool().num_clusters(); ++c) {
+    EXPECT_EQ(reopened.pool().FreeList(c), store->pool().FreeList(c));
+  }
+  for (uint64_t key = 0; key < 4; ++key) {
+    EXPECT_EQ(reopened.Get(key).value(), GroupValue(key % 2, 0x5a));
+  }
+  EXPECT_EQ(reopened.Get(500).value(), GroupValue(0, 0x11));
+}
+
 TEST_F(PersistTest, TornLogTailIsTruncatedNotFatal) {
   auto store = MakeBootstrappedStore(SmallOptions());
   ASSERT_TRUE(store->Checkpoint(Path("store.snap")).ok());

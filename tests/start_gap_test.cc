@@ -1,0 +1,167 @@
+// Property tests of the StartGapRemapper in isolation: the translation
+// must be a bijection at every reachable register state, reads must always
+// return the last write to the same logical block across full rotations,
+// and every gap move must be an ordinary accounted device write -- the
+// contracts the endurance layer in PnwStore builds on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "src/nvm/nvm_device.h"
+#include "src/nvm/start_gap.h"
+#include "src/util/random.h"
+
+namespace pnw::nvm {
+namespace {
+
+NvmDevice MakeDevice(size_t blocks, size_t block_bytes) {
+  NvmConfig config;
+  config.size_bytes = StartGapRemapper::StorageBytes(blocks, block_bytes);
+  return NvmDevice(config);
+}
+
+std::vector<uint8_t> Pattern(uint64_t tag, size_t block_bytes) {
+  std::vector<uint8_t> data(block_bytes);
+  for (size_t i = 0; i < block_bytes; ++i) {
+    data[i] = static_cast<uint8_t>((tag * 131 + i) & 0xff);
+  }
+  return data;
+}
+
+TEST(StartGapPropertyTest, BijectiveAtEveryGapPosition) {
+  constexpr size_t kBlocks = 13;  // odd, so start and gap drift apart
+  constexpr size_t kBlockBytes = 16;
+  NvmDevice device = MakeDevice(kBlocks, kBlockBytes);
+  StartGapRemapper gap(&device, 0, kBlocks, kBlockBytes,
+                       /*gap_write_interval=*/1);
+  // Walk the registers through two whole rotations -- every (start, gap)
+  // pair the mechanism can reach -- and at each step require the logical
+  // address space to map onto kBlocks distinct, aligned, in-range physical
+  // slots, none of them the slot the registers call the gap.
+  const size_t steps = 2 * (kBlocks + 1) * kBlocks;
+  for (size_t step = 0; step < steps; ++step) {
+    std::set<uint64_t> images;
+    const uint64_t gap_slot_addr = [&] {
+      // Reconstruct the gap slot from the public registers.
+      return gap.registers().gap * kBlockBytes;
+    }();
+    for (size_t block = 0; block < kBlocks; ++block) {
+      const uint64_t phys = gap.Translate(block);
+      EXPECT_EQ(phys % kBlockBytes, 0u);
+      EXPECT_LT(phys, StartGapRemapper::StorageBytes(kBlocks, kBlockBytes));
+      EXPECT_NE(phys, gap_slot_addr);
+      images.insert(phys);
+    }
+    EXPECT_EQ(images.size(), kBlocks);
+    auto advanced = gap.AdvanceAfterWrite();
+    ASSERT_TRUE(advanced.ok());
+    EXPECT_TRUE(advanced.value());  // interval 1: every write moves the gap
+  }
+  EXPECT_GE(gap.rotations(), 2u);
+}
+
+TEST(StartGapPropertyTest, ReadYourWriteAcrossTwoRotations) {
+  constexpr size_t kBlocks = 8;
+  constexpr size_t kBlockBytes = 32;
+  NvmDevice device = MakeDevice(kBlocks, kBlockBytes);
+  StartGapRemapper gap(&device, 0, kBlocks, kBlockBytes,
+                       /*gap_write_interval=*/3);
+  // Shadow model of the logical contents (all-zero like the fresh device).
+  std::vector<std::vector<uint8_t>> expected(
+      kBlocks, std::vector<uint8_t>(kBlockBytes, 0));
+  Rng rng(42);
+  std::vector<uint8_t> out(kBlockBytes);
+  uint64_t writes = 0;
+  // Keep writing random blocks until the start pointer has swept around
+  // twice; after every write, every logical block must still read back its
+  // latest content even though its physical home keeps shifting.
+  while (gap.rotations() < 2) {
+    const size_t block = rng.Next() % kBlocks;
+    expected[block] = Pattern(++writes * kBlocks + block, kBlockBytes);
+    ASSERT_TRUE(gap.WriteBlock(block, expected[block]).ok());
+    for (size_t b = 0; b < kBlocks; ++b) {
+      ASSERT_TRUE(gap.ReadBlock(b, out).ok());
+      ASSERT_EQ(out, expected[b])
+          << "block " << b << " after " << writes << " writes";
+    }
+  }
+  EXPECT_GE(gap.gap_moves(), 2 * (kBlocks + 1));
+}
+
+TEST(StartGapPropertyTest, GapMovesAreAccountedDeviceWrites) {
+  constexpr size_t kBlocks = 4;
+  constexpr size_t kBlockBytes = 64;
+  NvmDevice device = MakeDevice(kBlocks, kBlockBytes);
+  StartGapRemapper gap(&device, 0, kBlocks, kBlockBytes,
+                       /*gap_write_interval=*/2);
+  // Fill each block with a distinct nonzero pattern (accounted).
+  for (size_t b = 0; b < kBlocks; ++b) {
+    ASSERT_TRUE(gap.WriteBlock(b, Pattern(b + 1, kBlockBytes)).ok());
+  }
+  const NvmCounters before = device.counters();
+  const uint64_t moves_before = gap.gap_moves();
+  // Rewrite block 0 with its own content repeatedly: the client writes
+  // flip zero bits, so every bit the device charges from here on belongs
+  // to the gap-move copies relocating nonzero blocks into the zeroed gap
+  // slot.
+  const auto same = Pattern(1, kBlockBytes);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(gap.WriteBlock(0, same).ok());
+  }
+  const NvmCounters after = device.counters();
+  const uint64_t moves = gap.gap_moves() - moves_before;
+  EXPECT_EQ(moves, 4u);  // 8 writes / interval 2
+  // Each move copies one block into a slot holding different bits: the
+  // device must have charged bit flips and whole-line updates for them.
+  EXPECT_GT(after.total_bits_written, before.total_bits_written);
+  EXPECT_GT(after.total_lines_written, before.total_lines_written);
+  EXPECT_GT(after.total_latency_ns, before.total_latency_ns);
+}
+
+TEST(StartGapPropertyTest, RegistersRoundTripThroughRestore) {
+  constexpr size_t kBlocks = 6;
+  constexpr size_t kBlockBytes = 16;
+  NvmDevice device = MakeDevice(kBlocks, kBlockBytes);
+  StartGapRemapper gap(&device, 0, kBlocks, kBlockBytes,
+                       /*gap_write_interval=*/3);
+  for (size_t b = 0; b < 3 * kBlocks; ++b) {
+    ASSERT_TRUE(gap.WriteBlock(b % kBlocks, Pattern(b, kBlockBytes)).ok());
+  }
+  const StartGapRegisters regs = gap.registers();
+  ASSERT_TRUE(regs.gap_moves > 0);
+
+  // A fresh remapper over the same device bytes translates wrongly...
+  StartGapRemapper reopened(&device, 0, kBlocks, kBlockBytes, 3);
+  // ...until the checkpointed registers are restored, after which every
+  // translation (and hence every read) matches the original.
+  ASSERT_TRUE(reopened.RestoreRegisters(regs).ok());
+  for (size_t b = 0; b < kBlocks; ++b) {
+    EXPECT_EQ(reopened.Translate(b), gap.Translate(b));
+  }
+  const StartGapRegisters restored = reopened.registers();
+  EXPECT_EQ(restored.start, regs.start);
+  EXPECT_EQ(restored.gap, regs.gap);
+  EXPECT_EQ(restored.writes_since_move, regs.writes_since_move);
+  EXPECT_EQ(restored.gap_moves, regs.gap_moves);
+  EXPECT_EQ(restored.rotations, regs.rotations);
+}
+
+TEST(StartGapPropertyTest, RestoreRejectsForeignGeometry) {
+  constexpr size_t kBlocks = 6;
+  NvmDevice device = MakeDevice(kBlocks, 16);
+  StartGapRemapper gap(&device, 0, kBlocks, 16);
+  StartGapRegisters regs;
+  regs.start = kBlocks;  // out of range: start indexes logical blocks
+  EXPECT_TRUE(gap.RestoreRegisters(regs).IsInvalidArgument());
+  regs.start = 0;
+  regs.gap = kBlocks + 1;  // out of range: gap indexes the N+1 slots
+  EXPECT_TRUE(gap.RestoreRegisters(regs).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace pnw::nvm
