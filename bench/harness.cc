@@ -107,7 +107,12 @@ RunStats RunPnw(const workloads::Dataset& dataset,
   return stats;
 }
 
-bool SmokeMode() { return std::getenv("PNW_BENCH_SMOKE") != nullptr; }
+bool SmokeMode() {
+  // Read once at bench startup, before any worker threads exist, and no
+  // code in this process ever calls setenv -- the getenv data race that
+  // concurrency-mt-unsafe guards against cannot occur here.
+  return std::getenv("PNW_BENCH_SMOKE") != nullptr;  // NOLINT(concurrency-mt-unsafe)
+}
 
 size_t SmokeScaled(size_t n, size_t floor) {
   if (!SmokeMode()) {

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Architecture lint: physical NVM addresses stay inside their domain.
+
+The PNW store separates three address domains:
+
+  * logical bucket indices (what the index and pool hand out),
+  * physical data-zone addresses (logical remapped through Start-Gap --
+    only ``PnwStore::PhysBucketAddr`` may perform that translation),
+  * metadata-zone addresses (``flags_base_`` / ``index_base_`` offsets,
+    deliberately NOT remapped -- the flag sidecar is wear-striped by its
+    own bit-rotation scheme).
+
+A data access that feeds a raw bucket index to the device silently reads
+the wrong bucket once Start-Gap rotates -- the class of bug that passes
+every small test and corrupts data at scale. This lint enforces the rule
+mechanically:
+
+  1. Outside ``src/nvm/``, every call to an NvmDevice data entry point
+     (Read/Peek/ReadCostNs/WriteConventional/WriteDifferential/
+     WriteMetadataBits) must take a first argument derived from
+     ``PhysBucketAddr(...)``, from the metadata bases, or from a local
+     variable bound to ``PhysBucketAddr(...)`` in the same file.
+  2. ``Translate(`` (the raw Start-Gap mapping) may appear outside
+     ``src/nvm/`` only inside ``PnwStore::PhysBucketAddr`` itself
+     (src/core/pnw_store.h).
+
+Exempt directories: ``src/schemes/``, ``src/kvstore/`` and ``src/index/``
+own whole private devices with flat address spaces and no remap layer, so
+"physical" and "logical" coincide there by construction.
+
+Usage: python3 scripts/lint/address_domain_lint.py [--root DIR] [files...]
+Passing explicit files (used by the self-test) lints only those, with the
+same rules, regardless of location.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+ENTRY_POINTS = ("Read", "Peek", "ReadCostNs", "WriteConventional",
+                "WriteDifferential", "WriteMetadataBits")
+# device_->Method( / device()->Method( / device().Method(
+CALL_RE = re.compile(
+    r"\bdevice_?\s*(?:\(\s*\))?\s*(?:->|\.)\s*"
+    r"(?P<method>" + "|".join(ENTRY_POINTS) + r")\s*\(")
+TRANSLATE_RE = re.compile(r"(?:->|\.)\s*Translate\s*\(")
+# A local alias of a physical address: `<ident> = PhysBucketAddr(`
+ALIAS_RE = re.compile(r"\b(\w+)\s*=\s*PhysBucketAddr\s*\(")
+METADATA_BASES = ("flags_base_", "index_base_")
+EXEMPT_DIRS = ("src/nvm/", "src/schemes/", "src/kvstore/", "src/index/")
+# The one sanctioned Translate() call site outside src/nvm/.
+TRANSLATE_ALLOWED_FILES = ("src/core/pnw_store.h",)
+
+
+def strip_line_comments(text):
+    """Drop // comments so documented examples never trip the lint."""
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def first_argument(text, open_paren):
+    """Text of the first argument of the call opening at text[open_paren]."""
+    depth = 1
+    i = open_paren + 1
+    start = i
+    while i < len(text) and depth > 0:
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 1:
+            break
+        i += 1
+    return " ".join(text[start:i].split())
+
+
+def first_arg_is_physical(arg, aliases):
+    if "PhysBucketAddr" in arg:
+        return True
+    if any(arg.startswith(base) for base in METADATA_BASES):
+        return True
+    # Bare identifier (possibly with arithmetic) bound to PhysBucketAddr
+    # earlier in the file, e.g. `phys` from `phys = PhysBucketAddr(b)`.
+    head = re.match(r"(\w+)", arg)
+    return bool(head) and head.group(1) in aliases
+
+
+def lint_file(path, rel, violations):
+    with open(path, encoding="utf-8") as handle:
+        text = strip_line_comments(handle.read())
+    aliases = set(ALIAS_RE.findall(text))
+    for match in CALL_RE.finditer(text):
+        open_paren = match.end() - 1
+        arg = first_argument(text, open_paren)
+        if not first_arg_is_physical(arg, aliases):
+            line = text[: match.start()].count("\n") + 1
+            violations.append(
+                f"{rel}:{line}: {match.group('method')}() takes "
+                f"'{arg or '<empty>'}', which is not derived from "
+                f"PhysBucketAddr() or a metadata base -- raw bucket "
+                f"indices must not reach the device")
+    if rel.replace(os.sep, "/") not in TRANSLATE_ALLOWED_FILES:
+        for match in TRANSLATE_RE.finditer(text):
+            line = text[: match.start()].count("\n") + 1
+            violations.append(
+                f"{rel}:{line}: raw Start-Gap Translate() call -- only "
+                f"PnwStore::PhysBucketAddr may translate logical buckets")
+
+
+def default_targets(root):
+    targets = []
+    src = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith((".cc", ".h")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            if any(rel.startswith(d) for d in EXEMPT_DIRS):
+                continue
+            targets.append(path)
+    return targets
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels up)")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files to lint (self-test mode)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+
+    targets = ([os.path.abspath(f) for f in args.files]
+               if args.files else default_targets(root))
+    violations = []
+    for path in targets:
+        rel = os.path.relpath(path, root)
+        lint_file(path, rel, violations)
+    if violations:
+        print(f"{len(violations)} address-domain violation(s):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"OK: {len(targets)} file(s) respect the address-domain rule.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

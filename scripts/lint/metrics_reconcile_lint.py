@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Architecture lint: every StoreMetrics counter is reconciled somewhere.
+
+StoreMetrics is the store's accounting ledger, and the repo's discipline
+is that a counter only earns its slot if some reconciliation identity
+checks it -- `gets + get_misses == reads served`, `puts + migrations +
+gap_moves == physical bucket writes`, and so on (see the field comments in
+src/core/metrics.h). A counter nothing reconciles is worse than dead code:
+it drifts silently and the paper-figure pipelines keep printing it.
+
+This lint parses the StoreMetrics field list out of src/core/metrics.h and
+fails if any field is never referenced by the reconciliation surfaces:
+examples/ycsb_runner.cpp (the workload driver's accounting checks) or any
+test under tests/. Adding a counter therefore *forces* adding the check
+that keeps it honest.
+
+Usage: python3 scripts/lint/metrics_reconcile_lint.py
+           [--root DIR] [--metrics-header FILE] [--surface PATH ...]
+The overrides exist for the self-test, which points the lint at fixture
+copies with a seeded orphan counter.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# `uint64_t puts = 0;` / `RelaxedCounter<double> get_device_ns;` -- a type
+# token then a name, terminated without '(' so methods never match.
+FIELD_RE = re.compile(
+    r"^\s*(?:uint64_t|uint32_t|double|bool|RelaxedCounter<[^>]+>)\s+"
+    r"(\w+)\s*(?:=[^;]*)?;", re.MULTILINE)
+
+
+def store_metrics_fields(header_path):
+    with open(header_path, encoding="utf-8") as handle:
+        text = handle.read()
+    match = re.search(r"struct StoreMetrics \{(.*?)\n\};", text, re.DOTALL)
+    if not match:
+        raise SystemExit(f"no `struct StoreMetrics` in {header_path}")
+    return FIELD_RE.findall(match.group(1))
+
+
+def surface_files(root, overrides):
+    if overrides:
+        return [os.path.abspath(p) for p in overrides]
+    files = [os.path.join(root, "examples", "ycsb_runner.cpp")]
+    tests_dir = os.path.join(root, "tests")
+    for name in sorted(os.listdir(tests_dir)):
+        if name.endswith((".cc", ".cpp")):
+            files.append(os.path.join(tests_dir, name))
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels up)")
+    parser.add_argument("--metrics-header", default=None,
+                        help="override src/core/metrics.h (self-test)")
+    parser.add_argument("--surface", action="append", default=[],
+                        help="override reconciliation surface files "
+                             "(repeatable; self-test)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    header = args.metrics_header or os.path.join(
+        root, "src", "core", "metrics.h")
+
+    fields = store_metrics_fields(header)
+    if not fields:
+        print(f"no fields parsed from {header}")
+        return 1
+
+    corpus = []
+    for path in surface_files(root, args.surface):
+        with open(path, encoding="utf-8") as handle:
+            corpus.append(handle.read())
+    text = "\n".join(corpus)
+
+    orphans = [f for f in fields
+               if not re.search(r"\b" + re.escape(f) + r"\b", text)]
+    if orphans:
+        print(f"{len(orphans)} unreconciled StoreMetrics counter(s):")
+        for field in orphans:
+            print(f"  {field}: never referenced by ycsb_runner or any "
+                  f"test -- wire it into a reconciliation identity")
+        return 1
+    print(f"OK: all {len(fields)} StoreMetrics counters are reconciled.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

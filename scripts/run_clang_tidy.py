@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the tree and gate on zero new findings.
+
+Thin deterministic driver around clang-tidy so CI and developers see the
+same verdict:
+
+  * Translation units come from compile_commands.json (pass the build dir
+    with --build-dir), filtered to first-party sources under src/,
+    examples/, benchmarks/ and tests/ -- never _deps or generated code.
+  * Findings are normalized to stable fingerprints
+    ``<relative-path>:<check-name>:<message>`` (no line numbers, which
+    drift with every edit) and compared against the checked-in baseline
+    (scripts/clang_tidy_baseline.txt). Any finding not in the baseline
+    fails the run; baselined findings that no longer fire are reported so
+    the baseline can be shrunk.
+  * --update-baseline rewrites the baseline from the current findings.
+
+The baseline is deliberately empty for bugprone-* and performance-*:
+those categories gate at zero outright, and this script refuses to write
+a baseline entry for them (fix or suppress inline with a justification
+instead).
+
+Usage:
+  python3 scripts/run_clang_tidy.py --build-dir build [--clang-tidy BIN]
+                                    [--jobs N] [--update-baseline]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import subprocess
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "clang_tidy_baseline.txt")
+FIRST_PARTY = ("src", "examples", "bench", "tests")
+# Categories that must stay at zero findings: the baseline refuses them.
+ZERO_TOLERANCE_PREFIXES = ("bugprone-", "performance-", "concurrency-")
+# clang-tidy diagnostic line: file:line:col: warning: message [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<message>.*?)\s+\[(?P<check>[^\]]+)\]\s*$")
+
+
+def first_party_sources(build_dir, root):
+    """Return first-party .cc/.cpp files named in compile_commands.json."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    with open(db_path, encoding="utf-8") as handle:
+        entries = json.load(handle)
+    sources = set()
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", build_dir), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(".."):
+            continue
+        top = rel.split(os.sep, 1)[0]
+        if top in FIRST_PARTY and "_deps" not in rel:
+            sources.add(path)
+    return sorted(sources)
+
+
+def run_one(clang_tidy, build_dir, source):
+    """Run clang-tidy on one TU; return its stdout (diagnostics stream)."""
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", source],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, check=False)
+    return proc.stdout
+
+
+def parse_findings(output, root):
+    """Extract (fingerprint, human_line) pairs from clang-tidy output."""
+    findings = []
+    for line in output.splitlines():
+        match = DIAG_RE.match(line)
+        if not match:
+            continue
+        rel = os.path.relpath(match.group("file"), root)
+        if rel.startswith("..") or "_deps" in rel:
+            continue  # third-party header pulled into a first-party TU
+        fingerprint = ":".join(
+            (rel.replace(os.sep, "/"), match.group("check"),
+             match.group("message")))
+        human = (f"{rel}:{match.group('line')}: {match.group('message')} "
+                 f"[{match.group('check')}]")
+        findings.append((fingerprint, human))
+    return findings
+
+
+def load_baseline():
+    if not os.path.exists(BASELINE):
+        return set()
+    with open(BASELINE, encoding="utf-8") as handle:
+        return {line.strip() for line in handle
+                if line.strip() and not line.startswith("#")}
+
+
+def write_baseline(fingerprints):
+    refused = [f for f in fingerprints
+               if f.split(":", 2)[1].startswith(ZERO_TOLERANCE_PREFIXES)]
+    if refused:
+        print("refusing to baseline zero-tolerance findings:")
+        for fingerprint in refused:
+            print(f"  {fingerprint}")
+        return 1
+    with open(BASELINE, "w", encoding="utf-8") as handle:
+        handle.write("# clang-tidy baseline: one fingerprint per line\n")
+        handle.write("# (path:check:message). Regenerate with\n")
+        handle.write("#   python3 scripts/run_clang_tidy.py "
+                     "--build-dir build --update-baseline\n")
+        for fingerprint in sorted(fingerprints):
+            handle.write(fingerprint + "\n")
+    print(f"baseline updated: {len(fingerprints)} fingerprint(s)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to invoke")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sources = first_party_sources(args.build_dir, root)
+    if not sources:
+        print("no first-party sources found in compile_commands.json")
+        return 1
+    print(f"clang-tidy over {len(sources)} translation units ...")
+
+    findings = {}
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, args.clang_tidy, args.build_dir, src)
+            for src in sources
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            for fingerprint, human in parse_findings(future.result(), root):
+                findings.setdefault(fingerprint, human)
+
+    if args.update_baseline:
+        return write_baseline(set(findings))
+
+    baseline = load_baseline()
+    new = sorted(fp for fp in findings if fp not in baseline)
+    stale = sorted(fp for fp in baseline if fp not in findings)
+    if stale:
+        print(f"{len(stale)} baselined finding(s) no longer fire "
+              f"(shrink {os.path.relpath(BASELINE, root)}):")
+        for fingerprint in stale:
+            print(f"  {fingerprint}")
+    if new:
+        print(f"{len(new)} new clang-tidy finding(s):")
+        for fingerprint in new:
+            print(f"  {findings[fingerprint]}")
+        return 1
+    print(f"OK: no new findings ({len(baseline)} baselined).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,12 +119,12 @@ std::shared_ptr<const ValueModel> ModelManager::TrainInternal(
       std::chrono::duration<double>(end - start).count(),
       std::memory_order_release);
   *status = Status::OK();
-  return std::make_shared<const ValueModel>(encoder, std::move(pca),
+  return std::make_shared<const ValueModel>(std::move(encoder), std::move(pca),
                                             std::move(kmeans_result.value()));
 }
 
 Result<std::shared_ptr<const ValueModel>> ModelManager::Train(
-    std::vector<std::vector<uint8_t>> samples) {
+    const std::vector<std::vector<uint8_t>>& samples) {
   if (samples.empty()) {
     return Status::InvalidArgument("model training requires samples");
   }
@@ -151,7 +151,7 @@ bool ModelManager::StartBackgroundTrain(
     Status status;
     auto model = TrainInternal(samples, &status);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       last_background_status_ = status;
       if (status.ok()) {
         ready_model_ = std::move(model);
@@ -166,12 +166,12 @@ bool ModelManager::StartBackgroundTrain(
 }
 
 Status ModelManager::last_background_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return last_background_status_;
 }
 
 std::shared_ptr<const ValueModel> ModelManager::TakeTrainedModel() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return std::exchange(ready_model_, nullptr);
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -14,7 +13,9 @@
 #include "src/ml/feature_encoder.h"
 #include "src/ml/kmeans.h"
 #include "src/ml/pca.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace pnw::core {
 
@@ -48,7 +49,9 @@ class ValueModel {
  public:
   ValueModel(ml::BitFeatureEncoder encoder, std::optional<ml::PcaModel> pca,
              ml::KMeansModel kmeans)
-      : encoder_(encoder), pca_(std::move(pca)), kmeans_(std::move(kmeans)) {}
+      : encoder_(std::move(encoder)),
+        pca_(std::move(pca)),
+        kmeans_(std::move(kmeans)) {}
 
   /// Number of clusters the underlying K-means model predicts into.
   size_t k() const { return kmeans_.k(); }
@@ -124,7 +127,7 @@ class ModelManager {
 
   /// Train a model on `samples` (raw values, each config.value_bytes long).
   Result<std::shared_ptr<const ValueModel>> Train(
-      std::vector<std::vector<uint8_t>> samples);
+      const std::vector<std::vector<uint8_t>>& samples);
 
   /// Kick off asynchronous training on `samples`. No-op if a training run
   /// is already in flight. Returns false in that case.
@@ -136,13 +139,13 @@ class ModelManager {
   }
 
   /// Collect the finished background model, if any (nullptr otherwise).
-  std::shared_ptr<const ValueModel> TakeTrainedModel();
+  std::shared_ptr<const ValueModel> TakeTrainedModel() PNW_EXCLUDES(mu_);
 
   /// Status of the most recently *completed* background run. OK until the
   /// first background run finishes; a failed run leaves its error here (and
   /// bumps background_failures()) instead of vanishing inside the worker --
   /// the store would otherwise keep serving a stale model with no signal.
-  Status last_background_status() const;
+  Status last_background_status() const PNW_EXCLUDES(mu_);
 
   /// Background runs that completed with a non-OK status.
   uint64_t background_failures() const {
@@ -164,9 +167,9 @@ class ModelManager {
   ModelTrainingConfig config_;
   std::thread worker_;
   std::atomic<bool> training_in_flight_{false};
-  mutable std::mutex mu_;
-  std::shared_ptr<const ValueModel> ready_model_;   // guarded by mu_
-  Status last_background_status_;                   // guarded by mu_
+  mutable util::Mutex mu_;
+  std::shared_ptr<const ValueModel> ready_model_ PNW_GUARDED_BY(mu_);
+  Status last_background_status_ PNW_GUARDED_BY(mu_);
   std::atomic<uint64_t> background_failures_{0};
   std::atomic<double> last_training_seconds_{0.0};
 };

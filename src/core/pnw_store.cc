@@ -101,7 +101,13 @@ Result<std::unique_ptr<PnwStore>> PnwStore::Open(const PnwOptions& options) {
     return Status::InvalidArgument("load_factor must be in (0, 1]");
   }
   std::unique_ptr<PnwStore> store(new PnwStore(options));
-  PNW_RETURN_IF_ERROR(store->Init());
+  {
+    // Nobody else can reach the store yet; the guard exists so Init's
+    // REQUIRES(mu_) contract is dischargeable (and free: uncontended).
+    PnwStore& s = *store;
+    util::WriterLock lock(s.mu());
+    PNW_RETURN_IF_ERROR(s.Init());
+  }
   return store;
 }
 
@@ -318,8 +324,8 @@ void PnwStore::AdoptModel(std::shared_ptr<const ValueModel> model) {
 }
 
 Status PnwStore::TrainModel() {
-  auto samples = CollectTrainingSamples();
-  auto model = manager_->Train(std::move(samples));
+  const auto samples = CollectTrainingSamples();
+  auto model = manager_->Train(samples);
   if (!model.ok()) {
     return model.status();
   }
@@ -1076,10 +1082,15 @@ Result<std::unique_ptr<PnwStore>> PnwStore::Open(
     return opened.status();
   }
   std::unique_ptr<PnwStore> store = std::move(opened.value());
-  PNW_RETURN_IF_ERROR(store->RestoreFrom(snap));
+  // The store is private to this call; the writer guard makes the replay
+  // path's exclusive contracts (RestoreFrom, Put, MigrateBucket, ...)
+  // dischargeable, exactly as a live mutator would hold them.
+  PnwStore& s = *store;
+  util::WriterLock lock(s.mu());
+  PNW_RETURN_IF_ERROR(s.RestoreFrom(snap));
 
   const std::string log_path = path + kOpLogSuffix;
-  store->op_log_sync_every_ = recovery.op_log_sync_every;
+  s.op_log_sync_every_ = recovery.op_log_sync_every;
   bool log_matches_snapshot = false;
   if (recovery.replay_op_log || recovery.attach_op_log) {
     auto log = persist::ReadOpLog(log_path);
@@ -1090,30 +1101,31 @@ Result<std::unique_ptr<PnwStore>> PnwStore::Open(
     // rename and the log reset: every record it holds is already folded
     // into this (newer) snapshot, so it must be discarded, not replayed.
     log_matches_snapshot = log.value().has_header &&
-                           log.value().epoch == store->checkpoint_epoch_;
+                           log.value().epoch == s.checkpoint_epoch_;
     if (recovery.replay_op_log && log_matches_snapshot) {
       if (log.value().tail_truncated) {
         PNW_RETURN_IF_ERROR(
             persist::TruncateOpLog(log_path, log.value().valid_bytes));
       }
-      store->replaying_ = true;
+      s.replaying_ = true;
       for (const auto& rec : log.value().records) {
-        Status s;
+        Status status;
         switch (rec.op) {
           case persist::OpType::kPut:
           case persist::OpType::kUpdate:
-            s = store->Put(rec.key, rec.value);
+            status = s.Put(rec.key, rec.value);
             break;
           case persist::OpType::kDelete:
-            s = store->Delete(rec.key);
+            status = s.Delete(rec.key);
             break;
           case persist::OpType::kMigrate: {
             // Re-run the relocation the live store performed. The restored
             // pool, model, and wear histogram are bit-identical, so the
             // decision resolves to the same destination; a skip here means
             // the log and snapshot disagree.
-            auto moved = store->MigrateBucket(static_cast<size_t>(rec.key));
-            s = !moved.ok()
+            auto moved = s.MigrateBucket(static_cast<size_t>(rec.key));
+            status =
+                !moved.ok()
                     ? moved.status()
                     : (moved.value() ? Status::OK()
                                      : Status::Corruption(
@@ -1121,12 +1133,13 @@ Result<std::unique_ptr<PnwStore>> PnwStore::Open(
             break;
           }
         }
-        if (!s.ok()) {
-          store->replaying_ = false;
-          return Status::Corruption("op-log replay failed: " + s.ToString());
+        if (!status.ok()) {
+          s.replaying_ = false;
+          return Status::Corruption("op-log replay failed: " +
+                                    status.ToString());
         }
       }
-      store->replaying_ = false;
+      s.replaying_ = false;
     }
   }
   if (recovery.attach_op_log) {
@@ -1135,7 +1148,7 @@ Result<std::unique_ptr<PnwStore>> PnwStore::Open(
     // its content can never legally replay onto the state being served,
     // so the attach re-stamps it empty under the snapshot's epoch.
     const bool keep = log_matches_snapshot && recovery.replay_op_log;
-    PNW_RETURN_IF_ERROR(store->AttachOpLog(log_path, /*truncate=*/!keep));
+    PNW_RETURN_IF_ERROR(s.AttachOpLog(log_path, /*truncate=*/!keep));
   }
   return store;
 }

@@ -5,13 +5,13 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "src/persist/snapshot.h"
 #include "src/persist/store_codec.h"
+#include "src/util/mutex.h"
 #include "src/util/thread_pool.h"
 
 namespace pnw::core {
@@ -115,9 +115,7 @@ Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
     if (!shard.ok()) {
       return shard.status();
     }
-    auto slot = std::make_unique<Shard>();
-    slot->store = std::move(shard.value());
-    store->shards_.push_back(std::move(slot));
+    store->shards_.push_back(std::move(shard.value()));
   }
   if (options.background_migration) {
     PNW_RETURN_IF_ERROR(store->StartBackgroundMigration());
@@ -183,9 +181,10 @@ Status ShardedPnwStore::Checkpoint(const std::string& dir) {
         // shared-lock readers drain first and new ones wait; readers of
         // *other* shards are unaffected (this is the checkpoint-vs-reader
         // interlock).
-        std::lock_guard<std::shared_mutex> lock(shards_[i]->mu);
-        statuses[i] = shards_[i]->store->WriteCheckpoint(
-            epoch_dir + "/" + ShardSnapshotName(i));
+        PnwStore& shard = *shards_[i];
+        util::WriterLock lock(shard.mu());
+        statuses[i] =
+            shard.WriteCheckpoint(epoch_dir + "/" + ShardSnapshotName(i));
       });
     }
     pool.Wait();
@@ -212,9 +211,10 @@ Status ShardedPnwStore::Checkpoint(const std::string& dir) {
     ThreadPool pool(CheckpointThreads(shards_.size()));
     for (size_t i = 0; i < shards_.size(); ++i) {
       pool.Submit([this, &epoch_dir, &statuses, i] {
-        std::lock_guard<std::shared_mutex> lock(shards_[i]->mu);
-        statuses[i] = shards_[i]->store->FinishCheckpoint(
-            epoch_dir + "/" + ShardSnapshotName(i));
+        PnwStore& shard = *shards_[i];
+        util::WriterLock lock(shard.mu());
+        statuses[i] =
+            shard.FinishCheckpoint(epoch_dir + "/" + ShardSnapshotName(i));
       });
     }
     pool.Wait();
@@ -289,9 +289,7 @@ Result<std::unique_ptr<ShardedPnwStore>> ShardedPnwStore::Open(
           statuses[i] = shard.status();
           return;
         }
-        auto slot = std::make_unique<Shard>();
-        slot->store = std::move(shard.value());
-        store->shards_[i] = std::move(slot);
+        store->shards_[i] = std::move(shard.value());
       });
     }
     pool.Wait();
@@ -315,9 +313,9 @@ Result<size_t> ShardedPnwStore::MigrateOnce(size_t max_buckets_per_shard) {
         // Exclusive, like any writer: migration mutates the shard's index,
         // pool, flags, and device, so readers drain first and checkpoints
         // never observe a half-moved bucket.
-        std::lock_guard<std::shared_mutex> lock(shards_[i]->mu);
-        auto migrated =
-            shards_[i]->store->MigrateHotBuckets(max_buckets_per_shard);
+        PnwStore& shard = *shards_[i];
+        util::WriterLock lock(shard.mu());
+        auto migrated = shard.MigrateHotBuckets(max_buckets_per_shard);
         if (migrated.ok()) {
           moved[i] = migrated.value();
         } else {
@@ -340,58 +338,90 @@ Status ShardedPnwStore::StartBackgroundMigration() {
     return Status::FailedPrecondition(
         "background migration requires store_keys_in_data_zone");
   }
+  // Lifecycle lock first: unsynchronized, two concurrent Starts (or a
+  // Start racing the destructor's Stop) would both see a non-joinable
+  // pacer, then assign over a joinable std::thread -- std::terminate --
+  // while racing on migration_stop_. The flag itself still needs
+  // migration_mu_, the lock the pacer's wait loop holds.
+  util::MutexLock lifecycle(migration_lifecycle_mu_);
   if (migration_pacer_.joinable()) {
     return Status::OK();  // already running
   }
-  migration_stop_ = false;
-  migrator_pool_ = std::make_unique<ThreadPool>(
-      CheckpointThreads(shards_.size()));
-  const auto interval =
-      std::chrono::milliseconds(std::max<size_t>(1, options_.migration_interval_ms));
-  migration_pacer_ = std::thread([this, interval] {
-    std::unique_lock<std::mutex> lock(migration_mu_);
-    while (!migration_cv_.wait_for(lock, interval,
-                                   [this] { return migration_stop_; })) {
-      // Run one pass outside the pacer mutex so Stop never waits on a
-      // full pass's worth of shard locks just to deliver its signal.
-      lock.unlock();
-      std::vector<Status> statuses(shards_.size());
-      for (size_t i = 0; i < shards_.size(); ++i) {
-        migrator_pool_->Submit([this, &statuses, i] {
-          std::lock_guard<std::shared_mutex> shard_lock(shards_[i]->mu);
-          auto migrated = shards_[i]->store->MigrateHotBuckets(
-              options_.migration_max_buckets);
-          // A FailedPrecondition here only means the shard is not
-          // bootstrapped yet (Open starts the pacer before the caller
-          // loads data): a benign no-op sweep, not a failure.
-          if (!migrated.ok() &&
-              !migrated.status().IsFailedPrecondition()) {
-            statuses[i] = migrated.status();
-          }
-        });
-      }
-      migrator_pool_->Wait();
-      for (const Status& s : statuses) {
-        if (!s.ok()) {
-          background_migration_failures_.fetch_add(1,
-                                                   std::memory_order_relaxed);
-          break;
-        }
-      }
-      lock.lock();
-    }
-  });
+  {
+    util::MutexLock lock(migration_mu_);
+    migration_stop_ = false;
+  }
+  migrator_pool_ =
+      std::make_unique<ThreadPool>(CheckpointThreads(shards_.size()));
+  // The pacer borrows the pool by raw pointer instead of re-reading the
+  // lifecycle-guarded member: Stop joins the pacer before resetting the
+  // pool, so the borrow outlives every use.
+  ThreadPool* pool = migrator_pool_.get();
+  const auto interval = std::chrono::milliseconds(
+      std::max<size_t>(1, options_.migration_interval_ms));
+  migration_pacer_ =
+      std::thread([this, interval, pool] { MigrationPacerLoop(interval, pool); });
   return Status::OK();
 }
 
+void ShardedPnwStore::MigrationPacerLoop(std::chrono::milliseconds interval,
+                                         ThreadPool* pool) {
+  util::UniqueLock lock(migration_mu_);
+  for (;;) {
+    // Sleep one interval, waking early only for the stop signal (spurious
+    // wakeups re-wait on the same deadline).
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (!migration_stop_ &&
+           migration_cv_.WaitUntil(lock, deadline) != std::cv_status::timeout) {
+    }
+    if (migration_stop_) {
+      return;
+    }
+    // Run the pass outside the pacer mutex so Stop never waits on a full
+    // pass's worth of shard locks just to deliver its signal.
+    lock.Unlock();
+    RunMigrationPass(pool);
+    lock.Lock();
+  }
+}
+
+void ShardedPnwStore::RunMigrationPass(ThreadPool* pool) {
+  std::vector<Status> statuses(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    pool->Submit([this, &statuses, i] {
+      PnwStore& shard = *shards_[i];
+      util::WriterLock shard_lock(shard.mu());
+      auto migrated = shard.MigrateHotBuckets(options_.migration_max_buckets);
+      // A FailedPrecondition here only means the shard is not
+      // bootstrapped yet (Open starts the pacer before the caller
+      // loads data): a benign no-op sweep, not a failure.
+      if (!migrated.ok() && !migrated.status().IsFailedPrecondition()) {
+        statuses[i] = migrated.status();
+      }
+    });
+  }
+  pool->Wait();
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      background_migration_failures_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
 void ShardedPnwStore::StopBackgroundMigration() {
+  // Same lifecycle lock as Start: the join below must never race another
+  // Start's thread assignment. The pacer never takes this lock, so holding
+  // it across the join cannot deadlock.
+  util::MutexLock lifecycle(migration_lifecycle_mu_);
   {
-    std::lock_guard<std::mutex> lock(migration_mu_);
+    util::MutexLock lock(migration_mu_);
     migration_stop_ = true;
   }
-  migration_cv_.notify_all();
+  migration_cv_.NotifyAll();
   if (migration_pacer_.joinable()) {
     migration_pacer_.join();
+    migration_pacer_ = std::thread();
   }
   migrator_pool_.reset();
 }
@@ -410,25 +440,25 @@ Status ShardedPnwStore::Bootstrap(
     shard_values[s].push_back(values[i]);
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::shared_mutex> lock(shards_[s]->mu);
-    PNW_RETURN_IF_ERROR(
-        shards_[s]->store->Bootstrap(shard_keys[s], shard_values[s]));
+    PnwStore& shard = *shards_[s];
+    util::WriterLock lock(shard.mu());
+    PNW_RETURN_IF_ERROR(shard.Bootstrap(shard_keys[s], shard_values[s]));
   }
   return Status::OK();
 }
 
 Status ShardedPnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
-  Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::shared_mutex> lock(shard.mu);
-  return shard.store->Put(key, value);
+  PnwStore& shard = *shards_[ShardOf(key)];
+  util::WriterLock lock(shard.mu());
+  return shard.Put(key, value);
 }
 
 Result<std::vector<uint8_t>> ShardedPnwStore::Get(uint64_t key) {
-  Shard& shard = *shards_[ShardOf(key)];
+  PnwStore& shard = *shards_[ShardOf(key)];
   // Shared: readers of the same shard proceed in parallel (the PnwStore
   // read path is Peek + relaxed atomics, see its thread-safety contract).
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  return shard.store->Get(key);
+  util::ReaderLock lock(shard.mu());
+  return shard.Get(key);
 }
 
 template <typename Result, typename PerShardFn>
@@ -483,8 +513,9 @@ std::vector<Status> ShardedPnwStore::MultiPut(
         // One *exclusive*-lock acquisition per involved shard, however
         // many writes the batch routes to it; the shard-level MultiPut
         // then amortizes prediction and the op-log flush across the group.
-        std::lock_guard<std::shared_mutex> lock(shards_[s]->mu);
-        return shards_[s]->store->MultiPut(shard_keys, shard_values);
+        PnwStore& shard = *shards_[s];
+        util::WriterLock lock(shard.mu());
+        return shard.MultiPut(shard_keys, shard_values);
       });
 }
 
@@ -509,35 +540,38 @@ std::vector<Result<std::vector<uint8_t>>> ShardedPnwStore::MultiGet(
         }
         // One *shared*-lock acquisition per involved shard, however many
         // keys the batch routes to it.
-        std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
-        return shards_[s]->store->MultiGet(shard_keys);
+        PnwStore& shard = *shards_[s];
+        util::ReaderLock lock(shard.mu());
+        return shard.MultiGet(shard_keys);
       });
 }
 
 Status ShardedPnwStore::Delete(uint64_t key) {
-  Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::shared_mutex> lock(shard.mu);
-  return shard.store->Delete(key);
+  PnwStore& shard = *shards_[ShardOf(key)];
+  util::WriterLock lock(shard.mu());
+  return shard.Delete(key);
 }
 
 Status ShardedPnwStore::Update(uint64_t key, std::span<const uint8_t> value) {
-  Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::shared_mutex> lock(shard.mu);
-  return shard.store->Update(key, value);
+  PnwStore& shard = *shards_[ShardOf(key)];
+  util::WriterLock lock(shard.mu());
+  return shard.Update(key, value);
 }
 
 Status ShardedPnwStore::TrainModel() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::shared_mutex> lock(shard->mu);
-    PNW_RETURN_IF_ERROR(shard->store->TrainModel());
+  for (const auto& shard_ptr : shards_) {
+    PnwStore& shard = *shard_ptr;
+    util::WriterLock lock(shard.mu());
+    PNW_RETURN_IF_ERROR(shard.TrainModel());
   }
   return Status::OK();
 }
 
 void ShardedPnwStore::ResetWearAndMetrics() {
-  for (auto& shard : shards_) {
-    std::lock_guard<std::shared_mutex> lock(shard->mu);
-    shard->store->ResetWearAndMetrics();
+  for (const auto& shard_ptr : shards_) {
+    PnwStore& shard = *shard_ptr;
+    util::WriterLock lock(shard.mu());
+    shard.ResetWearAndMetrics();
   }
 }
 
@@ -546,9 +580,11 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
   aggregated.shards.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     // Shared: aggregation is a pure read, so a metrics dashboard never
-    // stalls the readers it is measuring (writers still exclude it).
-    std::shared_lock<std::shared_mutex> lock(shards_[i]->mu);
-    PnwStore& store = *shards_[i]->store;
+    // stalls the readers it is measuring (writers still exclude it). The
+    // const ref makes the const (shared-capability) overloads of pool()
+    // and device() apply below.
+    const PnwStore& store = *shards_[i];
+    util::ReaderLock lock(store.mu());
     const StoreMetrics& m = store.metrics();
     aggregated.totals.Accumulate(m);
     ShardSummary summary;
@@ -580,9 +616,10 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
 
 size_t ShardedPnwStore::size() const {
   size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
-    total += shard->store->size();
+  for (const auto& shard_ptr : shards_) {
+    const PnwStore& shard = *shard_ptr;
+    util::ReaderLock lock(shard.mu());
+    total += shard.size();
   }
   return total;
 }

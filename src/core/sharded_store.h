@@ -2,11 +2,9 @@
 #define PNW_CORE_SHARDED_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -15,7 +13,9 @@
 #include "src/core/metrics.h"
 #include "src/core/pnw_store.h"
 #include "src/persist/recovery.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace pnw {
 class ThreadPool;
@@ -116,13 +116,15 @@ struct ShardedMetrics {
 /// shard keeps its own K-means model, dynamic address pool, index, and
 /// simulated device -- i.e. its own wear domain -- so the paper's placement
 /// logic is untouched per shard. Keys are routed by a mixed 64-bit hash
-/// masked to the shard count; each shard is guarded by its own
-/// reader-writer lock (std::shared_mutex), so operations on different
-/// shards proceed in parallel and there is no global lock anywhere on the
-/// data path.
+/// masked to the shard count; each shard carries its own reader-writer
+/// capability (PnwStore::mu(), a util::SharedMutex), so operations on
+/// different shards proceed in parallel and there is no global lock
+/// anywhere on the data path.
 ///
-/// Lock discipline per shard (the read-mostly YCSB mixes the paper reports
-/// on are why reads must not serialize):
+/// Lock discipline per shard, machine-checked by Clang Thread Safety
+/// Analysis against PnwStore's PNW_REQUIRES/PNW_REQUIRES_SHARED contracts
+/// (the read-mostly YCSB mixes the paper reports on are why reads must not
+/// serialize):
 ///   - shared:    Get, MultiGet, AggregatedMetrics, size -- any number of
 ///                readers proceed concurrently, even on the *same* shard.
 ///   - exclusive: Put, Delete, Update, Bootstrap, TrainModel,
@@ -241,8 +243,10 @@ class ShardedPnwStore {
   /// it automatically when options.background_migration is set; Stop is
   /// idempotent and is always called by the destructor before the shards
   /// are torn down.
-  Status StartBackgroundMigration();
-  void StopBackgroundMigration();
+  Status StartBackgroundMigration()
+      PNW_EXCLUDES(migration_lifecycle_mu_, migration_mu_);
+  void StopBackgroundMigration()
+      PNW_EXCLUDES(migration_lifecycle_mu_, migration_mu_);
 
   /// Migration passes the background pacer observed failing (the pass's
   /// first error is counted; the pacer keeps running -- endurance work is
@@ -273,18 +277,28 @@ class ShardedPnwStore {
   /// Which shard `key` routes to.
   size_t ShardOf(uint64_t key) const;
 
-  /// Direct shard access without locking -- single-threaded phases only.
-  PnwStore& shard(size_t i) { return *shards_[i]->store; }
+  /// Direct shard access. Single-threaded inspection phases (tests,
+  /// benches) may call the shard's accessors without locking; annotated
+  /// builds still require naming the shard's capability (PnwStore::mu())
+  /// through a ReaderLock/WriterLock guard.
+  PnwStore& shard(size_t i) { return *shards_[i]; }
 
  private:
-  struct Shard {
-    /// Reader-writer lock: Get/MultiGet/metrics hold it shared, every
-    /// mutating operation (and checkpointing) holds it exclusive.
-    mutable std::shared_mutex mu;
-    std::unique_ptr<PnwStore> store;
-  };
-
   explicit ShardedPnwStore(const ShardedOptions& options);
+
+  /// Body of the background pacer thread: sleep `interval`, fan one
+  /// migration pass per shard out on `pool`, repeat until
+  /// StopBackgroundMigration raises migration_stop_. A named method (not
+  /// a lambda) so its lock contract is statable: the pacer owns no lock
+  /// while a pass runs, which is what lets Stop deliver its signal without
+  /// waiting out a full pass.
+  void MigrationPacerLoop(std::chrono::milliseconds interval, ThreadPool* pool)
+      PNW_EXCLUDES(migration_mu_);
+
+  /// One fanned-out migration pass over all shards (each task takes its
+  /// shard's exclusive capability); pass failures land in
+  /// background_migration_failures_.
+  void RunMigrationPass(ThreadPool* pool);
 
   /// Shared scatter/gather scaffolding of the batched entry points
   /// (MultiGet/MultiPut): group batch slots by owning shard, invoke
@@ -297,19 +311,32 @@ class ShardedPnwStore {
                                          PerShardFn&& per_shard);
 
   ShardedOptions options_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Each shard owns its reader-writer capability (PnwStore::mu()); entry
+  /// points name it through a local `PnwStore& shard` reference and an RAII
+  /// guard, which is how the analysis ties each acquisition to the
+  /// contracts it discharges. The vector itself is immutable after Open.
+  std::vector<std::unique_ptr<PnwStore>> shards_;
   /// Monotonic checkpoint generation; each Checkpoint() writes into
   /// dir/epoch-<n>/ and commits it via the manifest (restored on Open).
+  /// Guarded by Checkpoint's "call from one thread at a time" contract.
   uint64_t checkpoint_epoch_ = 0;
 
   /// Background migrator: `migration_pacer_` sleeps on the condition
   /// variable (so StopBackgroundMigration interrupts a wait instead of
   /// riding it out) and fans per-shard passes out on `migrator_pool_`.
-  std::unique_ptr<ThreadPool> migrator_pool_;
-  std::thread migration_pacer_;
-  std::mutex migration_mu_;
-  std::condition_variable migration_cv_;
-  bool migration_stop_ = false;
+  /// Two locks with disjoint jobs: `migration_lifecycle_mu_` serializes
+  /// Start/Stop (thread spawn + join + pool teardown -- without it two
+  /// Starts, or a Start racing ~ShardedPnwStore's Stop, assign over a
+  /// joinable std::thread and terminate); `migration_mu_` covers only the
+  /// stop flag the pacer sleeps on. The pacer never takes the lifecycle
+  /// lock, so Stop can hold it across the join without deadlock.
+  util::Mutex migration_lifecycle_mu_;
+  std::unique_ptr<ThreadPool> migrator_pool_
+      PNW_GUARDED_BY(migration_lifecycle_mu_);
+  std::thread migration_pacer_ PNW_GUARDED_BY(migration_lifecycle_mu_);
+  util::Mutex migration_mu_;
+  util::CondVar migration_cv_;
+  bool migration_stop_ PNW_GUARDED_BY(migration_mu_) = false;
   std::atomic<uint64_t> background_migration_failures_{0};
 };
 

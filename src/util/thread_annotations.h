@@ -1,0 +1,71 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to Clang's capability attributes when the build opts in
+// (-DPNW_THREAD_SAFETY_ANALYSIS=1, set by the CMake option of the same
+// name, default ON for Clang) and to nothing everywhere else, so GCC
+// builds and non-annotated toolchains stay warning-identical.
+//
+// Naming follows the modern "capability" vocabulary from
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html:
+//
+//   PNW_CAPABILITY          - marks a class as a lockable capability
+//   PNW_SCOPED_CAPABILITY   - marks an RAII guard class
+//   PNW_GUARDED_BY(x)       - data member readable/writable only with x held
+//   PNW_PT_GUARDED_BY(x)    - pointee guarded by x (the pointer itself is not)
+//   PNW_REQUIRES(x)         - caller must hold x exclusively
+//   PNW_REQUIRES_SHARED(x)  - caller must hold x at least shared
+//   PNW_ACQUIRE(x) / PNW_RELEASE(x)          - function takes/drops x
+//   PNW_ACQUIRE_SHARED / PNW_RELEASE_SHARED  - shared flavors
+//   PNW_TRY_ACQUIRE(b, x)   - acquires x when returning b
+//   PNW_EXCLUDES(x)         - caller must NOT hold x (non-reentrancy)
+//   PNW_RETURN_CAPABILITY(x)- accessor returns a reference to capability x
+//   PNW_ASSERT_CAPABILITY(x)- runtime assertion that x is held
+//   PNW_NO_THREAD_SAFETY_ANALYSIS - opt a function out (justify inline)
+#ifndef PNW_UTIL_THREAD_ANNOTATIONS_H_
+#define PNW_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(PNW_THREAD_SAFETY_ANALYSIS) && \
+    PNW_THREAD_SAFETY_ANALYSIS
+#define PNW_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PNW_THREAD_ANNOTATION(x)  // no-op outside annotated clang builds
+#endif
+
+#define PNW_CAPABILITY(x) PNW_THREAD_ANNOTATION(capability(x))
+
+#define PNW_SCOPED_CAPABILITY PNW_THREAD_ANNOTATION(scoped_lockable)
+
+#define PNW_GUARDED_BY(x) PNW_THREAD_ANNOTATION(guarded_by(x))
+
+#define PNW_PT_GUARDED_BY(x) PNW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define PNW_REQUIRES(...) \
+  PNW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define PNW_REQUIRES_SHARED(...) \
+  PNW_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define PNW_ACQUIRE(...) PNW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define PNW_ACQUIRE_SHARED(...) \
+  PNW_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define PNW_RELEASE(...) PNW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define PNW_RELEASE_SHARED(...) \
+  PNW_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define PNW_TRY_ACQUIRE(...) \
+  PNW_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define PNW_EXCLUDES(...) PNW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define PNW_RETURN_CAPABILITY(x) PNW_THREAD_ANNOTATION(lock_returned(x))
+
+#define PNW_ASSERT_CAPABILITY(x) \
+  PNW_THREAD_ANNOTATION(assert_capability(x))
+
+#define PNW_NO_THREAD_SAFETY_ANALYSIS \
+  PNW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PNW_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,6 +1,7 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace pnw {
 
@@ -14,10 +15,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (auto& t : threads_) {
     t.join();
   }
@@ -25,16 +26,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  util::UniqueLock lock(mu_);
+  while (in_flight_ != 0) {
+    idle_cv_.Wait(lock);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -59,8 +62,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      util::UniqueLock lock(mu_);
+      while (!shutdown_ && tasks_.empty()) {
+        task_cv_.Wait(lock);
+      }
       if (tasks_.empty()) {
         return;  // shutdown with an empty queue
       }
@@ -69,10 +74,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       --in_flight_;
       if (in_flight_ == 0) {
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
       }
     }
   }

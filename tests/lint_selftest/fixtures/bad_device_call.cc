@@ -1,0 +1,22 @@
+// Lint self-test fixture: every device access below violates the
+// address-domain rule on purpose. Never compiled; consumed only by
+// tests/lint_selftest/run_selftest.py, which asserts the lint rejects it.
+
+#include <cstdint>
+
+void SeededViolations() {
+  // Violation 1: raw logical bucket index fed straight to the device.
+  uint64_t bucket_index = 42;
+  device_->WriteDifferential(bucket_index, scratch_);
+
+  // Violation 2: arithmetic on a raw index is still a raw index.
+  device_->Peek(bucket_index * 256 + 8, 16);
+
+  // Violation 3: multi-line call, first argument on the next line.
+  auto result = device_->Read(
+      bucket_index, scratch_);
+
+  // Violation 4: raw Start-Gap translation outside PhysBucketAddr.
+  uint64_t phys = remapper_->Translate(bucket_index);
+  device_->ReadCostNs(phys_other, 64);
+}

@@ -1,0 +1,16 @@
+// Lint self-test fixture: a StoreMetrics clone with one counter
+// (`orphan_counter`) that the paired surface fixture never references.
+// The metrics-reconcile lint must report exactly that field. Never
+// compiled; consumed only by tests/lint_selftest/run_selftest.py.
+
+#include <cstdint>
+
+struct StoreMetrics {
+  uint64_t puts = 0;
+  RelaxedCounter<uint64_t> gets;
+  double put_device_ns = 0.0;
+  // Seeded violation: no reconciliation identity ever checks this.
+  uint64_t orphan_counter = 0;
+
+  bool PlacementAttributionConsistent() const;  // methods are not fields
+};

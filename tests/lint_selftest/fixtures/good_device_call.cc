@@ -1,0 +1,27 @@
+// Lint self-test fixture: every device access below is in-domain, so the
+// address-domain lint must accept this file with exit code 0. Never
+// compiled; consumed only by tests/lint_selftest/run_selftest.py.
+
+#include <cstdint>
+
+void SanctionedAccesses() {
+  // Translated data-zone address, inline.
+  device_->WriteDifferential(PhysBucketAddr(bucket_index), scratch_);
+
+  // Translated address via a local alias (the Get fast-path idiom).
+  const uint64_t phys = PhysBucketAddr(bucket_index);
+  device_->Peek(phys, bucket_bytes_);
+  device_->ReadCostNs(phys + key_bytes_, value_bytes_);
+
+  // Metadata-zone accesses: flag sidecar and DRAM-index spill areas are
+  // deliberately un-remapped.
+  device_->Peek(flags_base_ + bucket_index / 8, 1);
+  device_->WriteMetadataBits(index_base_ + slot * 8, span);
+
+  // Multi-line call with a translated first argument.
+  auto write = device_->WriteConventional(
+      PhysBucketAddr(dst_bucket), scratch_);
+
+  // A mention of Translate() in a comment must not trip the lint:
+  // remapper_->Translate(bucket) is the raw mapping.
+}

@@ -1,0 +1,9 @@
+// Lint self-test fixture: the reconciliation surface paired with
+// bad_metrics.h. References every field except the seeded orphan, so the
+// metrics-reconcile lint flags exactly that one. Never compiled.
+
+void ReconcileChecks() {
+  assert(m.puts == expected_puts);
+  assert(m.gets + misses == reads_served);
+  assert(m.put_device_ns >= 0.0);
+}

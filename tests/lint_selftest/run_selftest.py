@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Self-test for the custom architecture lints (registered with CTest).
+
+A lint that silently stopped matching is worse than no lint: CI keeps
+reporting green while the rule it enforced erodes. This test proves each
+lint in scripts/lint/ still has teeth by running it three ways:
+
+  1. against a fixture with seeded violations -- must exit nonzero AND
+     emit the expected diagnostics (one per seeded violation);
+  2. against a clean fixture -- must exit zero (no false positives on the
+     sanctioned idioms: inline PhysBucketAddr, aliases, metadata bases);
+  3. against the real tree -- must exit zero (the rule actually holds).
+
+Runs under plain python3 with no third-party imports, so the same file
+works from CTest, CI, or by hand.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+LINT_DIR = os.path.join(ROOT, "scripts", "lint")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+FAILURES = []
+
+
+def run(args):
+    proc = subprocess.run([sys.executable] + args, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True, check=False)
+    return proc.returncode, proc.stdout
+
+
+def check(name, code, output, want_fail, want_substrings=()):
+    ok = (code != 0) if want_fail else (code == 0)
+    missing = [s for s in want_substrings if s not in output]
+    if ok and not missing:
+        print(f"PASS: {name}")
+        return
+    FAILURES.append(name)
+    print(f"FAIL: {name} (exit={code}, wanted "
+          f"{'nonzero' if want_fail else 'zero'})")
+    for substring in missing:
+        print(f"  missing diagnostic: {substring!r}")
+    print("  ---- lint output ----")
+    for line in output.splitlines():
+        print(f"  {line}")
+
+
+def main():
+    address_lint = os.path.join(LINT_DIR, "address_domain_lint.py")
+    metrics_lint = os.path.join(LINT_DIR, "metrics_reconcile_lint.py")
+
+    # 1. Address-domain lint rejects the seeded fixture, naming each
+    #    violation class.
+    code, out = run([address_lint, "--root", ROOT,
+                     os.path.join(FIXTURES, "bad_device_call.cc")])
+    check("address_domain rejects seeded violations", code, out,
+          want_fail=True,
+          want_substrings=[
+              "5 address-domain violation(s)",
+              "WriteDifferential() takes 'bucket_index'",
+              "Peek() takes 'bucket_index * 256 + 8'",
+              "Read() takes 'bucket_index'",
+              "raw Start-Gap Translate() call",
+              "ReadCostNs() takes 'phys_other'",
+          ])
+
+    # 2. ... and accepts every sanctioned idiom.
+    code, out = run([address_lint, "--root", ROOT,
+                     os.path.join(FIXTURES, "good_device_call.cc")])
+    check("address_domain accepts sanctioned idioms", code, out,
+          want_fail=False)
+
+    # 3. ... and the real tree is clean.
+    code, out = run([address_lint, "--root", ROOT])
+    check("address_domain passes on the tree", code, out, want_fail=False)
+
+    # 4. Metrics-reconcile lint flags the seeded orphan counter (and only
+    #    it: the referenced fields must not appear as orphans).
+    code, out = run([metrics_lint, "--root", ROOT,
+                     "--metrics-header",
+                     os.path.join(FIXTURES, "bad_metrics.h"),
+                     "--surface",
+                     os.path.join(FIXTURES, "reconcile_surface.cc")])
+    check("metrics_reconcile rejects seeded orphan", code, out,
+          want_fail=True,
+          want_substrings=["1 unreconciled StoreMetrics counter(s)",
+                           "orphan_counter"])
+
+    # 5. ... and the real tree is clean.
+    code, out = run([metrics_lint, "--root", ROOT])
+    check("metrics_reconcile passes on the tree", code, out,
+          want_fail=False)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} lint self-test failure(s)")
+        return 1
+    print("All lint self-tests passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

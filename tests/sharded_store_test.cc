@@ -826,5 +826,54 @@ TEST(ShardedBackgroundMigrationTest, StartRequiresKeysInDataZone) {
   EXPECT_TRUE(ShardedPnwStore::Open(options).status().IsFailedPrecondition());
 }
 
+TEST(ShardedBackgroundMigrationTest, ConcurrentStartStopLifecycleChurn) {
+  // Regression test for the lifecycle race the thread-safety annotations
+  // exposed: Start/Stop used to check and assign the pacer std::thread
+  // with no lock, so two concurrent Starts (or a Start racing a Stop)
+  // could both see a non-joinable pacer and assign over a joinable
+  // std::thread -- std::terminate -- while racing on the stop flag.
+  // Several threads now churn Start/Stop against live traffic; under
+  // migration_lifecycle_mu_ every interleaving must leave exactly zero or
+  // one pacer and the store coherent. The TSan CI job runs this suite, so
+  // any residual unsynchronized access is machine-checked too.
+  ShardedOptions options = EnduranceShardedOptions(2);
+  options.migration_interval_ms = 1;
+  options.migration_max_buckets = 4;
+  auto store = MakeBootstrappedStore(options, 64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 3; ++t) {
+    threads.emplace_back([&store, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ASSERT_TRUE(store->StartBackgroundMigration().ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        store->StopBackgroundMigration();
+      }
+    });
+  }
+  threads.emplace_back([&store, &stop] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)store->Update(i % 8, GroupValue(static_cast<int>(i % 2),
+                                            static_cast<uint8_t>(i)));
+      ++i;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  store->StopBackgroundMigration();
+  // Idempotent when already stopped, and restartable after the churn.
+  store->StopBackgroundMigration();
+  ASSERT_TRUE(store->StartBackgroundMigration().ok());
+  store->StopBackgroundMigration();
+  EXPECT_EQ(store->background_migration_failures(), 0u);
+  for (uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(store->Get(key).value().size(), kValueBytes);
+  }
+}
+
 }  // namespace
 }  // namespace pnw::core
