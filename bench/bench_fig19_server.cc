@@ -1,0 +1,311 @@
+// Beyond the paper ("Fig. 19"): the networked front-end's pipelined group
+// commit. pnw_server (src/server/) groups the single-key PUT frames a
+// connection keeps in flight into one ShardedPnwStore::MultiPut per read
+// burst, so the strict-durability op log (fsync per acknowledged record)
+// amortizes into one group fsync per batch -- and the per-op loopback
+// round trip amortizes with it. This bench measures that amortization:
+//
+// Sweep: connections {1, 4} x pipeline depth {1, 8, 32} against one
+// in-process server over a 4-shard store with per-shard op-logs reopened
+// under the strict durability contract (op_log_sync_every = 1, the
+// configuration group commit exists for). Each connection is one client
+// thread running a closed loop: send `depth` PUT frames, flush, receive
+// `depth` responses, repeat. Reported per cell:
+//   - wall kops/s and its speedup over the depth=1 row of the same
+//     connection count (the pipelining win the ISSUE gates on);
+//   - the mean store batch the server actually formed
+//     (server.batched_keys / server.store_batches -- depth=1 pins it to
+//     ~1, deeper pipelines approach the depth);
+//   - us/put device+log cost from StoreMetrics.
+//
+// Correctness gates (exit nonzero on violation):
+//   - every acknowledged PUT succeeded (status kOk, no overloads: the
+//     budgets are left at defaults, far above these depths);
+//   - the books balance per cell: client frames == server.frames_in ==
+//     server.put_keys == store puts (sole-client server, overwrites only).
+// The 3x wall-speedup target for the best depth>=8 row at 1 connection is
+// printed as a PASS/below-target marker (and emitted in the JSON record)
+// rather than an exit code: wall ratios on a loaded CI box are
+// informative, not assertable. (Why "best": a MultiPut group fsyncs once
+// per *involved shard*, so at 4 shards a depth-8 batch still pays ~4
+// fsyncs -- ~2x amortization -- while depth 32 approaches 8x. The deeper
+// pipeline is where group commit earns its keep.)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/sharded_store.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+
+namespace {
+
+constexpr size_t kValueBytes = 128;
+constexpr size_t kShards = 4;
+
+std::vector<uint8_t> MakeValue(uint64_t key, uint64_t version,
+                               pnw::Rng& rng) {
+  std::vector<uint8_t> v(kValueBytes,
+                         static_cast<uint8_t>((key % 8) * 32));
+  std::memcpy(v.data(), &key, 8);
+  std::memcpy(v.data() + 8, &version, 8);
+  for (int i = 0; i < 4; ++i) {
+    v[16 + rng.NextBelow(kValueBytes - 16)] =
+        static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+struct CellResult {
+  double wall_kops = 0.0;
+  double mean_batch = 0.0;
+  double us_per_put = 0.0;
+  uint64_t hard_failures = 0;
+  bool reconciles = true;
+};
+
+CellResult RunCell(size_t conns, size_t depth, size_t records,
+                   size_t total_writes, const std::string& ckpt_dir) {
+  pnw::core::ShardedOptions options;
+  options.num_shards = kShards;
+  options.store.value_bytes = kValueBytes;
+  // 50% steady occupancy, overwrites only: no mid-run extension, so every
+  // cell's device work is the same stream -- only the wire pattern moves.
+  options.store.initial_buckets = records * 2;
+  options.store.capacity_buckets = records * 4;
+  options.store.num_clusters = 8;
+  options.store.max_features = 256;
+  auto opened = pnw::core::ShardedPnwStore::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto store = std::move(opened.value());
+
+  pnw::Rng boot_rng(7);
+  std::vector<uint64_t> keys(records);
+  std::vector<std::vector<uint8_t>> values(records);
+  for (size_t i = 0; i < records; ++i) {
+    keys[i] = i;
+    values[i] = MakeValue(i, 0, boot_rng);
+  }
+  if (!store->Bootstrap(keys, values).ok()) {
+    std::fprintf(stderr, "bootstrap failed (c=%zu d=%zu)\n", conns, depth);
+    std::exit(1);
+  }
+  // Attach per-shard op-logs under the strict durability contract (fsync
+  // every record): this is the regime group commit is for. A depth-1
+  // pipeline pays one fdatasync (and one loopback round trip) per
+  // acknowledged PUT; a depth-d pipeline is grouped by the server into
+  // MultiPut batches that capture with one flush + one deferred fsync per
+  // involved shard.
+  {
+    const pnw::Status s = store->Checkpoint(ckpt_dir);
+    if (!s.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  pnw::persist::RecoveryOptions recovery;
+  recovery.op_log_sync_every = 1;
+  auto reopened = pnw::core::ShardedPnwStore::Open(ckpt_dir, recovery);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 reopened.status().ToString().c_str());
+    std::exit(1);
+  }
+  store = std::move(reopened.value());
+  store->ResetWearAndMetrics();
+
+  pnw::server::ServerOptions server_options;
+  auto started = pnw::server::PnwServer::Start(store.get(), server_options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto server = std::move(started).value();
+
+  // Pre-generated value pool so the measured loops do no per-op allocation
+  // of their own; threads overwrite disjoint key ranges so the device work
+  // is independent of scheduling.
+  pnw::Rng value_rng(29);
+  const size_t value_pool = std::min<size_t>(1024, records);
+  std::vector<std::vector<uint8_t>> pool(value_pool);
+  for (size_t i = 0; i < value_pool; ++i) {
+    pool[i] = MakeValue(i * 2654435761u % records, i + 1, value_rng);
+  }
+
+  const size_t per_conn = (total_writes + conns - 1) / conns;
+  std::vector<uint64_t> failures(conns, 0);
+  std::vector<uint64_t> frames(conns, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    for (size_t t = 0; t < conns; ++t) {
+      threads.emplace_back([&, t] {
+        auto connected =
+            pnw::server::Client::Connect("127.0.0.1", server->port());
+        if (!connected.ok()) {
+          failures[t] = per_conn;  // count the whole stream as failed
+          return;
+        }
+        auto client = std::move(connected).value();
+        const uint64_t key_base = (t * records) / conns;
+        const uint64_t key_span =
+            std::max<uint64_t>(1, records / conns);
+        size_t done = 0;
+        while (done < per_conn) {
+          const size_t window = std::min(depth, per_conn - done);
+          for (size_t i = 0; i < window; ++i) {
+            const uint64_t key =
+                key_base + (done + i) * 2654435761u % key_span;
+            client->SendPut(key, pool[(done + i + t) % value_pool]);
+          }
+          if (!client->Flush().ok()) {
+            failures[t] += window;
+            break;
+          }
+          for (size_t i = 0; i < window; ++i) {
+            const auto r = client->Receive();
+            if (!r.ok() || r.value().status != pnw::Status::Code::kOk) {
+              ++failures[t];
+            }
+          }
+          done += window;
+        }
+        frames[t] = client->frames_sent();
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  CellResult result;
+  uint64_t client_frames = 0;
+  for (size_t t = 0; t < conns; ++t) {
+    result.hard_failures += failures[t];
+    client_frames += frames[t];
+  }
+  const pnw::server::ServerMetrics& sm = server->metrics();
+  const pnw::core::ShardedMetrics agg = store->AggregatedMetrics();
+  // Sole-client books: every frame this bench sent was decoded, forwarded
+  // as a PUT key, and landed in the store exactly once.
+  result.reconciles = sm.frames_in.load() == client_frames &&
+                      sm.put_keys.load() == client_frames &&
+                      agg.totals.puts + agg.totals.failed_ops ==
+                          client_frames;
+  result.wall_kops = static_cast<double>(total_writes) / wall_s / 1000.0;
+  const uint64_t batches = sm.store_batches.load();
+  result.mean_batch =
+      batches != 0 ? static_cast<double>(sm.batched_keys.load()) /
+                         static_cast<double>(batches)
+                   : 0.0;
+  const double puts =
+      std::max<double>(1.0, static_cast<double>(agg.totals.puts));
+  result.us_per_put =
+      (agg.totals.put_device_ns + agg.totals.delete_device_ns +
+       agg.totals.log_wall_ns) /
+      puts / 1000.0;
+  server->Stop();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t records = pnw::bench::SmokeScaled(2048, 256);
+  const size_t writes = pnw::bench::SmokeScaled(8192, 512);
+  std::printf("=== Fig. 19 (beyond the paper): pipelined group commit over "
+              "the wire, %zu records, %zu overwrites per cell, %zuB "
+              "values, %zu shards, strict-durability op-log ===\n",
+              records, writes, kValueBytes, kShards);
+
+  const std::string ckpt_root =
+      (std::filesystem::temp_directory_path() / "pnw_fig19_ckpt").string();
+
+  pnw::TablePrinter table({"conns", "depth", "kops/s", "x depth=1",
+                           "mean batch", "us/put", "books=="});
+  std::vector<pnw::bench::JsonMetric> json_metrics;
+  uint64_t total_hard_failures = 0;
+  bool all_reconcile = true;
+  double target_ratio = 0.0;  // best depth>=8 over depth=1, one connection
+  for (size_t conns : {1, 4}) {
+    double baseline_kops = 0.0;
+    for (size_t depth : {1, 8, 32}) {
+      const std::string dir = ckpt_root + "-c" + std::to_string(conns) +
+                              "-d" + std::to_string(depth);
+      const CellResult cell = RunCell(conns, depth, records, writes, dir);
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      total_hard_failures += cell.hard_failures;
+      all_reconcile = all_reconcile && cell.reconciles;
+      if (depth == 1) {
+        baseline_kops = cell.wall_kops;
+      }
+      const double speedup =
+          baseline_kops > 0.0 ? cell.wall_kops / baseline_kops : 0.0;
+      if (conns == 1 && depth >= 8) {
+        target_ratio = std::max(target_ratio, speedup);
+      }
+      table.AddRow({pnw::TablePrinter::Fmt(static_cast<double>(conns), 0),
+                    pnw::TablePrinter::Fmt(static_cast<double>(depth), 0),
+                    pnw::TablePrinter::Fmt(cell.wall_kops, 1),
+                    pnw::TablePrinter::Fmt(speedup, 2),
+                    pnw::TablePrinter::Fmt(cell.mean_batch, 1),
+                    pnw::TablePrinter::Fmt(cell.us_per_put, 2),
+                    cell.reconciles ? "yes" : "NO"});
+      json_metrics.push_back(
+          {"kops_c" + std::to_string(conns) + "_d" + std::to_string(depth),
+           cell.wall_kops});
+      json_metrics.push_back(
+          {"mean_batch_c" + std::to_string(conns) + "_d" +
+               std::to_string(depth),
+           cell.mean_batch});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\n(one cell = a fresh 4-shard store with per-shard op-logs at "
+      "op_log_sync_every=1 behind an in-process pnw_server; each\n "
+      "connection is a closed loop sending `depth` PUT frames per flush. "
+      "mean batch is server.batched_keys / server.store_batches --\n the "
+      "grouping the pipeline actually bought; us/put is device + op-log "
+      "time from StoreMetrics. books== gates client frames ==\n "
+      "server.frames_in == server.put_keys == store puts.\n best depth>=8 "
+      "row at 1 connection: %.2fx wall speedup over depth=1 [%s target "
+      "3x])\n",
+      target_ratio, target_ratio >= 3.0 ? "PASS" : "below");
+  json_metrics.push_back({"speedup_depth8plus_over_d1_c1", target_ratio});
+
+  const std::string json_path = pnw::bench::JsonPathFromArgs(argc, argv);
+  if (!json_path.empty() &&
+      !pnw::bench::WriteJsonMetrics(json_path, "fig19_server",
+                                    json_metrics)) {
+    return 1;
+  }
+  if (total_hard_failures != 0 || !all_reconcile) {
+    std::printf("FAILURES: hard_failures=%llu reconciles=%s\n",
+                static_cast<unsigned long long>(total_hard_failures),
+                all_reconcile ? "yes" : "no");
+    return 1;
+  }
+  return 0;
+}

@@ -36,6 +36,16 @@
 // serving -- a live-backup drill. The run reports how many checkpoints were
 // taken and their total wall cost.
 //
+// --remote=HOST:PORT runs the same mixes against a pnw_server over the
+// binary wire protocol instead of an in-process store: every thread opens
+// its own connection (src/server/client.h), --batch=N rides the MULTI_GET
+// / MULTI_PUT frames, and the per-mix reconcile lines become *three*-way
+// -- client tallies == the server's ServerMetrics key counts == the
+// store's StoreMetrics, all fetched over the STATS opcode as before/after
+// deltas. Exits nonzero on any mismatch, exactly like the local mode.
+// Local-only machinery (--checkpoint-every, --migrate-every, --start-gap,
+// --wear-report) is rejected with --remote (exit 2).
+//
 // --start-gap=N turns on Start-Gap wear leveling under the address pool
 // (gap moves every N data-zone writes per shard); --migrate-every=N makes
 // thread 0 sweep the store for hot buckets every N of its ops
@@ -53,11 +63,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/core/sharded_store.h"
+#include "src/server/client.h"
 #include "src/util/random.h"
 #include "src/workloads/ycsb.h"
 
@@ -73,6 +87,7 @@ std::string kCheckpointDir;
 size_t kStartGap = 0;      // 0 = wear leveling off; else gap-move interval
 size_t kMigrateEvery = 0;  // 0 = no hot-bucket sweeps
 bool kWearReport = false;
+std::string kRemote;  // empty = in-process store; else "host:port"
 constexpr size_t kValueBytes = 128;
 
 void PrintUsage(const char* argv0) {
@@ -113,6 +128,14 @@ void PrintUsage(const char* argv0) {
       "                         writes + migrations + gap moves == device\n"
       "                         bucket writes) that fails the run on\n"
       "                         mismatch\n"
+      "  --remote=HOST:PORT     run against a pnw_server over the binary\n"
+      "                         wire protocol instead of an in-process\n"
+      "                         store (one connection per thread; --batch\n"
+      "                         rides MULTI_GET/MULTI_PUT frames; the\n"
+      "                         reconcile lines become client == server\n"
+      "                         == store, via STATS deltas). Incompatible\n"
+      "                         with --checkpoint-every, --migrate-every,\n"
+      "                         --start-gap, --wear-report\n"
       "  --help                 this text\n"
       "\n"
       "--flag N is accepted as well as --flag=N. Exits nonzero if any\n"
@@ -186,6 +209,90 @@ std::vector<uint8_t> MakeValue(uint64_t key, uint64_t version,
   return v;
 }
 
+/// Rebuild a full Status from a wire Status::Code (the protocol ships
+/// codes, not messages).
+pnw::Status StatusFromCode(pnw::Status::Code code) {
+  using Code = pnw::Status::Code;
+  switch (code) {
+    case Code::kOk:
+      return pnw::Status::OK();
+    case Code::kNotFound:
+      return pnw::Status::NotFound("remote");
+    case Code::kOverloaded:
+      return pnw::Status::Overloaded("remote");
+    case Code::kInvalidArgument:
+      return pnw::Status::InvalidArgument("remote");
+    case Code::kOutOfSpace:
+      return pnw::Status::OutOfSpace("remote");
+    case Code::kCorruption:
+      return pnw::Status::Corruption("remote");
+    default:
+      return pnw::Status::Internal("remote");
+  }
+}
+
+/// The store-shaped facade over one Client connection: exactly the member
+/// surface RunOpStream touches, so the same op-stream code drives an
+/// in-process ShardedPnwStore or a pnw_server across the wire. Sharding
+/// is the server's business -- the facade reports one "shard" so the
+/// batching bookkeeping degenerates to one lock-equivalent per batch.
+class RemoteStore {
+ public:
+  explicit RemoteStore(pnw::server::Client* client) : client_(client) {}
+
+  size_t num_shards() const { return 1; }
+  size_t ShardOf(uint64_t /*key*/) const { return 0; }
+
+  pnw::Status Put(uint64_t key, std::span<const uint8_t> value) {
+    return client_->Put(key, value);
+  }
+  pnw::Result<std::vector<uint8_t>> Get(uint64_t key) {
+    return client_->Get(key);
+  }
+
+  std::vector<pnw::Result<std::vector<uint8_t>>> MultiGet(
+      std::span<const uint64_t> keys) {
+    std::vector<pnw::Result<std::vector<uint8_t>>> out;
+    out.reserve(keys.size());
+    auto slots = client_->MultiGet(keys);
+    if (!slots.ok()) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out.emplace_back(slots.status());
+      }
+      return out;
+    }
+    for (auto& [code, value] : slots.value()) {
+      if (code == pnw::Status::Code::kOk) {
+        out.emplace_back(std::move(value));
+      } else {
+        out.emplace_back(StatusFromCode(code));
+      }
+    }
+    return out;
+  }
+
+  std::vector<pnw::Status> MultiPut(
+      std::span<const uint64_t> keys,
+      std::span<const std::span<const uint8_t>> values) {
+    std::vector<pnw::Status> out;
+    out.reserve(keys.size());
+    auto codes = client_->MultiPut(keys, values);
+    if (!codes.ok()) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out.push_back(codes.status());
+      }
+      return out;
+    }
+    for (const pnw::Status::Code code : codes.value()) {
+      out.push_back(StatusFromCode(code));
+    }
+    return out;
+  }
+
+ private:
+  pnw::server::Client* client_;
+};
+
 struct ThreadCounts {
   /// Store-level tallies: `reads` counts every GET issued to the store
   /// (including the read half of a read-modify-write), which is what must
@@ -223,8 +330,12 @@ struct MigrateStats {
 
 /// One thread's share of the run: its own generator (offset seed), its own
 /// value RNG, its own version counters -- no cross-thread state besides the
-/// store itself.
-ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
+/// store itself. Store is either ShardedPnwStore (in-process) or
+/// RemoteStore (one wire connection); the local-only members (Checkpoint,
+/// MigrateOnce) are compile-time-gated, and the flags that would reach
+/// them are rejected with --remote before any stream starts.
+template <typename Store>
+ThreadCounts RunOpStream(Store& store,
                          pnw::workloads::YcsbWorkload workload,
                          size_t thread_id, size_t ops,
                          CheckpointStats* ckpt = nullptr,
@@ -397,41 +508,246 @@ ThreadCounts RunOpStream(pnw::core::ShardedPnwStore& store,
     // Hot-bucket sweep: thread 0 paces the migrator while the other
     // threads keep serving (per-shard exclusive locks, same interlock the
     // background migrator uses).
-    if (migrate != nullptr && kMigrateEvery != 0 &&
-        (i + 1) % kMigrateEvery == 0) {
-      const auto moved = store.MigrateOnce(/*max_buckets_per_shard=*/4);
-      ++migrate->passes;
-      if (moved.ok()) {
-        migrate->moved += moved.value();
-      } else {
-        std::fprintf(stderr, "migration sweep failed: %s\n",
-                     moved.status().ToString().c_str());
-        ++migrate->failed;
+    if constexpr (requires { store.MigrateOnce(size_t{4}); }) {
+      if (migrate != nullptr && kMigrateEvery != 0 &&
+          (i + 1) % kMigrateEvery == 0) {
+        const auto moved = store.MigrateOnce(/*max_buckets_per_shard=*/4);
+        ++migrate->passes;
+        if (moved.ok()) {
+          migrate->moved += moved.value();
+        } else {
+          std::fprintf(stderr, "migration sweep failed: %s\n",
+                       moved.status().ToString().c_str());
+          ++migrate->failed;
+        }
       }
     }
     // Live backup drill: this thread pauses to checkpoint while the other
     // threads keep serving (shards are locked one at a time).
-    if (ckpt != nullptr && kCheckpointEvery != 0 &&
-        (i + 1) % kCheckpointEvery == 0) {
-      const auto c0 = std::chrono::steady_clock::now();
-      const pnw::Status s = store.Checkpoint(kCheckpointDir);
-      ckpt->wall_ms += std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - c0)
-                           .count();
-      if (s.ok()) {
-        ++ckpt->taken;
-      } else {
-        // Tracked (and exit-coded) separately from op failures: the mix
-        // row's "failed" column counts store operations only.
-        std::fprintf(stderr, "checkpoint failed: %s\n",
-                     s.ToString().c_str());
-        ++ckpt->failed;
+    if constexpr (requires { store.Checkpoint(kCheckpointDir); }) {
+      if (ckpt != nullptr && kCheckpointEvery != 0 &&
+          (i + 1) % kCheckpointEvery == 0) {
+        const auto c0 = std::chrono::steady_clock::now();
+        const pnw::Status s = store.Checkpoint(kCheckpointDir);
+        ckpt->wall_ms += std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - c0)
+                             .count();
+        if (s.ok()) {
+          ++ckpt->taken;
+        } else {
+          // Tracked (and exit-coded) separately from op failures: the mix
+          // row's "failed" column counts store operations only.
+          std::fprintf(stderr, "checkpoint failed: %s\n",
+                       s.ToString().c_str());
+          ++ckpt->failed;
+        }
       }
     }
   }
   flush_reads();
   flush_writes();
   return counts;
+}
+
+/// Look up one counter from a STATS snapshot by its flat name. Missing
+/// counters are a protocol drift bug, not a soft condition: fail the run.
+uint64_t StatOf(const std::vector<std::pair<std::string, uint64_t>>& stats,
+                const std::string& name) {
+  for (const auto& [stat_name, value] : stats) {
+    if (stat_name == name) {
+      return value;
+    }
+  }
+  std::fprintf(stderr, "STATS snapshot is missing counter '%s'\n",
+               name.c_str());
+  std::exit(1);
+}
+
+/// The --remote mode: the same five mixes, driven over the wire. Each mix
+/// preloads its key range through the control connection (the server store
+/// persists across mixes, so re-preloads are plain updates -- the server
+/// must be sized with insert headroom), snapshots STATS, runs one client
+/// connection per thread through the shared RunOpStream, snapshots STATS
+/// again, and reconciles the deltas three ways: client tallies ==
+/// ServerMetrics key counts == StoreMetrics ops. Exits nonzero on any
+/// mismatch or hard failure, exactly like the local mode.
+int RunRemoteMixes(const std::string& host, uint16_t port) {
+  using pnw::workloads::YcsbWorkload;
+  auto control_r = pnw::server::Client::Connect(host, port);
+  if (!control_r.ok()) {
+    std::fprintf(stderr, "remote: connect to %s:%u failed: %s\n",
+                 host.c_str(), static_cast<unsigned>(port),
+                 control_r.status().ToString().c_str());
+    return 1;
+  }
+  auto control = std::move(control_r).value();
+
+  std::printf("YCSB core mixes on PNW via %s:%u (%zu records, %zu ops, "
+              "%zuB values, %zu connections, read batch %zu)\n",
+              host.c_str(), static_cast<unsigned>(port), kRecords, kOps,
+              kValueBytes, kThreads, kBatch);
+  std::printf("%-18s %8s %8s %8s %7s %10s %10s %10s %11s %7s\n", "workload",
+              "reads", "writes", "inserts", "failed", "bits/512b",
+              "us/write", "kops/s", "kops/s(sim)", "imbal");
+
+  bool any_failures = false;
+  for (YcsbWorkload workload :
+       {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
+        YcsbWorkload::kD, YcsbWorkload::kF}) {
+    // Preload the mix's base key range in MULTI_PUT chunks. These writes
+    // land *before* the first STATS snapshot, so the per-mix deltas below
+    // cover exactly the measured op streams.
+    pnw::Rng rng(1234);
+    constexpr size_t kPreloadChunk = 128;
+    for (size_t base = 0; base < kRecords; base += kPreloadChunk) {
+      const size_t n = std::min(kPreloadChunk, kRecords - base);
+      std::vector<uint64_t> keys(n);
+      std::vector<std::vector<uint8_t>> values(n);
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = base + i;
+        values[i] = MakeValue(base + i, 0, rng);
+      }
+      const auto codes = control->MultiPut(keys, values);
+      if (!codes.ok()) {
+        std::fprintf(stderr, "remote preload failed: %s\n",
+                     codes.status().ToString().c_str());
+        return 1;
+      }
+      for (const pnw::Status::Code code : codes.value()) {
+        if (code != pnw::Status::Code::kOk) {
+          std::fprintf(stderr,
+                       "remote preload: slot status code %d (server out of "
+                       "space or overloaded? size it with headroom)\n",
+                       static_cast<int>(code));
+          return 1;
+        }
+      }
+    }
+    const auto before_r = control->Stats();
+    if (!before_r.ok()) {
+      std::fprintf(stderr, "remote STATS failed: %s\n",
+                   before_r.status().ToString().c_str());
+      return 1;
+    }
+    const auto& before = before_r.value();
+
+    // One connection per thread, opened up front so a refused connect
+    // fails the run before any stream starts.
+    std::vector<std::unique_ptr<pnw::server::Client>> clients;
+    clients.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+      auto c = pnw::server::Client::Connect(host, port);
+      if (!c.ok()) {
+        std::fprintf(stderr, "remote: worker connect failed: %s\n",
+                     c.status().ToString().c_str());
+        return 1;
+      }
+      clients.push_back(std::move(c).value());
+    }
+    std::vector<ThreadCounts> counts(kThreads);
+    const size_t per_thread = (kOps + kThreads - 1) / kThreads;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (kThreads == 1) {
+      RemoteStore remote(clients[0].get());
+      counts[0] = RunOpStream(remote, workload, 0, kOps);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&clients, &counts, workload, t, per_thread] {
+          RemoteStore remote(clients[t].get());
+          counts[t] = RunOpStream(remote, workload, t, per_thread);
+        });
+      }
+      for (auto& thread : threads) {
+        thread.join();
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+    const auto after_r = control->Stats();
+    if (!after_r.ok()) {
+      std::fprintf(stderr, "remote STATS failed: %s\n",
+                   after_r.status().ToString().c_str());
+      return 1;
+    }
+    const auto& after = after_r.value();
+    const auto delta = [&before, &after](const char* name) {
+      return StatOf(after, name) - StatOf(before, name);
+    };
+
+    ThreadCounts total;
+    for (const auto& c : counts) {
+      total.reads += c.reads;
+      total.writes += c.writes;
+      total.inserts += c.inserts;
+      total.rmws += c.rmws;
+      total.hard_failures += c.hard_failures;
+    }
+    const uint64_t d_bits = delta("store.put_bits_written");
+    const uint64_t d_payload = delta("store.put_payload_bits");
+    const uint64_t d_puts = delta("store.puts");
+    const uint64_t d_put_ns = delta("store.put_device_ns");
+    const double ops_done = static_cast<double>(
+        total.reads + total.writes + total.inserts - total.rmws);
+    // Same columns as the local rows so downstream parsing is uniform; the
+    // two columns that need per-shard visibility (kops/s(sim), imbal) are
+    // the server's business now and print as 0.
+    std::printf(
+        "%-18s %8llu %8llu %8llu %7llu %10.1f %10.2f %10.1f %11.1f %7.2f\n",
+        std::string(pnw::workloads::YcsbWorkloadName(workload)).c_str(),
+        static_cast<unsigned long long>(total.reads),
+        static_cast<unsigned long long>(total.writes),
+        static_cast<unsigned long long>(total.inserts),
+        static_cast<unsigned long long>(total.hard_failures),
+        d_payload != 0 ? static_cast<double>(d_bits) * 512.0 /
+                             static_cast<double>(d_payload)
+                       : 0.0,
+        d_puts != 0 ? static_cast<double>(d_put_ns) /
+                          static_cast<double>(d_puts) / 1000.0
+                    : 0.0,
+        ops_done / wall_s / 1000.0, 0.0, 0.0);
+    // Three-way read reconcile: what the clients counted, what the server
+    // forwarded, and what the store served must be one number. The runner
+    // is the server's sole client between the two snapshots (the snapshots
+    // themselves are STATS frames, which touch no key counters).
+    const uint64_t server_reads = delta("server.get_keys");
+    const uint64_t store_reads =
+        delta("store.gets") + delta("store.get_misses");
+    const bool reads_reconcile =
+        total.reads == server_reads && server_reads == store_reads;
+    std::printf(
+        "  reconcile: client reads=%llu == server get_keys=%llu == store "
+        "gets+get_misses=%llu [%s]\n",
+        static_cast<unsigned long long>(total.reads),
+        static_cast<unsigned long long>(server_reads),
+        static_cast<unsigned long long>(store_reads),
+        reads_reconcile ? "ok" : "MISMATCH");
+    // Write side, same shape; the store half is puts + failed_ops (every
+    // forwarded key lands in exactly one), with the endurance-first pin
+    // (inplace_updates must stay 0) carried over from the local gate.
+    const uint64_t client_writes = total.writes + total.inserts;
+    const uint64_t server_writes = delta("server.put_keys");
+    const uint64_t store_writes = d_puts + delta("store.failed_ops");
+    const bool writes_reconcile =
+        client_writes == server_writes && server_writes == store_writes &&
+        delta("store.inplace_updates") == 0;
+    std::printf(
+        "  reconcile: client writes=%llu == server put_keys=%llu == store "
+        "puts+failed_ops=%llu [%s]\n",
+        static_cast<unsigned long long>(client_writes),
+        static_cast<unsigned long long>(server_writes),
+        static_cast<unsigned long long>(store_writes),
+        writes_reconcile ? "ok" : "MISMATCH");
+    any_failures = any_failures || total.hard_failures != 0 ||
+                   !reads_reconcile || !writes_reconcile;
+  }
+  std::printf("\n(remote mode: every row rode the wire protocol; --batch "
+              "rides MULTI_GET/MULTI_PUT frames and\n pipelining across "
+              "connections is what lets the server group frames into one "
+              "store batch --\n see server.store_batches vs "
+              "server.batched_keys in STATS)\n");
+  return any_failures ? 1 : 0;
 }
 
 }  // namespace
@@ -465,6 +781,34 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--wear-report") == 0) {
       kWearReport = true;
     }
+  }
+  kRemote = StringFlagOr(argc, argv, "remote", "");
+
+  if (!kRemote.empty()) {
+    if (kCheckpointEvery != 0 || kMigrateEvery != 0 || kStartGap != 0 ||
+        kWearReport) {
+      std::fprintf(stderr,
+                   "--remote drives a pnw_server; --checkpoint-every, "
+                   "--migrate-every, --start-gap, and --wear-report are "
+                   "local-store machinery and cannot be combined with it\n");
+      return 2;
+    }
+    const size_t colon = kRemote.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == kRemote.size()) {
+      std::fprintf(stderr, "--remote wants HOST:PORT, got '%s'\n",
+                   kRemote.c_str());
+      return 2;
+    }
+    char* end = nullptr;
+    const long port = std::strtol(kRemote.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || port < 1 || port > 65535) {
+      std::fprintf(stderr, "--remote port must be 1..65535, got '%s'\n",
+                   kRemote.c_str() + colon + 1);
+      return 2;
+    }
+    return RunRemoteMixes(kRemote.substr(0, colon),
+                          static_cast<uint16_t>(port));
   }
 
   std::printf("YCSB core mixes on PNW (%zu records, %zu ops, %zuB values, "

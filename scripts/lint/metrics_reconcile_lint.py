@@ -1,23 +1,26 @@
 #!/usr/bin/env python3
-"""Architecture lint: every StoreMetrics counter is reconciled somewhere.
+"""Architecture lint: every metrics counter is reconciled somewhere.
 
-StoreMetrics is the store's accounting ledger, and the repo's discipline
-is that a counter only earns its slot if some reconciliation identity
-checks it -- `gets + get_misses == reads served`, `puts + migrations +
-gap_moves == physical bucket writes`, and so on (see the field comments in
-src/core/metrics.h). A counter nothing reconciles is worse than dead code:
-it drifts silently and the paper-figure pipelines keep printing it.
+StoreMetrics is the store's accounting ledger and ServerMetrics is the
+networked front-end's, and the repo's discipline is that a counter only
+earns its slot if some reconciliation identity checks it -- `gets +
+get_misses == reads served`, `frames_in == frames_out +
+dropped_responses`, and so on (see the field comments in
+src/core/metrics.h and src/server/server.h). A counter nothing reconciles
+is worse than dead code: it drifts silently and the paper-figure pipelines
+keep printing it.
 
-This lint parses the StoreMetrics field list out of src/core/metrics.h and
-fails if any field is never referenced by the reconciliation surfaces:
-examples/ycsb_runner.cpp (the workload driver's accounting checks) or any
-test under tests/. Adding a counter therefore *forces* adding the check
-that keeps it honest.
+This lint parses each struct's field list out of its header and fails if
+any field is never referenced by the reconciliation surfaces:
+examples/ycsb_runner.cpp (the workload driver's accounting checks, local
+and --remote) or any test under tests/. Adding a counter therefore
+*forces* adding the check that keeps it honest.
 
 Usage: python3 scripts/lint/metrics_reconcile_lint.py
-           [--root DIR] [--metrics-header FILE] [--surface PATH ...]
+           [--root DIR] [--metrics-header FILE] [--server-header FILE]
+           [--surface PATH ...]
 The overrides exist for the self-test, which points the lint at fixture
-copies with a seeded orphan counter.
+copies with a seeded orphan counter (an override checks only its struct).
 """
 
 import argparse
@@ -25,19 +28,21 @@ import os
 import re
 import sys
 
-# `uint64_t puts = 0;` / `RelaxedCounter<double> get_device_ns;` -- a type
-# token then a name, terminated without '(' so methods never match.
+# `uint64_t puts = 0;` / `RelaxedCounter<double> get_device_ns;` /
+# `Counter frames_in;` (ServerMetrics' alias) -- a type token then a name,
+# terminated without '(' so methods never match.
 FIELD_RE = re.compile(
-    r"^\s*(?:uint64_t|uint32_t|double|bool|RelaxedCounter<[^>]+>)\s+"
+    r"^\s*(?:uint64_t|uint32_t|double|bool|Counter|RelaxedCounter<[^>]+>)\s+"
     r"(\w+)\s*(?:=[^;]*)?;", re.MULTILINE)
 
 
-def store_metrics_fields(header_path):
+def metrics_fields(header_path, struct_name):
     with open(header_path, encoding="utf-8") as handle:
         text = handle.read()
-    match = re.search(r"struct StoreMetrics \{(.*?)\n\};", text, re.DOTALL)
+    match = re.search(r"struct " + struct_name + r" \{(.*?)\n\};",
+                      text, re.DOTALL)
     if not match:
-        raise SystemExit(f"no `struct StoreMetrics` in {header_path}")
+        raise SystemExit(f"no `struct {struct_name}` in {header_path}")
     return FIELD_RE.findall(match.group(1))
 
 
@@ -52,25 +57,54 @@ def surface_files(root, overrides):
     return files
 
 
+def check_struct(struct_name, header, surface_text):
+    fields = metrics_fields(header, struct_name)
+    if not fields:
+        print(f"no fields parsed from {header}")
+        return 1
+    orphans = [f for f in fields
+               if not re.search(r"\b" + re.escape(f) + r"\b", surface_text)]
+    if orphans:
+        print(f"{len(orphans)} unreconciled {struct_name} counter(s):")
+        for field in orphans:
+            print(f"  {field}: never referenced by ycsb_runner or any "
+                  f"test -- wire it into a reconciliation identity")
+        return 1
+    print(f"OK: all {len(fields)} {struct_name} counters are reconciled.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
                         help="repo root (default: two levels up)")
     parser.add_argument("--metrics-header", default=None,
-                        help="override src/core/metrics.h (self-test)")
+                        help="override src/core/metrics.h (self-test; "
+                             "checks StoreMetrics only)")
+    parser.add_argument("--server-header", default=None,
+                        help="override src/server/server.h (self-test; "
+                             "checks ServerMetrics only)")
     parser.add_argument("--surface", action="append", default=[],
                         help="override reconciliation surface files "
                              "(repeatable; self-test)")
     args = parser.parse_args()
     root = os.path.abspath(args.root or os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "..", ".."))
-    header = args.metrics_header or os.path.join(
-        root, "src", "core", "metrics.h")
 
-    fields = store_metrics_fields(header)
-    if not fields:
-        print(f"no fields parsed from {header}")
-        return 1
+    # An explicit header override narrows the run to that struct, so each
+    # self-test case seeds exactly one orphan. The default run (no
+    # overrides) checks both ledgers against the real surfaces.
+    targets = []
+    if args.metrics_header:
+        targets.append(("StoreMetrics", args.metrics_header))
+    if args.server_header:
+        targets.append(("ServerMetrics", args.server_header))
+    if not targets:
+        targets = [
+            ("StoreMetrics", os.path.join(root, "src", "core", "metrics.h")),
+            ("ServerMetrics",
+             os.path.join(root, "src", "server", "server.h")),
+        ]
 
     corpus = []
     for path in surface_files(root, args.surface):
@@ -78,16 +112,10 @@ def main():
             corpus.append(handle.read())
     text = "\n".join(corpus)
 
-    orphans = [f for f in fields
-               if not re.search(r"\b" + re.escape(f) + r"\b", text)]
-    if orphans:
-        print(f"{len(orphans)} unreconciled StoreMetrics counter(s):")
-        for field in orphans:
-            print(f"  {field}: never referenced by ycsb_runner or any "
-                  f"test -- wire it into a reconciliation identity")
-        return 1
-    print(f"OK: all {len(fields)} StoreMetrics counters are reconciled.")
-    return 0
+    result = 0
+    for struct_name, header in targets:
+        result |= check_struct(struct_name, header, text)
+    return result
 
 
 if __name__ == "__main__":

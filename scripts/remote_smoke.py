@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Loopback smoke for the networked front-end: launch pnw_server on an
+ephemeral port, drive a shrunken YCSB mix sweep through ycsb_runner
+--remote, and propagate the runner's exit code (it exits nonzero when any
+client == server == store reconcile line fails). Run by CTest as
+example_smoke.ycsb_runner_remote.
+
+usage: remote_smoke.py --server=PATH --runner=PATH [runner flags...]
+"""
+
+import argparse
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+# Startup and runner hangs are covered by the CTest TIMEOUT property; the
+# only timeout handled here is the shutdown grace after SIGTERM.
+LISTEN_RE = re.compile(r"listening on (\d+\.\d+\.\d+\.\d+):(\d+)")
+SHUTDOWN_TIMEOUT_S = 10
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server", required=True, help="pnw_server binary")
+    parser.add_argument("--runner", required=True, help="ycsb_runner binary")
+    args, runner_flags = parser.parse_known_args()
+
+    with tempfile.TemporaryDirectory(prefix="pnw_remote_smoke_") as tmp:
+        # Ephemeral port; enough bucket headroom that every mix's preload
+        # plus workload D's inserts fit (the server store persists across
+        # mixes). --data-dir exercises the durable path: checkpoint, then
+        # reopen with the op log attached, so remote writes group-commit.
+        server = subprocess.Popen(
+            [
+                args.server,
+                "--port=0",
+                "--shards=4",
+                "--buckets=4096",
+                f"--data-dir={tmp}",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=sys.stderr,
+            text=True,
+        )
+        try:
+            try:
+                line = server.stdout.readline()
+            except Exception:
+                line = ""
+            match = LISTEN_RE.search(line or "")
+            if not match:
+                print(
+                    f"server did not announce a port (got {line!r})",
+                    file=sys.stderr,
+                )
+                return 1
+            host, port = match.group(1), match.group(2)
+
+            runner = subprocess.run(
+                [args.runner, f"--remote={host}:{port}", *runner_flags],
+                check=False,
+            )
+            if runner.returncode != 0:
+                print(
+                    f"ycsb_runner --remote exited {runner.returncode}",
+                    file=sys.stderr,
+                )
+                return runner.returncode
+
+            # Clean shutdown is part of the contract: SIGTERM must make the
+            # server stop, drain, and exit 0.
+            server.send_signal(signal.SIGTERM)
+            try:
+                code = server.wait(timeout=SHUTDOWN_TIMEOUT_S)
+            except subprocess.TimeoutExpired:
+                print("server ignored SIGTERM", file=sys.stderr)
+                return 1
+            if code != 0:
+                print(f"server exited {code} on SIGTERM", file=sys.stderr)
+                return 1
+            return 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

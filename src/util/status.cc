@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "Unimplemented";
     case Status::Code::kCorruption:
       return "Corruption";
+    case Status::Code::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -30,6 +30,12 @@ class Status {
     /// trusted. Distinct from kInvalidArgument so recovery callers can
     /// tell "you asked for something nonsensical" from "the file rotted".
     kCorruption = 8,
+    /// The networked front-end shed this request under admission control:
+    /// the server's global in-flight budget was exhausted, so the frame
+    /// was answered without touching the store. Retryable by construction
+    /// -- nothing was applied -- and distinct from kOutOfSpace (a *store*
+    /// resource) so load-shedding is visible as its own category.
+    kOverloaded = 9,
   };
 
   Status() = default;
@@ -65,6 +71,9 @@ class Status {
   static Status Corruption(std::string_view msg) {
     return Status(Code::kCorruption, msg);
   }
+  static Status Overloaded(std::string_view msg) {
+    return Status(Code::kOverloaded, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -76,6 +85,7 @@ class Status {
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

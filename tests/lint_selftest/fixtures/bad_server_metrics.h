@@ -1,0 +1,19 @@
+// Lint self-test fixture: a ServerMetrics clone with one counter
+// (`orphan_server_counter`) that the paired surface fixture never
+// references. The metrics-reconcile lint must report exactly that field,
+// including fields declared through the struct's `Counter` alias. Never
+// compiled; consumed only by tests/lint_selftest/run_selftest.py.
+
+#include <cstdint>
+
+struct ServerMetrics {
+  using Counter = RelaxedCounter<uint64_t>;
+
+  Counter frames_in;
+  Counter frames_out;
+  uint64_t dropped_responses = 0;
+  // Seeded violation: no reconciliation identity ever checks this.
+  Counter orphan_server_counter;
+
+  std::string ToString() const;  // methods are not fields
+};

@@ -1,9 +1,11 @@
 // Lint self-test fixture: the reconciliation surface paired with
-// bad_metrics.h. References every field except the seeded orphan, so the
-// metrics-reconcile lint flags exactly that one. Never compiled.
+// bad_metrics.h and bad_server_metrics.h. References every field except
+// the seeded orphans, so the metrics-reconcile lint flags exactly those.
+// Never compiled.
 
 void ReconcileChecks() {
   assert(m.puts == expected_puts);
   assert(m.gets + misses == reads_served);
   assert(m.put_device_ns >= 0.0);
+  assert(sm.frames_in == sm.frames_out + sm.dropped_responses);
 }

@@ -90,10 +90,24 @@ def main():
           want_substrings=["1 unreconciled StoreMetrics counter(s)",
                            "orphan_counter"])
 
-    # 5. ... and the real tree is clean.
+    # 5. ... flags the seeded ServerMetrics orphan too (including fields
+    #    declared via the struct's `Counter` alias).
+    code, out = run([metrics_lint, "--root", ROOT,
+                     "--server-header",
+                     os.path.join(FIXTURES, "bad_server_metrics.h"),
+                     "--surface",
+                     os.path.join(FIXTURES, "reconcile_surface.cc")])
+    check("metrics_reconcile rejects seeded server orphan", code, out,
+          want_fail=True,
+          want_substrings=["1 unreconciled ServerMetrics counter(s)",
+                           "orphan_server_counter"])
+
+    # 6. ... and the real tree is clean (both ledgers).
     code, out = run([metrics_lint, "--root", ROOT])
     check("metrics_reconcile passes on the tree", code, out,
-          want_fail=False)
+          want_fail=False,
+          want_substrings=["StoreMetrics counters are reconciled",
+                           "ServerMetrics counters are reconciled"])
 
     if FAILURES:
         print(f"{len(FAILURES)} lint self-test failure(s)")
