@@ -35,12 +35,12 @@ double RunRawScheme(const pnw::workloads::Dataset& dataset, size_t meta_bytes,
   auto device = std::make_unique<pnw::nvm::NvmDevice>(config);
   auto scheme = make(device.get(), n * block);
   for (size_t i = 0; i < n; ++i) {
-    (void)scheme->Write(i * block, dataset.old_data[i]);
+    pnw::AbortOnError(scheme->Write(i * block, dataset.old_data[i]), "scheme write");
   }
   device->ResetCounters();
   uint64_t payload = 0;
   for (size_t i = 0; i < dataset.new_data.size(); ++i) {
-    (void)scheme->Write((i % n) * block, dataset.new_data[i]);
+    pnw::AbortOnError(scheme->Write((i % n) * block, dataset.new_data[i]), "scheme write");
     payload += block * 8;
   }
   return static_cast<double>(device->counters().total_bits_written) * 512.0 /
@@ -112,17 +112,17 @@ void FallbackAblation() {
   for (size_t i = 0; i < keys.size(); ++i) {
     keys[i] = i;
   }
-  (void)store->Bootstrap(keys, dataset.old_data);
+  pnw::AbortOnError(store->Bootstrap(keys, dataset.old_data), "bootstrap");
   for (uint64_t k = 0; k < keys.size() / 2; ++k) {
-    (void)store->Delete(k);
+    pnw::AbortOnError(store->Delete(k), "delete");
   }
-  (void)store->TrainModel();
+  pnw::AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
   uint64_t next_key = keys.size();
   uint64_t next_delete = keys.size() / 2;
   for (const auto& value : dataset.new_data) {
-    (void)store->Put(next_key++, value);
-    (void)store->Delete(next_delete++);
+    pnw::AbortOnError(store->Put(next_key++, value), "put");
+    pnw::AbortOnError(store->Delete(next_delete++), "delete");
   }
   const auto& m = store->metrics();
   std::printf("puts=%llu fallbacks=%llu (%.2f%%), bits/512b=%.1f\n",
@@ -191,17 +191,17 @@ void StrideAblation() {
     for (size_t i = 0; i < keys.size(); ++i) {
       keys[i] = i;
     }
-    (void)store->Bootstrap(keys, dataset.old_data);
+    pnw::AbortOnError(store->Bootstrap(keys, dataset.old_data), "bootstrap");
     for (uint64_t k = 0; k < keys.size() / 2; ++k) {
-      (void)store->Delete(k);
+      pnw::AbortOnError(store->Delete(k), "delete");
     }
-    (void)store->TrainModel();
+    pnw::AbortOnError(store->TrainModel(), "train");
     store->ResetWearAndMetrics();
     uint64_t next_key = keys.size();
     uint64_t next_delete = keys.size() / 2;
     for (const auto& value : dataset.new_data) {
-      (void)store->Put(next_key++, value);
-      (void)store->Delete(next_delete++);
+      pnw::AbortOnError(store->Put(next_key++, value), "put");
+      pnw::AbortOnError(store->Delete(next_delete++), "delete");
     }
     table.AddRow({std::to_string(stride),
                   pnw::TablePrinter::Fmt(store->metrics().BitUpdatesPer512(),

@@ -21,10 +21,10 @@ namespace {
 double RunComparator(pnw::kvstore::KvComparatorStore& store,
                      const pnw::workloads::Dataset& dataset, size_t n) {
   for (size_t i = 0; i < n; ++i) {
-    (void)store.Put(i, dataset.new_data[i]);
+    pnw::AbortOnError(store.Put(i, dataset.new_data[i]), "put");
   }
   for (size_t i = 0; i < n / 2; ++i) {
-    (void)store.Delete(i);
+    pnw::AbortOnError(store.Delete(i), "delete");
   }
   const double requests = static_cast<double>(n + n / 2);
   return static_cast<double>(store.device().counters().total_lines_written) /
@@ -49,17 +49,17 @@ double RunPnwInsertDelete(const pnw::workloads::Dataset& dataset, size_t n) {
   for (size_t i = 0; i < keys.size(); ++i) {
     keys[i] = 1000000 + i;
   }
-  (void)store->Bootstrap(keys, dataset.old_data);
+  pnw::AbortOnError(store->Bootstrap(keys, dataset.old_data), "bootstrap");
   for (uint64_t k = 0; k < keys.size(); ++k) {
-    (void)store->Delete(1000000 + k);
+    pnw::AbortOnError(store->Delete(1000000 + k), "delete");
   }
-  (void)store->TrainModel();
+  pnw::AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
   for (size_t i = 0; i < n; ++i) {
-    (void)store->Put(i, dataset.new_data[i]);
+    pnw::AbortOnError(store->Put(i, dataset.new_data[i]), "put");
   }
   for (size_t i = 0; i < n / 2; ++i) {
-    (void)store->Delete(i);
+    pnw::AbortOnError(store->Delete(i), "delete");
   }
   const double requests = static_cast<double>(n + n / 2);
   return static_cast<double>(

@@ -83,11 +83,11 @@ int main() {
   for (size_t i = 0; i < kZone; ++i) {
     keys[i] = i;
   }
-  (void)store->Bootstrap(keys, warmup);
+  pnw::AbortOnError(store->Bootstrap(keys, warmup), "bootstrap");
   for (uint64_t k = 0; k < kZone / 2; ++k) {
-    (void)store->Delete(k);
+    pnw::AbortOnError(store->Delete(k), "delete");
   }
-  (void)store->TrainModel();
+  pnw::AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
 
   pnw::TablePrinter table({"writes", "phase", "bits/512b(window)"});
@@ -98,11 +98,11 @@ int main() {
   size_t total_writes = 0;
   for (const auto& phase : phases) {
     if (std::string(phase.label).rfind("P4", 0) == 0) {
-      (void)store->TrainModel();  // the paper retrains entering phase 4
+      pnw::AbortOnError(store->TrainModel(), "train");  // the paper retrains entering phase 4
     }
     for (const auto& value : phase.items) {
-      (void)store->Put(next_key++, value);
-      (void)store->Delete(next_delete++);
+      pnw::AbortOnError(store->Put(next_key++, value), "put");
+      pnw::AbortOnError(store->Delete(next_delete++), "delete");
       ++total_writes;
       if (total_writes % kWindow == 0) {
         const auto& m = store->metrics();

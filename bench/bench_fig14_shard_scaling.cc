@@ -77,9 +77,15 @@ CellResult RunCell(size_t threads, size_t shards, size_t records,
     for (size_t i = 0; i < per_thread; ++i) {
       const auto op = gen.Next();
       if (op.type == pnw::workloads::YcsbOp::Type::kRead) {
-        (void)store->Get(op.key);
+        // A YCSB-A read may target a key the generator never inserted:
+        // NotFound is workload, anything else is a broken store.
+        if (const auto got = store->Get(op.key);
+            !got.ok() && !got.status().IsNotFound()) {
+          pnw::AbortOnError(got.status(), "get");
+        }
       } else {
-        (void)store->Put(op.key, MakeValue(op.key, ++version, rng));
+        pnw::AbortOnError(store->Put(op.key, MakeValue(op.key, ++version, rng)),
+                          "put");
       }
     }
   };

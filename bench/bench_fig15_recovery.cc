@@ -103,7 +103,7 @@ CellResult RunCell(size_t records, const std::string& snap_path) {
   // Post-checkpoint traffic lands in the op-log, so a later recovery also
   // pays a replay of records/8 updates -- the realistic mixed cost.
   for (size_t i = 0; i < records / 8; ++i) {
-    (void)store->Put(i, MakeValue(i + records, rng));
+    pnw::AbortOnError(store->Put(i, MakeValue(i + records, rng)), "put");
   }
 
   t0 = std::chrono::steady_clock::now();

@@ -81,11 +81,11 @@ AgingCell RunCell(bool endurance, size_t zone, size_t stream) {
     keys[i] = i;
     warmup[i] = MakeValue(i, 0);
   }
-  (void)store->Bootstrap(keys, warmup);
+  pnw::AbortOnError(store->Bootstrap(keys, warmup), "bootstrap");
   for (uint64_t i = 0; i < zone / 2; ++i) {
-    (void)store->Delete(i);
+    pnw::AbortOnError(store->Delete(i), "delete");
   }
-  (void)store->TrainModel();
+  pnw::AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
 
   // Zipfian updates over the resident half: rank 0 is the hottest key.
@@ -95,9 +95,10 @@ AgingCell RunCell(bool endurance, size_t zone, size_t stream) {
   AgingCell cell;
   for (size_t i = 0; i < stream; ++i) {
     const uint64_t key = zone / 2 + zipf.Next(rng);
-    (void)store->Put(key, MakeValue(key, i + 1));
+    pnw::AbortOnError(store->Put(key, MakeValue(key, i + 1)), "put");
     if (endurance && (i + 1) % 64 == 0) {
-      (void)store->MigrateHotBuckets(8);
+      pnw::AbortOnError(store->MigrateHotBuckets(8).status(),
+                        "migration sweep");
     }
     if ((i + 1) % sample_every == 0) {
       cell.trajectory.push_back(store->wear_tracker().MaxPhysicalWrites());

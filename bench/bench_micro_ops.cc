@@ -258,8 +258,9 @@ bool WriteJson(const std::string& path,
                  i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  return true;
+  // fclose flushes the buffered tail of the JSON; reporting success while
+  // it failed would hand CI a torn artifact.
+  return std::fclose(f) == 0;
 }
 
 }  // namespace

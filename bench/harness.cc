@@ -32,13 +32,13 @@ RunStats RunBaseline(schemes::SchemeKind kind,
   auto scheme = schemes::CreateScheme(kind, device.get(), data_region, block);
 
   for (size_t i = 0; i < n; ++i) {
-    (void)scheme->Write(i * block, dataset.old_data[i]);
+    AbortOnError(scheme->Write(i * block, dataset.old_data[i]), "scheme write");
   }
   device->ResetCounters();
 
   uint64_t payload_bits = 0;
   for (size_t i = 0; i < dataset.new_data.size(); ++i) {
-    (void)scheme->Write((i % n) * block, dataset.new_data[i]);
+    AbortOnError(scheme->Write((i % n) * block, dataset.new_data[i]), "scheme write");
     payload_bits += dataset.value_bytes * 8;
   }
   const auto& counters = device->counters();
@@ -83,19 +83,19 @@ RunStats RunPnw(const workloads::Dataset& dataset,
   for (size_t i = 0; i < keys.size(); ++i) {
     keys[i] = i;
   }
-  (void)store->Bootstrap(keys, dataset.old_data);
+  AbortOnError(store->Bootstrap(keys, dataset.old_data), "bootstrap");
   // Insert n / delete 0.5n: half the zone becomes the dynamic address pool.
   for (uint64_t k = 0; k < keys.size() / 2; ++k) {
-    (void)store->Delete(k);
+    AbortOnError(store->Delete(k), "delete");
   }
-  (void)store->TrainModel();
+  AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
 
   uint64_t next_delete = keys.size() / 2;
   uint64_t next_key = keys.size();
   for (const auto& value : dataset.new_data) {
-    (void)store->Put(next_key++, value);
-    (void)store->Delete(next_delete++);
+    AbortOnError(store->Put(next_key++, value), "put");
+    AbortOnError(store->Delete(next_delete++), "delete");
   }
   const auto& m = store->metrics();
   RunStats stats;
@@ -238,8 +238,9 @@ bool WriteJsonMetrics(const std::string& path, const std::string& bench,
                  i + 1 < metrics.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  return true;
+  // fclose flushes the buffered tail of the JSON; reporting success while
+  // it failed would hand CI a torn artifact.
+  return std::fclose(f) == 0;
 }
 
 }  // namespace pnw::bench

@@ -55,11 +55,11 @@ inline WearExperiment RunWearExperiment(size_t k, bool track_bit_wear) {
     keys[i] = i;
     warmup[i] = i % 2 == 0 ? mnist[i / 2] : fashion[i / 2];
   }
-  (void)store->Bootstrap(keys, warmup);
+  AbortOnError(store->Bootstrap(keys, warmup), "bootstrap");
   for (uint64_t i = 0; i < zone / 2; ++i) {
-    (void)store->Delete(i);
+    AbortOnError(store->Delete(i), "delete");
   }
-  (void)store->TrainModel();
+  AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
 
   uint64_t next_key = zone;
@@ -67,8 +67,8 @@ inline WearExperiment RunWearExperiment(size_t k, bool track_bit_wear) {
   for (size_t i = 0; i < stream; ++i) {
     const auto& value = i % 2 == 0 ? mnist[zone / 2 + i / 2]
                                    : fashion[zone / 2 + i / 2];
-    (void)store->Put(next_key++, value);
-    (void)store->Delete(next_delete++);
+    AbortOnError(store->Put(next_key++, value), "put");
+    AbortOnError(store->Delete(next_delete++), "delete");
   }
   return WearExperiment{std::move(store), zone, stream};
 }

@@ -48,11 +48,11 @@ int main() {
   for (size_t i = 0; i < kZone; ++i) {
     keys[i] = i;
   }
-  (void)store->Bootstrap(keys, warmup);
+  pnw::AbortOnError(store->Bootstrap(keys, warmup), "bootstrap");
   for (uint64_t k = 0; k < kZone / 2; ++k) {
-    (void)store->Delete(k);
+    pnw::AbortOnError(store->Delete(k), "delete");
   }
-  (void)store->TrainModel();
+  pnw::AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
 
   std::printf("Streaming MNIST-like, then switching to Fashion-like.\n");
@@ -69,8 +69,8 @@ int main() {
                            size_t offset, const char* label,
                            const char* note) {
     for (size_t i = 0; i < kWindow; ++i) {
-      (void)store->Put(next_key++, items[offset + i]);
-      (void)store->Delete(oldest++);
+      pnw::AbortOnError(store->Put(next_key++, items[offset + i]), "put");
+      pnw::AbortOnError(store->Delete(oldest++), "delete");
     }
     const auto& m = store->metrics();
     const double bits =
@@ -105,7 +105,7 @@ int main() {
     if (retrain_started &&
         !store->model_manager().background_training_in_progress()) {
       // Adopt the freshly trained model on the serving path.
-      (void)store->TrainModel();
+      pnw::AbortOnError(store->TrainModel(), "train");
       retrain_started = false;
       note = "model swapped";
     }

@@ -26,12 +26,12 @@ double ConventionalBitsPer512(const pnw::workloads::Dataset& video) {
   auto scheme = pnw::schemes::CreateScheme(
       pnw::schemes::SchemeKind::kConventional, &device, n * block, block);
   for (size_t i = 0; i < n; ++i) {
-    (void)scheme->Write(i * block, video.old_data[i]);
+    pnw::AbortOnError(scheme->Write(i * block, video.old_data[i]), "scheme write");
   }
   device.ResetCounters();
   uint64_t payload = 0;
   for (size_t i = 0; i < video.new_data.size(); ++i) {
-    (void)scheme->Write((i % n) * block, video.new_data[i]);
+    pnw::AbortOnError(scheme->Write((i % n) * block, video.new_data[i]), "scheme write");
     payload += block * 8;
   }
   return static_cast<double>(device.counters().total_bits_written) * 512.0 /
@@ -72,9 +72,9 @@ int main() {
   // Retention policy: keep the newest ~half of the zone; expired frames
   // become the dynamic address pool.
   for (uint64_t f = 0; f < frame_ids.size() / 2; ++f) {
-    (void)store->Delete(f);
+    pnw::AbortOnError(store->Delete(f), "delete");
   }
-  (void)store->TrainModel();
+  pnw::AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
 
   uint64_t next_frame = frame_ids.size();
@@ -85,7 +85,7 @@ int main() {
                    static_cast<unsigned long long>(next_frame - 1));
       return 1;
     }
-    (void)store->Delete(oldest++);  // retention expiry
+    pnw::AbortOnError(store->Delete(oldest++), "delete");  // retention expiry
   }
 
   const auto& m = store->metrics();

@@ -54,7 +54,7 @@ int main() {
   // replace-old-with-new protocol).
   uint64_t next_key = keys.size();
   for (size_t i = 0; i < dataset.new_data.size(); ++i) {
-    (void)store->Delete(i % keys.size() + (i / keys.size()) * keys.size());
+    pnw::AbortOnError(store->Delete(i % keys.size() + (i / keys.size()) * keys.size()), "delete");
     if (auto s = store->Put(next_key++, dataset.new_data[i]); !s.ok()) {
       std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
       return 1;

@@ -36,18 +36,18 @@ int main() {
   for (size_t i = 0; i < kZone; ++i) {
     keys[i] = i;
   }
-  (void)store->Bootstrap(keys, dataset.old_data);
+  pnw::AbortOnError(store->Bootstrap(keys, dataset.old_data), "bootstrap");
   for (uint64_t k = 0; k < kZone / 2; ++k) {
-    (void)store->Delete(k);
+    pnw::AbortOnError(store->Delete(k), "delete");
   }
-  (void)store->TrainModel();
+  pnw::AbortOnError(store->TrainModel(), "train");
   store->ResetWearAndMetrics();
 
   uint64_t next_key = kZone;
   uint64_t oldest = kZone / 2;
   for (const auto& value : dataset.new_data) {
-    (void)store->Put(next_key++, value);
-    (void)store->Delete(oldest++);
+    pnw::AbortOnError(store->Put(next_key++, value), "put");
+    pnw::AbortOnError(store->Delete(oldest++), "delete");
   }
 
   const auto& tracker = store->wear_tracker();

@@ -433,7 +433,8 @@ ThreadCounts RunOpStream(Store& store,
     pending_writes.clear();
   };
   // Enqueue-or-issue one write (an update/insert Put, or an RMW write
-  // half). Returns immediately at batch=1 after a plain Put.
+  // half). Failures are accounted inside (check() under count_fail), so
+  // the lambda returns nothing a caller could accidentally drop.
   auto do_write = [&store, &counts, &check, &flush_reads, &pending_writes,
                    &flush_writes](uint64_t key, std::vector<uint8_t> value,
                                   bool count_fail) {
@@ -444,14 +445,13 @@ ThreadCounts RunOpStream(Store& store,
       if (pending_writes.size() >= kBatch) {
         flush_writes();
       }
-      return pnw::Status::OK();
+      return;
     }
     ++counts.excl_acquisitions;
     const pnw::Status s = store.Put(key, value);
     if (count_fail) {
       check(s);
     }
-    return s;
   };
   for (size_t i = 0; i < ops; ++i) {
     const YcsbOp op = gen.Next();

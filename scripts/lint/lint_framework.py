@@ -1,0 +1,570 @@
+#!/usr/bin/env python3
+"""Shared framework for the AST-level architecture lints (generation two).
+
+The first-generation lints (address_domain_lint.py, metrics_reconcile_lint.py)
+are pure-regex checkers. This module is the substrate for the second
+generation -- lints that reason about *program structure*: discarded return
+values, codec write/read symmetry, enum/dispatch exhaustiveness. It provides:
+
+  * **Engine selection.** Every lint runs on one of two engines producing
+    the same facts:
+      - ``ast``: libclang (clang.cindex) over real translation units,
+        driven by compile_commands.json where available. Precise: return
+        types, enum values, and call order come from clang, not regexes.
+      - ``text``: a deterministic tokenizer over comment-stripped source.
+        No third-party imports, so the self-tests and the local ctest run
+        keep their teeth on machines without libclang; the compiler's own
+        ``[[nodiscard]]`` + -Werror backstops what the text engine cannot
+        see (see status_discipline_lint.py).
+    ``--engine auto`` (the default) picks ``ast`` when libclang loads and
+    falls back to ``text``; CI pins ``--engine ast`` so the AST paths are
+    exercised on every PR.
+
+  * **TU loading** from compile_commands.json (compile flags are reused,
+    never guessed) with a standalone-header fallback for fixtures.
+
+  * **Text utilities** shared by both engines and all lints: comment
+    stripping that preserves line numbers, brace-matched function-body
+    extraction, enum parsing with value assignment, ordered call-sequence
+    extraction.
+
+  * **Stable fingerprints** (sha256 over normalized structures) and the
+    committed-baseline gate used by the snapshot-schema lint.
+
+  * **Diagnostics** in the house format (``path:line: message`` under a
+    counted header), so tests/lint_selftest/run_selftest.py can assert on
+    engine-independent substrings.
+"""
+
+import hashlib
+import json
+import os
+import re
+
+
+class LintError(Exception):
+    """A lint could not run (not a finding -- a broken precondition)."""
+
+
+# ---------------------------------------------------------------------------
+# Engine selection / libclang loading
+# ---------------------------------------------------------------------------
+
+_AST_STATE = {"checked": False, "available": False, "reason": ""}
+
+
+def _try_load_libclang():
+    """Best-effort libclang configuration; True when Index.create works."""
+    try:
+        from clang import cindex  # noqa: F401  (python3-clang)
+    except ImportError as exc:
+        _AST_STATE["reason"] = f"python clang bindings unavailable ({exc})"
+        return False
+    from clang import cindex
+    try:
+        cindex.Index.create()
+        return True
+    except Exception:  # LibclangError: the .so was not found by default
+        pass
+    import glob as globmod
+    candidates = []
+    for pattern in ("/usr/lib/llvm-*/lib/libclang.so*",
+                    "/usr/lib/llvm-*/lib/libclang-*.so*",
+                    "/usr/lib/x86_64-linux-gnu/libclang-*.so*"):
+        candidates.extend(sorted(globmod.glob(pattern), reverse=True))
+    candidates.extend(["libclang.so", "libclang-18.so", "libclang-16.so",
+                       "libclang-14.so"])
+    for candidate in candidates:
+        if candidate.endswith("-cpp.so") or "-cpp.so" in candidate:
+            continue  # libclang-cpp is the C++ API, not the C API cindex needs
+        try:
+            cindex.Config.set_library_file(candidate)
+            cindex.Index.create()
+            return True
+        except Exception:
+            continue
+    _AST_STATE["reason"] = "no loadable libclang shared library found"
+    return False
+
+
+def ast_available():
+    if not _AST_STATE["checked"]:
+        _AST_STATE["available"] = _try_load_libclang()
+        _AST_STATE["checked"] = True
+    return _AST_STATE["available"]
+
+
+def resolve_engine(requested):
+    """Map --engine {auto,ast,text} to the engine that will actually run."""
+    if requested == "text":
+        return "text"
+    if requested == "ast":
+        if not ast_available():
+            raise LintError(
+                f"--engine ast requested but {_AST_STATE['reason'] or 'libclang failed to load'}; "
+                "install libclang + python3-clang or use --engine text")
+        return "ast"
+    if requested == "auto":
+        return "ast" if ast_available() else "text"
+    raise LintError(f"unknown engine {requested!r}")
+
+
+def add_engine_argument(parser):
+    parser.add_argument(
+        "--engine", choices=("auto", "ast", "text"), default="auto",
+        help="fact-extraction engine: libclang AST, text tokenizer, or "
+             "auto (AST when libclang loads, text otherwise)")
+    parser.add_argument(
+        "--build-dir", default="build",
+        help="build dir containing compile_commands.json (AST engine)")
+
+
+# ---------------------------------------------------------------------------
+# AST engine: TU loading + fact extraction
+# ---------------------------------------------------------------------------
+
+class AstEngine:
+    """libclang wrapper: compile_commands-driven TU loading + cursor walks."""
+
+    def __init__(self, root, build_dir=None):
+        from clang import cindex
+        self.cindex = cindex
+        self.root = root
+        self.index = cindex.Index.create()
+        self.db = None
+        if build_dir:
+            db_path = os.path.join(build_dir, "compile_commands.json")
+            if os.path.exists(db_path):
+                self.db = cindex.CompilationDatabase.fromDirectory(build_dir)
+        self._tus = {}
+
+    def _args_for(self, path):
+        """Compile flags for `path`: from the compilation database when the
+        TU is part of the build, else a conservative standalone parse."""
+        if self.db is not None:
+            commands = self.db.getCompileCommands(path)
+            if commands:
+                raw = list(commands[0].arguments)
+                args = []
+                skip_next = False
+                for arg in raw[1:]:  # drop the compiler itself
+                    if skip_next:
+                        skip_next = False
+                        continue
+                    if arg in ("-c", path):
+                        continue
+                    if arg == "-o":
+                        skip_next = True
+                        continue
+                    if arg.startswith("-W"):  # warnings are not facts
+                        continue
+                    args.append(arg)
+                return args
+        return ["-x", "c++", "-std=c++20", f"-I{self.root}"]
+
+    def parse(self, path):
+        if path in self._tus:
+            return self._tus[path]
+        tu = self.index.parse(path, args=self._args_for(path))
+        if tu is None:
+            raise LintError(f"libclang failed to parse {path}")
+        severe = [d for d in tu.diagnostics
+                  if d.severity >= self.cindex.Diagnostic.Fatal]
+        if severe:
+            raise LintError(
+                f"libclang fatal diagnostics parsing {path}: "
+                + "; ".join(str(d) for d in severe[:3]))
+        self._tus[path] = tu
+        return tu
+
+    def _walk(self, cursor, path):
+        """Preorder walk over cursors defined in `path` itself."""
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is not None and os.path.normpath(
+                    loc.file.name) != os.path.normpath(path):
+                continue
+            yield child
+            yield from self._walk(child, path)
+
+    def enum_members(self, path, enum_name):
+        """Ordered [(member, value)] of `enum_name` declared in `path`."""
+        tu = self.parse(path)
+        kind = self.cindex.CursorKind
+        for cursor in self._walk(tu.cursor, path):
+            if cursor.kind == kind.ENUM_DECL and cursor.spelling == enum_name:
+                return [(c.spelling, c.enum_value)
+                        for c in cursor.get_children()
+                        if c.kind == kind.ENUM_CONSTANT_DECL]
+        return None
+
+    def function_cursors(self, path):
+        """All function/method definition cursors in `path`."""
+        tu = self.parse(path)
+        kind = self.cindex.CursorKind
+        out = []
+        for cursor in self._walk(tu.cursor, path):
+            if cursor.kind in (kind.FUNCTION_DECL, kind.CXX_METHOD,
+                               kind.FUNCTION_TEMPLATE) \
+                    and cursor.is_definition():
+                out.append(cursor)
+        return out
+
+    def function_names(self, path):
+        """Names of all functions *declared or defined* in `path`."""
+        tu = self.parse(path)
+        kind = self.cindex.CursorKind
+        names = set()
+        for cursor in self._walk(tu.cursor, path):
+            if cursor.kind in (kind.FUNCTION_DECL, kind.CXX_METHOD):
+                names.add(cursor.spelling)
+        return names
+
+    def call_sequence(self, fn_cursor, names_re):
+        """Ordered (callee, line) of calls under `fn_cursor` whose callee
+        name matches `names_re` (preorder == source order)."""
+        kind = self.cindex.CursorKind
+        out = []
+
+        def visit(cursor):
+            for child in cursor.get_children():
+                if child.kind == kind.CALL_EXPR and child.spelling \
+                        and names_re.match(child.spelling):
+                    out.append((child.spelling, child.location.line))
+                visit(child)
+
+        visit(fn_cursor)
+        return out
+
+    def case_labels(self, path, fn_name):
+        """Enum-constant names used as case labels inside `fn_name`."""
+        kind = self.cindex.CursorKind
+        labels = set()
+        for fn in self.function_cursors(path):
+            if fn.spelling != fn_name:
+                continue
+
+            def visit(cursor):
+                for child in cursor.get_children():
+                    if child.kind == kind.CASE_STMT:
+                        for ref in child.walk_preorder():
+                            if ref.kind == kind.DECL_REF_EXPR and \
+                                    ref.referenced is not None and \
+                                    ref.referenced.kind == \
+                                    kind.ENUM_CONSTANT_DECL:
+                                labels.add(ref.referenced.spelling)
+                                break
+                    visit(child)
+
+            visit(fn)
+        return labels
+
+    def discarded_calls(self, path, fallible_type_re):
+        """(line, callee, kind) for every call whose result is discarded.
+
+        kind is 'bare' (expression statement) or 'void' ((void)-cast).
+        A call is fallible when its *result type* matches fallible_type_re
+        -- the precision the text engine cannot offer.
+        """
+        kind = self.cindex.CursorKind
+        findings = []
+
+        def record(call, how):
+            type_name = call.type.spelling or ""
+            if fallible_type_re.search(type_name):
+                findings.append((call.location.line, call.spelling or
+                                 "<call>", how))
+
+        def visit(cursor):
+            children = list(cursor.get_children())
+            if cursor.kind == kind.COMPOUND_STMT:
+                for stmt in children:
+                    if stmt.kind == kind.CALL_EXPR:
+                        record(stmt, "bare")
+                    elif stmt.kind == kind.CSTYLE_CAST_EXPR and \
+                            stmt.type.spelling == "void":
+                        for sub in stmt.walk_preorder():
+                            if sub.kind == kind.CALL_EXPR:
+                                record(sub, "void")
+                                break
+            for child in children:
+                visit(child)
+
+        for fn in self.function_cursors(path):
+            visit(fn)
+        return findings
+
+
+def make_ast_engine(root, build_dir):
+    return AstEngine(root, build_dir)
+
+
+# ---------------------------------------------------------------------------
+# Text utilities (shared: the text engine, and line-level checks in ast mode)
+# ---------------------------------------------------------------------------
+
+def read_text(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+_LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+_STRING_RE = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+
+def strip_comments(text):
+    """Blank out comments and string literals, preserving every newline so
+    offsets still map to the original line numbers."""
+
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = _BLOCK_COMMENT_RE.sub(blank, text)
+    text = _STRING_RE.sub(blank, text)
+    return _LINE_COMMENT_RE.sub(blank, text)
+
+
+def line_of(text, index):
+    return text.count("\n", 0, index) + 1
+
+
+_REQUIRES_RE = re.compile(r"\brequires\s*\{")
+
+
+def blank_unevaluated(stripped):
+    """Blank the bodies of `requires { ... }` expressions: their operands
+    are unevaluated, so a "call" inside one neither runs nor discards."""
+    out = stripped
+    for match in list(_REQUIRES_RE.finditer(stripped)):
+        open_brace = stripped.index("{", match.start())
+        end = match_brace(stripped, open_brace)
+        if end < 0:
+            continue
+        body = out[open_brace + 1:end - 1]
+        out = (out[:open_brace + 1]
+               + re.sub(r"[^\n]", " ", body)
+               + out[end - 1:])
+    return out
+
+
+def match_paren(text, open_index):
+    """Index just past the ')' matching the '(' at open_index; -1 if torn."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def match_brace(text, open_index):
+    """Index just past the '}' matching the '{' at open_index; -1 if torn."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def find_function_bodies(stripped, name):
+    """[(body_start, body_end, header_line)] for every definition of `name`
+    (optionally qualified, e.g. 'OpLogWriter::Append' finds exactly that).
+
+    Matches `name (args) ... {` and brace-matches the body; declarations
+    (`;` before the `{`) are skipped.
+    """
+    if "::" in name:
+        pattern = re.compile(
+            r"\b" + re.escape(name) + r"\s*\(")
+    else:
+        # Unqualified: accept an optional qualifier chain before the name
+        # but reject foo::name matching plain `name` -- anchor on a
+        # non-colon character before it.
+        pattern = re.compile(r"(?<![:\w])" + re.escape(name) + r"\s*\(")
+    bodies = []
+    for match in pattern.finditer(stripped):
+        close = match_paren(stripped, match.end() - 1)
+        if close < 0:
+            continue
+        # Skip trailing qualifiers (const, noexcept, -> T) up to `{` or `;`.
+        i = close
+        while i < len(stripped) and stripped[i] not in "{;":
+            i += 1
+        if i >= len(stripped) or stripped[i] == ";":
+            continue
+        end = match_brace(stripped, i)
+        if end < 0:
+            continue
+        bodies.append((i, end, line_of(stripped, match.start())))
+    return bodies
+
+
+_ENUM_RE_TEMPLATE = r"enum\s+(?:class\s+|struct\s+)?{name}\s*(?::[^{{]*)?\{{"
+
+
+def parse_enum(stripped, enum_name):
+    """Ordered [(member, value)] parsed from `enum [class] NAME [: T] {...}`.
+
+    Values follow C++ rules: explicit `= N` (decimal or hex) resets the
+    counter, everything else increments. Non-literal initializers fail the
+    lint loudly rather than guessing.
+    """
+    match = re.search(_ENUM_RE_TEMPLATE.format(name=re.escape(enum_name)),
+                      stripped)
+    if match is None:
+        return None
+    end = match_brace(stripped, match.end() - 1)
+    body = stripped[match.end():end - 1]
+    members = []
+    next_value = 0
+    for chunk in body.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" in chunk:
+            name_part, _, value_part = chunk.partition("=")
+            value_part = value_part.strip().rstrip("uUlL")
+            try:
+                value = int(value_part, 0)
+            except ValueError as exc:
+                raise LintError(
+                    f"enum {enum_name}: non-literal initializer "
+                    f"{value_part!r} is beyond this parser") from exc
+            members.append((name_part.strip(), value))
+            next_value = value + 1
+        else:
+            members.append((chunk, next_value))
+            next_value += 1
+    return members
+
+
+def text_call_sequence(stripped, start, end, names_re):
+    """Ordered (callee, line) of calls in stripped[start:end] whose name
+    matches `names_re` (which must contain one group for the name)."""
+    out = []
+    for match in names_re.finditer(stripped, start, end):
+        out.append((match.group(1), line_of(stripped, match.start(1))))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fallible-call registry (text engine)
+# ---------------------------------------------------------------------------
+
+# A declaration returning Status or Result<...>: the registry of names the
+# text engine treats as fallible. Covers free functions, methods, and
+# `static Result<T> Open(...)`-style factories.
+_FALLIBLE_DECL_RE = re.compile(
+    r"\b(?:Status|Result\s*<[^;{}()]*>)\s+"
+    r"(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\(")
+
+# Factory constructors of Status itself are fallible-typed but never
+# side-effecting; a discarded `Status::NotFound(...)` is dead code the
+# compiler already flags, and their names (OK, NotFound, ...) are too
+# generic for a name-based registry.
+_REGISTRY_EXCLUDE = frozenset((
+    "OK", "NotFound", "AlreadyExists", "InvalidArgument", "OutOfSpace",
+    "FailedPrecondition", "Internal", "Unimplemented", "Corruption",
+    "Overloaded", "status",
+))
+
+# Best-effort POSIX calls whose int result encodes failure: dropping one is
+# legal only with a justification comment (the satellite audit of
+# setsockopt/fsync drops rides on this set).
+BEST_EFFORT_SYSCALLS = frozenset((
+    "setsockopt", "fsync", "fdatasync", "ftruncate", "fclose", "close",
+    "shutdown", "unlink", "fflush",
+))
+
+
+def collect_fallible_names(root, extra_files=()):
+    """Names of Status/Result-returning APIs declared in src/ headers (plus
+    any explicitly listed files -- fixtures declare their own)."""
+    names = set()
+    paths = []
+    src = os.path.join(root, "src")
+    if os.path.isdir(src):
+        for dirpath, _, filenames in os.walk(src):
+            for filename in sorted(filenames):
+                if filename.endswith(".h"):
+                    paths.append(os.path.join(dirpath, filename))
+    paths.extend(extra_files)
+    for path in paths:
+        stripped = strip_comments(read_text(path))
+        for match in _FALLIBLE_DECL_RE.finditer(stripped):
+            names.add(match.group(1))
+    return names - _REGISTRY_EXCLUDE
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints + committed baseline gate
+# ---------------------------------------------------------------------------
+
+def stable_fingerprint(obj):
+    """sha256 over a canonical JSON encoding: key order and whitespace are
+    pinned, so the fingerprint moves only when the *structure* moves."""
+    encoded = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def load_keyvalue_file(path):
+    """Parse `key=value` lines (the committed fingerprint format)."""
+    if not os.path.exists(path):
+        return None
+    out = {}
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            key, _, value = line.partition("=")
+            out[key.strip()] = value.strip()
+    return out
+
+
+def write_keyvalue_file(path, header_lines, mapping):
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in header_lines:
+            handle.write(f"# {line}\n")
+        for key in sorted(mapping):
+            handle.write(f"{key}={mapping[key]}\n")
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics
+# ---------------------------------------------------------------------------
+
+class Diagnostic:
+    def __init__(self, rel, line, message):
+        self.rel = rel
+        self.line = line
+        self.message = message
+
+    def render(self):
+        return f"{self.rel}:{self.line}: {self.message}"
+
+
+def finish(noun, diagnostics, ok_message, engine=None):
+    """Print findings in the house format and return the exit code."""
+    suffix = f" [engine={engine}]" if engine else ""
+    if diagnostics:
+        print(f"{len(diagnostics)} {noun}(s):{suffix}")
+        for diag in sorted(diagnostics, key=lambda d: (d.rel, d.line)):
+            print(f"  {diag.render()}")
+        return 1
+    print(f"OK: {ok_message}{suffix}")
+    return 0
+
+
+def rel_path(path, root):
+    return os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")

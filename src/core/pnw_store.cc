@@ -454,6 +454,8 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value,
     // (a no-op differential write if we never got that far) and reinsert
     // the address under the label of whatever bits are now resident (the
     // payload write may or may not have landed before the failure).
+    // status-dropped: best-effort rollback inside an already-failing Put;
+    // the caller sees the original write_status, not the cleanup's.
     (void)SetBucketFlag(bucket_index, false);
     const size_t resident_label =
         model_ != nullptr
@@ -787,6 +789,8 @@ Result<bool> PnwStore::MigrateBucket(size_t bucket) {
     // Same discipline as PutInternal: the acquired destination must not
     // leak. Clear its flag and reinsert it under whatever bits are now
     // resident there (the copy may or may not have landed).
+    // status-dropped: best-effort rollback of an already-failed migration;
+    // the caller sees the original failure, not the cleanup's.
     (void)SetBucketFlag(dst_bucket, false);
     const size_t resident_label =
         model_ != nullptr

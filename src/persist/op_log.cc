@@ -66,8 +66,12 @@ Status OpLogWriter::WriteHeader(uint64_t epoch) {
 
 OpLogWriter::~OpLogWriter() {
   if (file_ != nullptr) {
+    // status-dropped: a destructor cannot report; callers needing durable
+    // shutdown call Sync() themselves and see its Status.
     (void)Sync();
-    std::fclose(file_);
+    // status-dropped: everything reachable was already fsync'd above; the
+    // close result has no remaining consumer.
+    (void)std::fclose(file_);
   }
 }
 

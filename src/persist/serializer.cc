@@ -311,8 +311,11 @@ void SyncParentDir(const std::string& path) {
   const int dirfd = ::open(dir.empty() ? "." : dir.c_str(),
                            O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (dirfd >= 0) {
+    // status-dropped: directory fsync is best-effort hardening (some
+    // filesystems refuse it); the data-file fsync is the durability point.
     (void)::fsync(dirfd);
-    ::close(dirfd);
+    // status-dropped: read-only descriptor, nothing buffered to lose.
+    (void)::close(dirfd);
   }
 }
 

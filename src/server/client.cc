@@ -44,6 +44,8 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   if (so_rcvbuf > 0) {
     // Before connect(): setting SO_RCVBUF afterwards would not shrink the
     // already-advertised window.
+    // status-dropped: buffer sizing is a performance hint; the kernel may
+    // clamp or refuse it and the connection still works.
     (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &so_rcvbuf,
                        sizeof(so_rcvbuf));
   }
@@ -65,6 +67,8 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
     return Status::Internal(std::string("connect: ") + std::strerror(err));
   }
   const int one = 1;
+  // status-dropped: TCP_NODELAY is a latency hint; a connection without it
+  // is slower, not broken.
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::unique_ptr<Client>(new Client(fd, limits));
 }

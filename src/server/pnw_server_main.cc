@@ -128,7 +128,9 @@ int main(int argc, char** argv) {
 
   std::printf("pnw_server listening on 127.0.0.1:%u\n",
               static_cast<unsigned>(server->port()));
-  std::fflush(stdout);
+  // status-dropped: the banner is a liveness hint for wrappers; a failed
+  // flush of stdout must not take the server down.
+  (void)std::fflush(stdout);
 
   struct sigaction sa{};
   sa.sa_handler = HandleStopSignal;

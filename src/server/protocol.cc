@@ -129,6 +129,10 @@ bool OpcodeKnown(uint8_t raw) {
          raw <= static_cast<uint8_t>(Opcode::kStats);
 }
 
+bool WireStatusKnown(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(Status::Code::kOverloaded);
+}
+
 FrameResult ExtractFrame(std::span<const uint8_t> buffer,
                          const ProtocolLimits& limits, FrameView* out,
                          Status* error) {
@@ -273,7 +277,7 @@ Status DecodeResponse(const FrameView& frame, const ProtocolLimits& limits,
   if (!OpcodeKnown(frame.opcode)) {
     return Status::InvalidArgument("unknown response opcode");
   }
-  if (frame.status > static_cast<uint8_t>(Status::Code::kOverloaded)) {
+  if (!WireStatusKnown(frame.status)) {
     return Status::Corruption("unknown response status code");
   }
   out->opcode = static_cast<Opcode>(frame.opcode);
@@ -325,7 +329,7 @@ Status DecodeResponse(const FrameView& frame, const ProtocolLimits& limits,
         if (!reader.ReadU8(&slot_status) || !reader.ReadU32(&len)) {
           return TruncatedPayload("slot status/len");
         }
-        if (slot_status > static_cast<uint8_t>(Status::Code::kOverloaded)) {
+        if (!WireStatusKnown(slot_status)) {
           return Status::Corruption("unknown slot status code");
         }
         if (len > limits.max_value_bytes) {
@@ -355,7 +359,7 @@ Status DecodeResponse(const FrameView& frame, const ProtocolLimits& limits,
       for (uint32_t i = 0; i < count; ++i) {
         uint8_t code = 0;
         reader.ReadU8(&code);
-        if (code > static_cast<uint8_t>(Status::Code::kOverloaded)) {
+        if (!WireStatusKnown(code)) {
           return Status::Corruption("unknown slot status code");
         }
         out->statuses[i] = static_cast<Status::Code>(code);

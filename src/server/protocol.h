@@ -63,6 +63,15 @@ enum class Opcode : uint8_t {
 /// everything else as kInvalidArgument without reading the payload).
 bool OpcodeKnown(uint8_t raw);
 
+/// True for the raw status bytes this protocol version can carry. The wire
+/// status space is exactly Status::Code, so every mappable code fits in the
+/// response header's status byte; decoders reject anything outside the
+/// range as kCorruption. This is the single choke point for the check --
+/// protocol_exhaustiveness_lint.py pins its bound to the last Status::Code
+/// member, so adding an error category automatically widens the wire space
+/// or fails CI.
+bool WireStatusKnown(uint8_t raw);
+
 /// Decoder hard limits. Every length field in a frame is checked against
 /// these *and* against the bytes actually present, in that order, so a
 /// negative-wrapped or oversized length can never size an allocation.

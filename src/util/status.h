@@ -2,6 +2,8 @@
 #define PNW_UTIL_STATUS_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -13,7 +15,14 @@ namespace pnw {
 /// hot paths return `Status` (or `Result<T>`) instead of throwing, in the
 /// style of RocksDB / Arrow. A default-constructed Status is OK and carries
 /// no allocation.
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: every function returning a Status
+/// by value -- current and future, no per-declaration annotation needed --
+/// makes a silently ignored result a compile error under -Werror. A
+/// deliberate drop must be spelled `(void)Call();` with an adjacent
+/// `// status-dropped: <why>` comment; scripts/lint/status_discipline_lint.py
+/// enforces both the attribute and the justification.
+class [[nodiscard]] Status {
  public:
   /// Machine-readable error category.
   enum class Code : uint8_t {
@@ -84,6 +93,7 @@ class Status {
     return code_ == Code::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
@@ -104,11 +114,23 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
+/// Crash-on-error guard for benches, examples, and test scaffolding: when
+/// a failed call invalidates everything downstream of it (a warmup
+/// Bootstrap, a bench op loop, a scheme write), aborting with the status
+/// beats silently measuring a half-populated store. Library code never
+/// uses this -- the store propagates Status to its caller.
+inline void AbortOnError(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
 /// A value-or-error holder. `ok()` must be checked before `value()`.
 /// Intentionally minimal: no exceptions, no variant overhead beyond the
 /// Status itself.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return 42;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -128,6 +150,13 @@ class Result {
   T value_{};
   Status status_;
 };
+
+/// Result<T> convenience: aborts on error, discards the value (for call
+/// sites that only care that the operation landed).
+template <typename T>
+inline void AbortOnError(const Result<T>& r, const char* what) {
+  AbortOnError(r.status(), what);
+}
 
 /// Propagate errors upward: `PNW_RETURN_IF_ERROR(DoThing());`
 #define PNW_RETURN_IF_ERROR(expr)                 \

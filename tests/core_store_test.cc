@@ -171,6 +171,7 @@ TEST(PnwStoreTest, MetricsTrackOperations) {
   auto store = MakeBootstrappedStore(SmallOptions());
   store->ResetWearAndMetrics();
   ASSERT_TRUE(store->Put(600, GroupValue(0, 9)).ok());
+  // status-dropped: only the metrics side effect matters here.
   (void)store->Get(600);
   ASSERT_TRUE(store->Delete(600).ok());
   const auto& m = store->metrics();
@@ -547,6 +548,7 @@ TEST(PnwStoreTest, AttributionInvariantHoldsAcrossMixedTraffic) {
       if (k % 5 == 0) {
         ASSERT_TRUE(store->Delete(k / 5).ok());
       }
+      // status-dropped: only the metrics side effect matters here.
       (void)store->Get(1000 + (k % 8));
     }
     EXPECT_TRUE(store->metrics().PlacementAttributionConsistent())

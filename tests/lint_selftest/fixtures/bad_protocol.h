@@ -1,0 +1,21 @@
+// Seeded violations for protocol_exhaustiveness_lint.py (fixture: linted,
+// never built). Opcode::kPing is the member the rest of the fixture
+// "forgot": no EncodePing declaration here, no case label in the fixture
+// sources, and a stale OpcodeKnown upper bound.
+#ifndef PNW_TESTS_LINT_SELFTEST_FIXTURES_BAD_PROTOCOL_H_
+#define PNW_TESTS_LINT_SELFTEST_FIXTURES_BAD_PROTOCOL_H_
+
+enum class Opcode : unsigned char {
+  kGet = 1,
+  kPut = 2,
+  kPing = 3,
+};
+
+bool OpcodeKnown(unsigned char raw);
+bool WireStatusKnown(unsigned char raw);
+
+void EncodeGet(unsigned long request_id);
+void EncodePut(unsigned long request_id);
+// EncodePing is deliberately missing.
+
+#endif  // PNW_TESTS_LINT_SELFTEST_FIXTURES_BAD_PROTOCOL_H_

@@ -1,0 +1,29 @@
+// Seeded violations for status_discipline_lint.py rules S1/S4 (fixture).
+// Status lacks [[nodiscard]], and Code::kBoom has a factory but no IsBoom
+// predicate.
+#ifndef PNW_TESTS_LINT_SELFTEST_FIXTURES_BAD_STATUS_HEADER_H_
+#define PNW_TESTS_LINT_SELFTEST_FIXTURES_BAD_STATUS_HEADER_H_
+
+namespace pnw {
+
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kBoom = 1,
+  };
+
+  bool ok() const { return code_ == Code::kOk; }
+  static Status Boom() { return Status(); }
+  // IsBoom() is deliberately missing.
+
+ private:
+  Code code_ = Code::kOk;
+};
+
+template <typename T>
+class Result {};  // also missing [[nodiscard]]
+
+}  // namespace pnw
+
+#endif  // PNW_TESTS_LINT_SELFTEST_FIXTURES_BAD_STATUS_HEADER_H_

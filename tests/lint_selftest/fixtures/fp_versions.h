@@ -1,0 +1,13 @@
+// Fixture version constants for the snapshot-schema fingerprint gate:
+// paired with stale.fingerprint, which records the same versions but a
+// wrong schema hash -- the "schema changed, versions did not" case.
+#ifndef PNW_TESTS_LINT_SELFTEST_FIXTURES_FP_VERSIONS_H_
+#define PNW_TESTS_LINT_SELFTEST_FIXTURES_FP_VERSIONS_H_
+
+#include <cstdint>
+
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kManifestVersion = 1;
+inline constexpr uint32_t kSnapshotContainerVersion = 1;
+
+#endif  // PNW_TESTS_LINT_SELFTEST_FIXTURES_FP_VERSIONS_H_

@@ -1,0 +1,38 @@
+// Clean counterpart of bad_status_drop.cc: every sanctioned way to consume
+// or deliberately drop a Status. The lint must accept all of these.
+namespace pnw {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+  static Status OK() { return Status(); }
+};
+
+Status Flaky();
+
+}  // namespace pnw
+
+extern "C" int fsync(int fd);
+
+namespace pnw {
+
+Status Propagate() {
+  return Flaky();  // returned, not dropped
+}
+
+bool Handle() {
+  if (!Flaky().ok()) {  // checked in a condition
+    return false;
+  }
+  const Status kept = Flaky();  // bound to a name
+  return kept.ok();
+}
+
+void Sanctioned() {
+  // status-dropped: fixture-sanctioned deliberate drop with the marker in
+  // the comment block directly above.
+  (void)Flaky();
+  (void)fsync(3);  // status-dropped: marker on the same line also counts
+}
+
+}  // namespace pnw

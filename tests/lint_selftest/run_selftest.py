@@ -18,6 +18,7 @@ works from CTest, CI, or by hand.
 import os
 import subprocess
 import sys
+import tempfile
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(os.path.dirname(HERE))
@@ -108,6 +109,118 @@ def main():
           want_fail=False,
           want_substrings=["StoreMetrics counters are reconciled",
                            "ServerMetrics counters are reconciled"])
+
+    status_lint = os.path.join(LINT_DIR, "status_discipline_lint.py")
+    schema_lint = os.path.join(LINT_DIR, "snapshot_schema_lint.py")
+    protocol_lint = os.path.join(LINT_DIR, "protocol_exhaustiveness_lint.py")
+
+    # 7. Status-discipline lint rejects the seeded drops and the degraded
+    #    Status header (no [[nodiscard]], missing predicate).
+    code, out = run([status_lint, "--root", ROOT,
+                     "--status-header",
+                     os.path.join(FIXTURES, "bad_status_header.h"),
+                     os.path.join(FIXTURES, "bad_status_drop.cc")])
+    check("status_discipline rejects seeded violations", code, out,
+          want_fail=True,
+          want_substrings=[
+              "6 status-discipline violation(s)",
+              "discarded Flaky() result",
+              "(void)-dropped Fetch()",
+              "(void)-dropped fsync()",
+              "class Status is not declared [[nodiscard]]",
+              "class Result is not declared [[nodiscard]]",
+              "no `bool IsBoom()` predicate",
+          ])
+
+    # 8. ... accepts every sanctioned consumption/drop idiom.
+    code, out = run([status_lint, "--root", ROOT,
+                     os.path.join(FIXTURES, "good_status_drop.cc")])
+    check("status_discipline accepts sanctioned idioms", code, out,
+          want_fail=False)
+
+    # 9. ... and the real tree is clean.
+    code, out = run([status_lint, "--root", ROOT])
+    check("status_discipline passes on the tree", code, out,
+          want_fail=False, want_substrings=["drop no Status silently"])
+
+    # 10. Schema lint flags the order-swapped codec pair and the
+    #     write-without-read orphan.
+    code, out = run([schema_lint, "--root", ROOT,
+                     "--codec", os.path.join(FIXTURES, "bad_codec.cc"),
+                     "--sections", "--no-fingerprint"])
+    check("snapshot_schema rejects seeded codec violations", code, out,
+          want_fail=True,
+          want_substrings=[
+              "EncodeThing/DecodeThing sequences diverge",
+              "EncodeOrphan has no matching DecodeOrphan",
+          ])
+
+    # 11. ... flags the seeded section asymmetries.
+    code, out = run([schema_lint, "--root", ROOT,
+                     "--sections", os.path.join(FIXTURES, "bad_sections.cc"),
+                     "--no-fingerprint"])
+    check("snapshot_schema rejects seeded section violations", code, out,
+          want_fail=True,
+          want_substrings=[
+              "section kSectionAlpha write/read sequences diverge",
+              "section kSectionGhost is written but never read back",
+          ])
+
+    # 12. The fingerprint gate fires when the schema hash moved but the
+    #     version constants did not (fixture baseline vs the real tree).
+    code, out = run([schema_lint, "--root", ROOT,
+                     "--versions-from",
+                     os.path.join(FIXTURES, "fp_versions.h"),
+                     "--fingerprint",
+                     os.path.join(FIXTURES, "stale.fingerprint")])
+    check("snapshot_schema fingerprint gate fires without a bump", code, out,
+          want_fail=True,
+          want_substrings=["neither kSnapshotVersion nor kManifestVersion "
+                           "was bumped"])
+
+    # 13. ... and --update followed by a re-check round-trips to clean.
+    with tempfile.TemporaryDirectory() as tmp:
+        fp = os.path.join(tmp, "schema.fingerprint")
+        code, out = run([schema_lint, "--root", ROOT,
+                         "--fingerprint", fp, "--update"])
+        check("snapshot_schema --update writes a baseline", code, out,
+              want_fail=False)
+        code, out = run([schema_lint, "--root", ROOT, "--fingerprint", fp])
+        check("snapshot_schema accepts its own baseline", code, out,
+              want_fail=False)
+
+    # 14. ... and the real tree (including the committed fingerprint) is
+    #     clean.
+    code, out = run([schema_lint, "--root", ROOT])
+    check("snapshot_schema passes on the tree", code, out, want_fail=False,
+          want_substrings=["write/read symmetric"])
+
+    # 15. Protocol lint flags the unhandled opcode in every surface: the
+    #     stale OpcodeKnown bound, the dispatch switches, the missing
+    #     client encoder, and the forked wire-status range check.
+    code, out = run([protocol_lint, "--root", ROOT,
+                     "--protocol-header",
+                     os.path.join(FIXTURES, "bad_protocol.h"),
+                     "--protocol-source",
+                     os.path.join(FIXTURES, "bad_protocol.cc"),
+                     "--server-source",
+                     os.path.join(FIXTURES, "bad_protocol_server.cc")])
+    check("protocol_exhaustiveness rejects seeded violations", code, out,
+          want_fail=True,
+          want_substrings=[
+              "5 protocol-exhaustiveness violation(s)",
+              "OpcodeKnown's upper bound does not reference Opcode::kPing",
+              "DecodeRequest does not handle Opcode::kPing",
+              "ExecuteOne does not handle Opcode::kPing",
+              "no client encoder `void EncodePing",
+              "raw wire-status range comparison outside WireStatusKnown",
+          ])
+
+    # 16. ... and the real tree is clean.
+    code, out = run([protocol_lint, "--root", ROOT])
+    check("protocol_exhaustiveness passes on the tree", code, out,
+          want_fail=False,
+          want_substrings=["status code(s) wire-mappable"])
 
     if FAILURES:
         print(f"{len(FAILURES)} lint self-test failure(s)")

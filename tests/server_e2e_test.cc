@@ -348,7 +348,8 @@ TEST(ServerConcurrencyTest, StopWithLiveConnectionsJoinsCleanly) {
   server->Stop();
   // The server is gone: the clients' next round trips fail cleanly
   // rather than hanging.
-  (void)c1->Flush();  // may hit EPIPE; either way Receive must not hang
+  // status-dropped: may hit EPIPE; either way Receive must not hang.
+  (void)c1->Flush();
   auto r = c1->Receive();
   EXPECT_FALSE(r.ok());
 }
