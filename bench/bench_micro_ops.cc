@@ -22,6 +22,7 @@
 #include "src/nvm/nvm_device.h"
 #include "src/util/hamming.h"
 #include "src/util/random.h"
+#include "src/util/simd.h"
 #include "src/workloads/integer_generator.h"
 
 namespace {
@@ -202,6 +203,196 @@ BENCHMARK(BM_WriteDifferential)
     ->Args({1, 4096})
     ->Args({0, 4096});
 
+// ---------------------------------------------------------------------------
+// Per-kernel dispatch rows (PR 10): each SIMD-dispatched kernel measured
+// once per reachable ISA -- scalar always, plus every vector table the host
+// can run -- with dispatch pinned for the duration of the row. The pinned
+// ISA becomes the row's label and flows into the --json record as an "isa"
+// field, which is what CI's dispatch-verification step greps to prove the
+// AVX2 leg actually exercised the vector table (a silent fallback to scalar
+// would pass every correctness test and show up only here).
+//
+// Workload shapes mirror the kernels' real call sites: argmin over the
+// model's centroid matrix at 256 dims, the dirty-word scan over a
+// mostly-clean bucket image (~1/32 words dirty -- endurance-first
+// overwrites touch few words; BM_WriteDifferential's 10% dirty *bytes*
+// stream above is a much denser ~55% dirty-*word* workload and is NOT the
+// SIMD showcase), Hamming/encode at the 784-byte MNIST-ish value size.
+
+/// Pins kernel dispatch to one ISA for a benchmark run; restores the
+/// startup selection on scope exit. Rows for unreachable ISAs are skipped
+/// at registration (RegisterKernelBenchmarks only registers reachable
+/// ones), so a failed pin here is a hard error, not a skip.
+class PinnedIsa {
+ public:
+  PinnedIsa(benchmark::State& state, pnw::simd::Isa isa) {
+    ok_ = pnw::simd::PinIsa(isa);
+    if (!ok_) {
+      state.SkipWithError("ISA not reachable on this host");
+      return;
+    }
+    state.SetLabel(pnw::simd::IsaName(isa));
+  }
+  ~PinnedIsa() { pnw::simd::UnpinIsa(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = false;
+};
+
+void BM_KernelDot(benchmark::State& state, pnw::simd::Isa isa) {
+  PinnedIsa pin(state, isa);
+  if (!pin.ok()) {
+    return;
+  }
+  constexpr size_t kDims = 256;
+  pnw::Rng rng(31);
+  std::vector<float> a(kDims), b(kDims);
+  for (size_t i = 0; i < kDims; ++i) {
+    a[i] = static_cast<float>(rng.NextDouble()) - 0.5f;
+    b[i] = static_cast<float>(rng.NextDouble()) - 0.5f;
+  }
+  const auto& kernels = pnw::simd::Kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.dot(a.data(), b.data(), kDims));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_KernelArgmin(benchmark::State& state, pnw::simd::Isa isa) {
+  PinnedIsa pin(state, isa);
+  if (!pin.ok()) {
+    return;
+  }
+  // The model's Predict hot loop: one query against the full centroid
+  // matrix (k=16 clusters x 256 dims, the shape the aging bench trains).
+  constexpr size_t kClusters = 16;
+  constexpr size_t kDims = 256;
+  pnw::Rng rng(37);
+  std::vector<float> x(kDims), centroids(kClusters * kDims), norms(kClusters);
+  for (auto& v : x) {
+    v = static_cast<float>(rng.NextDouble());
+  }
+  for (auto& v : centroids) {
+    v = static_cast<float>(rng.NextDouble());
+  }
+  for (auto& v : norms) {
+    v = static_cast<float>(rng.NextDouble()) * kDims;
+  }
+  const auto& kernels = pnw::simd::Kernels();
+  for (auto _ : state) {
+    float score = 0.0f;
+    benchmark::DoNotOptimize(kernels.argmin_centroids(
+        x.data(), centroids.data(), norms.data(), kClusters, kDims, &score));
+    benchmark::DoNotOptimize(score);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_KernelDiffScan(benchmark::State& state, pnw::simd::Isa isa) {
+  PinnedIsa pin(state, isa);
+  if (!pin.ok()) {
+    return;
+  }
+  // A 4 KiB bucket image with ~1/32 of its words dirty: the scan spends
+  // nearly all its time skipping clean words, which is exactly where the
+  // wide compare pays off.
+  constexpr size_t kWords = 512;
+  pnw::Rng rng(41);
+  std::vector<uint8_t> resident(kWords * 8), incoming;
+  for (auto& byte : resident) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  incoming = resident;
+  for (size_t w = 7; w < kWords; w += 32) {
+    incoming[w * 8 + w % 8] ^= 0x40;
+  }
+  const auto& kernels = pnw::simd::Kernels();
+  for (auto _ : state) {
+    size_t dirty = 0;
+    size_t w = kernels.next_dirty_word(resident.data(), incoming.data(), 0,
+                                       kWords);
+    while (w < kWords) {
+      ++dirty;
+      w = kernels.next_dirty_word(resident.data(), incoming.data(), w + 1,
+                                  kWords);
+    }
+    benchmark::DoNotOptimize(dirty);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kWords * 8));
+}
+
+void BM_KernelHamming(benchmark::State& state, pnw::simd::Isa isa) {
+  PinnedIsa pin(state, isa);
+  if (!pin.ok()) {
+    return;
+  }
+  constexpr size_t kBytes = 784;
+  pnw::Rng rng(43);
+  std::vector<uint8_t> a(kBytes), b(kBytes);
+  for (size_t i = 0; i < kBytes; ++i) {
+    a[i] = static_cast<uint8_t>(rng.Next());
+    b[i] = static_cast<uint8_t>(rng.Next());
+  }
+  const auto& kernels = pnw::simd::Kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.hamming_bytes(a.data(), b.data(),
+                                                   kBytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBytes));
+}
+
+void BM_KernelEncode(benchmark::State& state, pnw::simd::Isa isa) {
+  PinnedIsa pin(state, isa);
+  if (!pin.ok()) {
+    return;
+  }
+  // One folded-accumulation chunk at the encoder's own slice bound: 784
+  // bytes into 8 slots (<= 255 * 8, so no flush mid-call).
+  constexpr size_t kBytes = 784;
+  constexpr size_t kSlots = 8;
+  pnw::Rng rng(47);
+  std::vector<uint8_t> value(kBytes);
+  for (auto& byte : value) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  std::vector<uint64_t> lanes(kSlots);
+  const auto& kernels = pnw::simd::Kernels();
+  for (auto _ : state) {
+    std::memset(lanes.data(), 0, kSlots * sizeof(uint64_t));
+    kernels.encode_accumulate(value.data(), kBytes, 1, kSlots, lanes.data());
+    benchmark::DoNotOptimize(lanes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBytes));
+}
+
+/// Registers every kernel row for every ISA reachable on this host. Runtime
+/// registration (not the BENCHMARK macro) because the row set depends on
+/// AvailableIsas(), which needs the dispatch layer initialized.
+void RegisterKernelBenchmarks() {
+  using Fn = void (*)(benchmark::State&, pnw::simd::Isa);
+  constexpr struct {
+    const char* name;
+    Fn fn;
+  } kKernelBenches[] = {
+      {"BM_KernelDot", &BM_KernelDot},
+      {"BM_KernelArgmin", &BM_KernelArgmin},
+      {"BM_KernelDiffScan", &BM_KernelDiffScan},
+      {"BM_KernelHamming", &BM_KernelHamming},
+      {"BM_KernelEncode", &BM_KernelEncode},
+  };
+  for (const auto& bench : kKernelBenches) {
+    for (const pnw::simd::Isa isa : pnw::simd::AvailableIsas()) {
+      const std::string name =
+          std::string(bench.name) + "/" + pnw::simd::IsaName(isa);
+      benchmark::RegisterBenchmark(name.c_str(), bench.fn, isa);
+    }
+  }
+}
+
 /// Console reporter that additionally captures (name, ns/op) pairs so
 /// --json can emit the perf-trajectory record after the run.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -209,6 +400,9 @@ class CapturingReporter : public benchmark::ConsoleReporter {
   struct Entry {
     std::string name;
     double ns_per_op;
+    /// The pinned kernel ISA for BM_Kernel* rows (the run's label); empty
+    /// for store/model benchmarks, which go through normal dispatch.
+    std::string isa;
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -219,7 +413,8 @@ class CapturingReporter : public benchmark::ConsoleReporter {
       entries.push_back(Entry{
           run.benchmark_name(),
           run.real_accumulated_time / static_cast<double>(run.iterations) *
-              1e9});
+              1e9,
+          run.report_label});
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -250,11 +445,15 @@ bool WriteJson(const std::string& path,
   std::fprintf(f, "{\n  \"bench\": \"micro_ops\",\n  \"results\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {
     const double ns = entries[i].ns_per_op;
+    std::string isa_field;
+    if (!entries[i].isa.empty()) {
+      isa_field = ", \"isa\": \"" + JsonEscape(entries[i].isa) + "\"";
+    }
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
-                 "\"ops_per_s\": %.1f}%s\n",
+                 "\"ops_per_s\": %.1f%s}%s\n",
                  JsonEscape(entries[i].name).c_str(), ns,
-                 ns > 0.0 ? 1e9 / ns : 0.0,
+                 ns > 0.0 ? 1e9 / ns : 0.0, isa_field.c_str(),
                  i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -280,6 +479,7 @@ int main(int argc, char** argv) {
   }
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
+  RegisterKernelBenchmarks();
   CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

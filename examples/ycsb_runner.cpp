@@ -976,6 +976,37 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(total.reads),
         reads_reconcile ? "ok" : "MISMATCH",
         placement_consistent ? "ok" : "MISMATCH");
+    // Seqlock read-path split: every hit was served by exactly one of the
+    // optimistic (lock-free, seqlock-validated) or locked paths.
+    // optimistic_retries counts discarded conflicting attempts, which are
+    // not reads, so it reconciles with nothing -- it is reported as the
+    // contention gauge.
+    const bool split_reconciles =
+        agg.totals.gets ==
+        agg.totals.optimistic_gets + agg.totals.locked_gets;
+    std::printf(
+        "  reconcile: optimistic_gets=%llu + locked_gets=%llu == "
+        "gets=%llu [%s] (optimistic_retries=%llu)\n",
+        static_cast<unsigned long long>(agg.totals.optimistic_gets.load()),
+        static_cast<unsigned long long>(agg.totals.locked_gets.load()),
+        static_cast<unsigned long long>(agg.totals.gets.load()),
+        split_reconciles ? "ok" : "MISMATCH",
+        static_cast<unsigned long long>(
+            agg.totals.optimistic_retries.load()));
+    // Arena footprint gauges (device data array + DRAM index + staging):
+    // live never exceeds the high-water mark, which never exceeds what the
+    // slabs actually map.
+    const bool arena_sane =
+        agg.totals.arena_live_bytes <= agg.totals.arena_high_water_bytes &&
+        agg.totals.arena_high_water_bytes <= agg.totals.arena_slab_bytes;
+    std::printf(
+        "  arena: slabs=%llu mapped=%llu live=%llu high_water=%llu [%s]\n",
+        static_cast<unsigned long long>(agg.totals.arena_slabs.load()),
+        static_cast<unsigned long long>(agg.totals.arena_slab_bytes.load()),
+        static_cast<unsigned long long>(agg.totals.arena_live_bytes.load()),
+        static_cast<unsigned long long>(
+            agg.totals.arena_high_water_bytes.load()),
+        arena_sane ? "ok" : "MISMATCH");
     // Write-side books, the mirror of PR 4's read contract: every write
     // the clients issued is in the store's ledger exactly once -- as a
     // counted PUT (`puts`; endurance-first updates and latency-first
@@ -998,7 +1029,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(client_writes),
         writes_reconcile ? "ok" : "MISMATCH");
     any_failures = any_failures || !reads_reconcile ||
-                   !placement_consistent || !writes_reconcile;
+                   !placement_consistent || !writes_reconcile ||
+                   !split_reconciles || !arena_sane;
     if (kWearReport) {
       // Endurance ledger, per shard: the clients' successful writes plus
       // the endurance layer's own copies (hot-bucket migrations, Start-Gap

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Gate a bench JSON record against the committed perf baseline.
+
+Compares a fresh ``BENCH_micro_ops.json`` (written by
+``scripts/bench_to_json.py``) against ``bench/baselines/BENCH_micro_ops.json``
+and fails when any benchmark regressed beyond the threshold (default: 25%
+slower). This is what turns the perf-trajectory artifact from a time series
+someone might look at into a gate nobody can miss.
+
+Raw ns/op is not comparable across machines (the baseline was recorded on
+one box, CI runs on another), so the comparison is *median-normalized*:
+each row's ns/op is divided by the median ns/op of its own file, and the
+gate fires on the ratio of normalized values::
+
+    ratio = (cur_ns / median(cur)) / (base_ns / median(base))
+
+A uniform machine-speed difference cancels out; a single kernel that got
+slower relative to its peers does not. The flip side: a regression that
+slows *every* row uniformly is invisible here -- that is the accepted cost
+of a machine-independent gate (and a uniform slowdown of the entire suite
+has causes, like a Debug build, that other CI legs catch).
+
+The benchmark name sets must match exactly. A new or deleted benchmark is
+a deliberate change; rerun with ``--update`` to rewrite the baseline (and
+commit it) so the gate's coverage stays in sync with the suite.
+
+Usage:
+    python3 scripts/bench_compare.py --current BENCH_micro_ops.json \
+        [--baseline bench/baselines/BENCH_micro_ops.json] \
+        [--threshold 1.25] [--update]
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import statistics
+import sys
+
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "bench" / "baselines" / "BENCH_micro_ops.json"
+)
+
+
+def load_results(path: pathlib.Path) -> dict:
+    """name -> ns_per_op for every valid result row of a bench record."""
+    with open(path, encoding="utf-8") as f:
+        record = json.load(f)
+    results = {}
+    for row in record.get("results", []):
+        ns = row.get("ns_per_op")
+        if isinstance(ns, (int, float)) and ns > 0:
+            results[row["name"]] = float(ns)
+    if not results:
+        raise ValueError(f"{path}: no usable results")
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default="BENCH_micro_ops.json",
+                        help="fresh bench record to check")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed baseline record")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when normalized cur/base exceeds this "
+                             "(default 1.25 = 25%% regression)")
+    parser.add_argument("--update", action="store_true",
+                        help="replace the baseline with --current instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    current_path = pathlib.Path(args.current)
+    baseline_path = pathlib.Path(args.baseline)
+    if not current_path.exists():
+        print(f"error: {current_path} not found -- run "
+              "scripts/bench_to_json.py first", file=sys.stderr)
+        return 1
+
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(current_path, baseline_path)
+        print(f"baseline updated: {baseline_path} <- {current_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found -- record one "
+              "with --update and commit it", file=sys.stderr)
+        return 1
+
+    current = load_results(current_path)
+    baseline = load_results(baseline_path)
+
+    added = sorted(set(current) - set(baseline))
+    removed = sorted(set(baseline) - set(current))
+    if added or removed:
+        for name in added:
+            print(f"error: {name} is not in the baseline", file=sys.stderr)
+        for name in removed:
+            print(f"error: {name} is in the baseline but was not run",
+                  file=sys.stderr)
+        print("benchmark set changed -- rerun with --update and commit "
+              f"{baseline_path}", file=sys.stderr)
+        return 1
+
+    cur_median = statistics.median(current.values())
+    base_median = statistics.median(baseline.values())
+    regressions = 0
+    print(f"{'benchmark':<42} {'base ns':>10} {'cur ns':>10} "
+          f"{'norm ratio':>10}")
+    for name in sorted(current):
+        ratio = ((current[name] / cur_median)
+                 / (baseline[name] / base_median))
+        flag = ""
+        if ratio > args.threshold:
+            flag = "  REGRESSION"
+            regressions += 1
+        print(f"{name:<42} {baseline[name]:>10.1f} {current[name]:>10.1f} "
+              f"{ratio:>10.2f}{flag}")
+
+    if regressions:
+        print(f"\n{regressions} benchmark(s) regressed more than "
+              f"{(args.threshold - 1) * 100:.0f}% (median-normalized) vs "
+              f"{baseline_path}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(current)} benchmarks within "
+          f"{(args.threshold - 1) * 100:.0f}% of the baseline "
+          "(median-normalized)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

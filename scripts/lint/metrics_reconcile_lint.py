@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Architecture lint: every metrics counter is reconciled somewhere.
 
-StoreMetrics is the store's accounting ledger and ServerMetrics is the
-networked front-end's, and the repo's discipline is that a counter only
-earns its slot if some reconciliation identity checks it -- `gets +
-get_misses == reads served`, `frames_in == frames_out +
-dropped_responses`, and so on (see the field comments in
-src/core/metrics.h and src/server/server.h). A counter nothing reconciles
-is worse than dead code: it drifts silently and the paper-figure pipelines
-keep printing it.
+StoreMetrics is the store's accounting ledger, ServerMetrics is the
+networked front-end's, and ArenaStats is the memory layer's, and the
+repo's discipline is that a counter only earns its slot if some
+reconciliation identity checks it -- `gets + get_misses == reads served`,
+`frames_in == frames_out + dropped_responses`, `live_bytes <=
+high_water_bytes <= slab_bytes`, and so on (see the field comments in
+src/core/metrics.h, src/server/server.h, and src/util/arena.h). A counter
+nothing reconciles is worse than dead code: it drifts silently and the
+paper-figure pipelines keep printing it.
 
 This lint parses each struct's field list out of its header and fails if
 any field is never referenced by the reconciliation surfaces:
@@ -18,7 +19,7 @@ and --remote) or any test under tests/. Adding a counter therefore
 
 Usage: python3 scripts/lint/metrics_reconcile_lint.py
            [--root DIR] [--metrics-header FILE] [--server-header FILE]
-           [--surface PATH ...]
+           [--arena-header FILE] [--surface PATH ...]
 The overrides exist for the self-test, which points the lint at fixture
 copies with a seeded orphan counter (an override checks only its struct).
 """
@@ -84,6 +85,9 @@ def main():
     parser.add_argument("--server-header", default=None,
                         help="override src/server/server.h (self-test; "
                              "checks ServerMetrics only)")
+    parser.add_argument("--arena-header", default=None,
+                        help="override src/util/arena.h (self-test; "
+                             "checks ArenaStats only)")
     parser.add_argument("--surface", action="append", default=[],
                         help="override reconciliation surface files "
                              "(repeatable; self-test)")
@@ -99,11 +103,14 @@ def main():
         targets.append(("StoreMetrics", args.metrics_header))
     if args.server_header:
         targets.append(("ServerMetrics", args.server_header))
+    if args.arena_header:
+        targets.append(("ArenaStats", args.arena_header))
     if not targets:
         targets = [
             ("StoreMetrics", os.path.join(root, "src", "core", "metrics.h")),
             ("ServerMetrics",
              os.path.join(root, "src", "server", "server.h")),
+            ("ArenaStats", os.path.join(root, "src", "util", "arena.h")),
         ]
 
     corpus = []

@@ -37,6 +37,9 @@ void StoreMetrics::Accumulate(const StoreMetrics& other) {
   puts += other.puts;
   gets += other.gets.load();
   get_misses += other.get_misses.load();
+  optimistic_gets += other.optimistic_gets.load();
+  locked_gets += other.locked_gets.load();
+  optimistic_retries += other.optimistic_retries.load();
   deletes += other.deletes;
   updates += other.updates;
   failed_ops += other.failed_ops;
@@ -59,11 +62,18 @@ void StoreMetrics::Accumulate(const StoreMetrics& other) {
   migrations += other.migrations;
   gap_moves += other.gap_moves;
   wear_device_ns += other.wear_device_ns;
+  arena_slabs += other.arena_slabs.load();
+  arena_slab_bytes += other.arena_slab_bytes.load();
+  arena_live_bytes += other.arena_live_bytes.load();
+  arena_high_water_bytes += other.arena_high_water_bytes.load();
 }
 
 std::string StoreMetrics::ToString() const {
   std::ostringstream os;
   os << "puts=" << puts << " gets=" << gets
+     << " optimistic_gets=" << optimistic_gets
+     << " locked_gets=" << locked_gets
+     << " optimistic_retries=" << optimistic_retries
      << " get_misses=" << get_misses << " deletes=" << deletes
      << " updates=" << updates << " failed=" << failed_ops
      << " bit_updates/512b=" << BitUpdatesPer512()
@@ -75,7 +85,11 @@ std::string StoreMetrics::ToString() const {
      << " fallbacks=" << pool_fallbacks << " retrains=" << retrains
      << " failed_retrains=" << failed_retrains
      << " extensions=" << extensions << " migrations=" << migrations
-     << " gap_moves=" << gap_moves;
+     << " gap_moves=" << gap_moves
+     << " arena_slabs=" << arena_slabs
+     << " arena_slab_bytes=" << arena_slab_bytes
+     << " arena_live_bytes=" << arena_live_bytes
+     << " arena_high_water=" << arena_high_water_bytes;
   return os.str();
 }
 

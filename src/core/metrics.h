@@ -82,6 +82,20 @@ struct StoreMetrics {
   /// are deliberately *not* folded into `failed_ops` (which the write path
   /// owns exclusively).
   RelaxedCounter<uint64_t> get_misses;
+  /// Read-path split of `gets`: hits served by the seqlock optimistic path
+  /// (no lock taken) vs hits served under the shared lock. The identity
+  /// `gets == optimistic_gets + locked_gets` holds at all times -- every
+  /// hit bumps exactly one of the two alongside `gets` (ycsb_runner
+  /// reconciles this after each mix). Optimistic *misses* validate the
+  /// seqlock too and land in `get_misses` like any other miss.
+  RelaxedCounter<uint64_t> optimistic_gets;
+  RelaxedCounter<uint64_t> locked_gets;
+  /// Seqlock conflicts on the optimistic path: a validation failure or an
+  /// index-traversal overflow, each of which retries or falls back to the
+  /// locked path. Retries are not reads -- they never touch gets/misses --
+  /// so this counter has no reconciliation identity with them; it is the
+  /// contention gauge bench_fig20 reports.
+  RelaxedCounter<uint64_t> optimistic_retries;
   uint64_t deletes = 0;
   uint64_t updates = 0;
   uint64_t failed_ops = 0;
@@ -148,6 +162,20 @@ struct StoreMetrics {
   /// Simulated device time of migration copies and gap moves -- the
   /// endurance layer's own cost, kept out of the client-op latency split.
   double wear_device_ns = 0.0;
+
+  /// Arena-allocator gauges, summed over the store's arenas (the device's
+  /// data array + the DRAM index's nodes and tables). These are *snapshots*
+  /// refreshed by PnwStore::Metrics()/ShardedPnwStore aggregation, not
+  /// monotonic counters, and they describe process RAM rather than store
+  /// state -- so they are deliberately NOT serialized by the checkpoint
+  /// codec. Accumulate() sums them so a sharded store reports fleet-wide
+  /// footprint. Reconciliation: arena_live_bytes <= arena_high_water_bytes
+  /// <= arena_slab_bytes, and arena_slab_bytes is a multiple of nothing in
+  /// general (slabs may differ per arena) but is zero iff arena_slabs is.
+  RelaxedCounter<uint64_t> arena_slabs;
+  RelaxedCounter<uint64_t> arena_slab_bytes;
+  RelaxedCounter<uint64_t> arena_live_bytes;
+  RelaxedCounter<uint64_t> arena_high_water_bytes;
 
   /// Average bit updates per 512 payload bits written (paper Fig. 6 y-axis).
   double BitUpdatesPer512() const;

@@ -101,6 +101,15 @@ struct PnwOptions {
   /// Keep per-bit wear counters on the device (Fig. 13; memory heavy).
   bool track_bit_wear = false;
 
+  /// Serve reads through the seqlock optimistic path when the index
+  /// supports it (DRAM hash index): PnwStore::TryGetOptimistic runs the
+  /// whole lookup without the shard lock and validates the shard's
+  /// sequence word afterwards, falling back to the locked Get on
+  /// conflict. Purely a concurrency fast path -- accounting and results
+  /// are identical either way (gets == optimistic_gets + locked_gets).
+  /// Runtime knob, deliberately not serialized in checkpoints.
+  bool optimistic_reads = true;
+
   /// Rotate data-zone buckets through physical slots with Start-Gap wear
   /// leveling (Qureshi et al., MICRO'09): the data zone gains one spare
   /// bucket slot and every bucket access translates through the remapper's

@@ -8,6 +8,7 @@
 
 #include "src/index/dram_hash_index.h"
 #include "src/index/path_hash_index.h"
+#include "src/util/atomic_bytes.h"
 #include "src/persist/snapshot.h"
 #include "src/persist/store_codec.h"
 
@@ -150,9 +151,18 @@ Status PnwStore::Init() {
     index_ = std::make_unique<index::PathHashIndex>(
         device_.get(), index_base_, options_.capacity_buckets * 2,
         /*num_levels=*/8);
+    opt_index_.store(nullptr, std::memory_order_release);
   } else {
-    index_ = std::make_unique<index::DramHashIndex>();
+    auto dram = std::make_unique<index::DramHashIndex>();
+    opt_index_.store(dram.get(), std::memory_order_release);
+    index_ = std::move(dram);
   }
+
+  // The bucket staging buffer lives in arena memory for the store's whole
+  // life (Init runs once per store object).
+  bucket_scratch_ = std::span<uint8_t>(
+      static_cast<uint8_t*>(staging_arena_.Allocate(bucket_bytes_, 64)),
+      bucket_bytes_);
 
   ModelTrainingConfig training;
   training.value_bytes = options_.value_bytes;
@@ -426,7 +436,6 @@ Status PnwStore::PutInternal(uint64_t key, std::span<const uint8_t> value,
   // Reused staging buffer: every byte is overwritten below (key prefix +
   // full value), so no clearing is needed and the steady-state write path
   // stays allocation-free.
-  bucket_scratch_.resize(bucket_bytes_);
   if (key_bytes_ > 0) {
     std::memcpy(bucket_scratch_.data(), &key, key_bytes_);
   }
@@ -591,10 +600,101 @@ Result<std::vector<uint8_t>> PnwStore::Get(uint64_t key) {
     }
   }
   ++metrics_.gets;
+  ++metrics_.locked_gets;
   // One copy, device memory -> returned value (the old path read the full
   // bucket into a scratch vector and then copied the tail out of it).
   return std::vector<uint8_t>(
       bucket.begin() + static_cast<long>(key_bytes_), bucket.end());
+}
+
+std::optional<Result<std::vector<uint8_t>>> PnwStore::TryGetOptimistic(
+    uint64_t key) {
+  // Thread-safety analysis is off for this function by design: it runs
+  // with NO lock held. Every shared structure it touches is safe by
+  // construction -- the index mirror and remapper registers are atomics,
+  // the device bytes are copied with relaxed-atomic byte loads, and any
+  // value observed concurrently with a writer is discarded by the seqlock
+  // validation below. device_/remapper_/opt_index_ as *pointers* are set
+  // in Init (or, for the index, reseated only under the exclusive lock
+  // with the old object retired, never freed).
+  index::DramHashIndex* idx = opt_index_.load(std::memory_order_acquire);
+  if (!options_.optimistic_reads || idx == nullptr) {
+    return std::nullopt;
+  }
+  constexpr int kAttempts = 3;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    const uint64_t seq = mu_.OptimisticSeq();
+    if ((seq & 1) != 0) {
+      // A writer is inside the critical section; this snapshot can never
+      // validate. Count the conflict and retry (the fallback path will
+      // queue on the lock if the writer lingers).
+      ++metrics_.optimistic_retries;
+      continue;
+    }
+    idx = opt_index_.load(std::memory_order_acquire);
+    uint64_t addr = 0;
+    const auto lookup = idx->TryGetOptimistic(key, &addr);
+    if (lookup == index::DramHashIndex::OptLookup::kOverflow) {
+      ++metrics_.optimistic_retries;
+      continue;
+    }
+    if (lookup == index::DramHashIndex::OptLookup::kMiss) {
+      if (!mu_.ValidateSeq(seq)) {
+        ++metrics_.optimistic_retries;
+        continue;
+      }
+      // A validated miss is a real miss: same accounting as the locked
+      // path's index-NotFound exit (no device read happened).
+      ++metrics_.get_misses;
+      return Result<std::vector<uint8_t>>(
+          Status::NotFound("key not in index"));
+    }
+    const size_t bucket_index = addr / bucket_bytes_;
+    const uint64_t phys = bucket_index < options_.capacity_buckets
+                              ? PhysBucketAddrOptimistic(bucket_index)
+                              : 0;
+    if (bucket_index >= options_.capacity_buckets ||
+        phys + bucket_bytes_ > device_->size()) {
+      // Out-of-zone under a torn snapshot is expected noise; under a
+      // validated one it is the same Internal corruption the locked path
+      // reports.
+      if (!mu_.ValidateSeq(seq)) {
+        ++metrics_.optimistic_retries;
+        continue;
+      }
+      ++metrics_.get_misses;
+      return Result<std::vector<uint8_t>>(
+          Status::Internal("index points outside the data zone"));
+    }
+    // Copy key prefix and value out of device memory with byte-wise
+    // relaxed-atomic loads: a racing differential write to this bucket is
+    // then defined behavior, and the torn copy is discarded below.
+    const uint8_t* bucket = device_->Peek(phys, bucket_bytes_).data();
+    uint64_t stored_key = 0;
+    if (key_bytes_ > 0) {
+      util::AtomicLoadBytes(reinterpret_cast<uint8_t*>(&stored_key), bucket,
+                            key_bytes_);
+    }
+    std::vector<uint8_t> value(bucket_bytes_ - key_bytes_);
+    util::AtomicLoadBytes(value.data(), bucket + key_bytes_, value.size());
+    const double read_ns = device_->ReadCostNs(phys, bucket_bytes_);
+    if (!mu_.ValidateSeq(seq)) {
+      ++metrics_.optimistic_retries;
+      continue;
+    }
+    // Validated: account exactly like the locked path (the device-time
+    // charge lands on every exit that read the device, mismatch included).
+    metrics_.get_device_ns += read_ns;
+    if (key_bytes_ > 0 && stored_key != key) {
+      ++metrics_.get_misses;
+      return Result<std::vector<uint8_t>>(
+          Status::Internal("index/data-zone key mismatch"));
+    }
+    ++metrics_.gets;
+    ++metrics_.optimistic_gets;
+    return Result<std::vector<uint8_t>>(std::move(value));
+  }
+  return std::nullopt;  // conflict budget exhausted -> locked fallback
 }
 
 std::vector<Result<std::vector<uint8_t>>> PnwStore::MultiGet(
@@ -621,7 +721,6 @@ Status PnwStore::DeleteInternal(uint64_t key) {
     // staged through the reused bucket scratch (DELETE is half of every
     // endurance-first UPDATE, so it shares the allocation-free discipline
     // of the write path).
-    bucket_scratch_.resize(bucket_bytes_);
     PNW_RETURN_IF_ERROR(
         device_->Read(PhysBucketAddr(bucket_index), bucket_scratch_));
     const std::span<const uint8_t> value(bucket_scratch_.data() + key_bytes_,
@@ -678,7 +777,6 @@ Status PnwStore::UpdateInternal(uint64_t key, std::span<const uint8_t> value,
   if (!addr.ok()) {
     return addr.status();
   }
-  bucket_scratch_.resize(bucket_bytes_);
   if (key_bytes_ > 0) {
     std::memcpy(bucket_scratch_.data(), &key, key_bytes_);
   }
@@ -763,7 +861,6 @@ Result<bool> PnwStore::MigrateBucket(size_t bucket) {
     return false;
   }
   const size_t dst_bucket = *dst / bucket_bytes_;
-  bucket_scratch_.resize(bucket_bytes_);
   Status s;
   {
     DeviceDeltaScope scope(device_.get(), &metrics_.wear_device_ns);
@@ -885,7 +982,15 @@ Status PnwStore::SimulateCrashAndRecover() {
           "DRAM-index recovery requires store_keys_in_data_zone "
           "(the Fig. 2a design rebuilds the index from bucket keys)");
     }
-    index_ = std::make_unique<index::DramHashIndex>();
+    // Retire the lost index instead of freeing it: a concurrent optimistic
+    // reader may still be traversing its arena. Liveness of both objects
+    // is all that matters -- whichever pointer such a reader grabbed, its
+    // seqlock validation rejects the lookup (this exclusive section
+    // bumped the sequence), so it never acts on either index's contents.
+    index_graveyard_.push_back(std::move(index_));
+    auto fresh = std::make_unique<index::DramHashIndex>();
+    opt_index_.store(fresh.get(), std::memory_order_release);
+    index_ = std::move(fresh);
     used_buckets_ = 0;
     for (size_t b = 0; b < active_buckets_; ++b) {
       if (!GetBucketFlag(b)) {
@@ -1395,6 +1500,26 @@ void PnwStore::ResetWearAndMetrics() {
   // bench inherits the warm-up's PUT count and retrains early (or late).
   puts_since_retrain_ = 0;
   wear_ = std::make_unique<nvm::WearTracker>(device_.get(), bucket_bytes_);
+}
+
+void PnwStore::RefreshArenaStats() {
+  util::ArenaStats total = device_->arena_stats();
+  const auto fold = [&total](const util::ArenaStats& s) {
+    total.slabs += s.slabs;
+    total.slab_bytes += s.slab_bytes;
+    total.live_bytes += s.live_bytes;
+    total.high_water_bytes += s.high_water_bytes;
+    total.allocations += s.allocations;
+    total.freelist_hits += s.freelist_hits;
+  };
+  if (const auto* idx = opt_index_.load(std::memory_order_acquire)) {
+    fold(idx->arena_stats());
+  }
+  fold(staging_arena_.Stats());
+  metrics_.arena_slabs = total.slabs;
+  metrics_.arena_slab_bytes = total.slab_bytes;
+  metrics_.arena_live_bytes = total.live_bytes;
+  metrics_.arena_high_water_bytes = total.high_water_bytes;
 }
 
 }  // namespace pnw::core

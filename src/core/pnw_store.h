@@ -1,8 +1,10 @@
 #ifndef PNW_CORE_PNW_STORE_H_
 #define PNW_CORE_PNW_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "src/core/pnw_options.h"
 #include "src/index/key_index.h"
 #include "src/nvm/nvm_device.h"
+#include "src/util/arena.h"
 #include "src/nvm/start_gap.h"
 #include "src/nvm/wear_tracker.h"
 #include "src/persist/op_log.h"
@@ -24,6 +27,10 @@
 namespace pnw::persist {
 class SnapshotReader;
 }  // namespace pnw::persist
+
+namespace pnw::index {
+class DramHashIndex;
+}  // namespace pnw::index
 
 namespace pnw::core {
 
@@ -66,7 +73,10 @@ class PnwStore {
   ///     knobs, StoreMetrics gained migrations/gap_moves/wear_device_ns,
   ///     the wear section carries the physical-slot histogram, and a new
   ///     remap section serializes the Start-Gap registers.
-  static constexpr uint32_t kSnapshotVersion = 4;
+  /// v5: raw-speed ceiling -- StoreMetrics gained the optimistic-read
+  ///     split (optimistic_gets/locked_gets/optimistic_retries). The
+  ///     arena gauges are snapshots of process RAM and are NOT serialized.
+  static constexpr uint32_t kSnapshotVersion = 5;
   /// The op-log of a checkpoint at `path` lives at `path + kOpLogSuffix`.
   static constexpr const char* kOpLogSuffix = ".oplog";
 
@@ -171,12 +181,31 @@ class PnwStore {
       PNW_REQUIRES(mu_);
 
   /// Section V-B4: index lookup + data-zone read. One copy, straight from
-  /// device memory into the returned vector. Hits bump `gets`, misses
-  /// (index NotFound, or a key-mismatched bucket -> Internal) bump
-  /// `get_misses`; the simulated device time lands in `get_device_ns` on
-  /// every exit that read the device, mismatches included. Safe to call
-  /// concurrently with other Get/MultiGet calls (see class comment).
+  /// device memory into the returned vector. Hits bump `gets` and
+  /// `locked_gets`, misses (index NotFound, or a key-mismatched bucket ->
+  /// Internal) bump `get_misses`; the simulated device time lands in
+  /// `get_device_ns` on every exit that read the device, mismatches
+  /// included. Safe to call concurrently with other Get/MultiGet calls
+  /// (see class comment).
   Result<std::vector<uint8_t>> Get(uint64_t key) PNW_REQUIRES_SHARED(mu_);
+
+  /// Seqlock optimistic Get: the same read as Get(), performed WITHOUT
+  /// taking mu_ -- the reader snapshots the shard's sequence word
+  /// (SharedMutex::OptimisticSeq), runs the lock-free index lookup +
+  /// byte-wise-atomic bucket copy, and only trusts the result if the
+  /// sequence validates (no writer entered in between). Returns
+  /// std::nullopt when the caller must fall back to the locked path:
+  /// optimistic reads disabled, the index has no lock-free lookup
+  /// (NVM path hashing), or the conflict-retry budget was exhausted.
+  /// A returned value carries full Get() accounting (hits bump `gets` and
+  /// `optimistic_gets`; validated misses bump `get_misses`); discarded
+  /// conflicting attempts bump only `optimistic_retries`.
+  ///
+  /// Safe to call with NO lock held, concurrently with writers -- that is
+  /// its whole point. ShardedPnwStore::Get/MultiGet try it first and fall
+  /// back to ReaderLock + Get().
+  std::optional<Result<std::vector<uint8_t>>> TryGetOptimistic(uint64_t key)
+      PNW_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Batched Get: one Result per key, in key order. Same accounting and
   /// concurrency contract as Get; ShardedPnwStore builds its shard-grouped
@@ -277,6 +306,13 @@ class PnwStore {
   /// warm-up so only measured traffic is scored).
   void ResetWearAndMetrics() PNW_REQUIRES(mu_);
 
+  /// Re-snapshot the arena gauges (metrics().arena_*) from the store's
+  /// arenas: the device's data array, the DRAM index's nodes/tables (when
+  /// DRAM-resident), and the bucket staging buffer. Gauges are written as
+  /// relaxed counters, so shared suffices; ShardedPnwStore's
+  /// AggregatedMetrics refreshes every shard before summing.
+  void RefreshArenaStats() PNW_REQUIRES_SHARED(mu_);
+
   /// Data-zone bucket geometry (exposed for tests and benches). Addresses
   /// everywhere above the device -- index entries, pool free-lists, the
   /// occupancy bitmap, the per-bucket wear histogram -- are *logical*
@@ -294,6 +330,15 @@ class PnwStore {
   }
 
  private:
+  /// Lock-free translation for TryGetOptimistic. The remapper_ pointer
+  /// itself is set once in Init and never reseated, so dereferencing it
+  /// without the capability is safe; the *registers* it reads are relaxed
+  /// atomics whose possibly-stale value the seqlock validation vets.
+  uint64_t PhysBucketAddrOptimistic(size_t bucket) const
+      PNW_NO_THREAD_SAFETY_ANALYSIS {
+    return remapper_ != nullptr ? remapper_->TranslateOptimistic(bucket)
+                                : BucketAddr(bucket);
+  }
   explicit PnwStore(const PnwOptions& options);
 
   Status Init() PNW_REQUIRES(mu_);
@@ -410,6 +455,19 @@ class PnwStore {
   /// them alone and checkpoints serialize them (kSectionRemap).
   std::unique_ptr<nvm::StartGapRemapper> remapper_ PNW_GUARDED_BY(mu_);
   std::unique_ptr<index::KeyIndex> index_ PNW_GUARDED_BY(mu_);
+  /// Lock-free mirror of index_ for the optimistic read path: points at
+  /// index_'s object when it is the arena-backed DRAM index (whose
+  /// TryGetOptimistic is safe against concurrent mutators), nullptr when
+  /// it is NVM path hashing (optimistic reads unsupported -> callers fall
+  /// back to the locked path). Reseated only under the exclusive lock.
+  std::atomic<index::DramHashIndex*> opt_index_{nullptr};
+  /// Indexes replaced by SimulateCrashAndRecover are retired here instead
+  /// of freed: a concurrent optimistic reader may still be traversing the
+  /// old one, and its seqlock validation (not a use-after-free crash) is
+  /// what must reject the stale lookup. Bounded by the number of simulated
+  /// crashes in the store's lifetime.
+  std::vector<std::unique_ptr<index::KeyIndex>> index_graveyard_
+      PNW_GUARDED_BY(mu_);
   std::unique_ptr<ModelManager> manager_ PNW_GUARDED_BY(mu_);
   std::shared_ptr<const ValueModel> model_ PNW_GUARDED_BY(mu_);
   DynamicAddressPool pool_ PNW_GUARDED_BY(mu_);
@@ -466,7 +524,13 @@ class PnwStore {
   /// MultiPut. Capacity persists across operations -- the steady-state
   /// write path allocates nothing.
   FeatureScratch predict_scratch_ PNW_GUARDED_BY(mu_);
-  std::vector<uint8_t> bucket_scratch_ PNW_GUARDED_BY(mu_);
+  /// [key|value] bucket staging, carved from the staging arena at Init
+  /// (fixed bucket_bytes_ size, 64-byte aligned) -- the write path's last
+  /// per-op heap allocation moved into arena memory like the device array
+  /// and the index nodes.
+  util::Arena staging_arena_ PNW_GUARDED_BY(mu_){
+      util::Arena::Options{.slab_bytes = 4096}};
+  std::span<uint8_t> bucket_scratch_ PNW_GUARDED_BY(mu_);
   std::vector<size_t> batch_labels_ PNW_GUARDED_BY(mu_);
   std::vector<persist::OpLogEntry> pending_log_ PNW_GUARDED_BY(mu_);
   std::vector<size_t> pending_log_slots_ PNW_GUARDED_BY(mu_);

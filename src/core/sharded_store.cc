@@ -455,6 +455,12 @@ Status ShardedPnwStore::Put(uint64_t key, std::span<const uint8_t> value) {
 
 Result<std::vector<uint8_t>> ShardedPnwStore::Get(uint64_t key) {
   PnwStore& shard = *shards_[ShardOf(key)];
+  // Fastest path: seqlock optimistic read, no lock acquired at all. Falls
+  // through on a seqlock conflict, when optimistic reads are disabled, or
+  // when the shard's index has no lock-free lookup (NVM path hashing).
+  if (auto fast = shard.TryGetOptimistic(key)) {
+    return std::move(*fast);
+  }
   // Shared: readers of the same shard proceed in parallel (the PnwStore
   // read path is Peek + relaxed atomics, see its thread-safety contract).
   util::ReaderLock lock(shard.mu());
@@ -538,11 +544,29 @@ std::vector<Result<std::vector<uint8_t>>> ShardedPnwStore::MultiGet(
         for (const size_t slot : slots) {
           shard_keys.push_back(keys[slot]);
         }
-        // One *shared*-lock acquisition per involved shard, however many
-        // keys the batch routes to it.
+        // Optimistic first for every key, lock-free; then AT MOST one
+        // *shared*-lock acquisition per involved shard for the keys whose
+        // optimistic attempt fell through.
         PnwStore& shard = *shards_[s];
-        util::ReaderLock lock(shard.mu());
-        return shard.MultiGet(shard_keys);
+        std::vector<Result<std::vector<uint8_t>>> results;
+        results.reserve(shard_keys.size());
+        std::vector<size_t> fallback;
+        for (size_t i = 0; i < shard_keys.size(); ++i) {
+          if (auto fast = shard.TryGetOptimistic(shard_keys[i])) {
+            results.push_back(std::move(*fast));
+          } else {
+            results.emplace_back(
+                Status::Internal("unresolved optimistic slot"));
+            fallback.push_back(i);
+          }
+        }
+        if (!fallback.empty()) {
+          util::ReaderLock lock(shard.mu());
+          for (const size_t i : fallback) {
+            results[i] = shard.Get(shard_keys[i]);
+          }
+        }
+        return results;
       });
 }
 
@@ -583,8 +607,12 @@ ShardedMetrics ShardedPnwStore::AggregatedMetrics() const {
     // stalls the readers it is measuring (writers still exclude it). The
     // const ref makes the const (shared-capability) overloads of pool()
     // and device() apply below.
-    const PnwStore& store = *shards_[i];
+    PnwStore& mutable_store = *shards_[i];
+    const PnwStore& store = mutable_store;
     util::ReaderLock lock(store.mu());
+    // Re-snapshot the arena gauges before summing them: they describe
+    // current allocator state, not accumulated history.
+    mutable_store.RefreshArenaStats();
     const StoreMetrics& m = store.metrics();
     aggregated.totals.Accumulate(m);
     ShardSummary summary;

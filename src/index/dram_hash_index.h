@@ -1,12 +1,13 @@
 #ifndef PNW_INDEX_DRAM_HASH_INDEX_H_
 #define PNW_INDEX_DRAM_HASH_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/index/key_index.h"
+#include "src/util/arena.h"
 
 namespace pnw::index {
 
@@ -14,14 +15,38 @@ namespace pnw::index {
 /// (at the cost of a rebuild on recovery, which `PnwStore` exercises in its
 /// crash-recovery test). Deletions keep a tombstone to mirror the paper's
 /// flag-bit semantics.
+///
+/// Layout: an open-chaining hash whose nodes and bucket arrays live in an
+/// owned arena. This buys two things over the previous unordered_map:
+///  - zero heap churn on the hot path (a delete+reinsert cycle recycles the
+///    tombstoned node in place; new nodes come from the arena free list);
+///  - a lock-free *optimistic* lookup (TryGetOptimistic) for the seqlock
+///    Get path. Nodes are never freed or reused for a different key while
+///    the index is alive, and retired bucket arrays stay mapped in the
+///    arena, so a reader racing a writer can always dereference safely;
+///    the seqlock validation discards any torn result afterwards.
+///
+/// Mutators (Put/Delete) are externally serialized by the owning store's
+/// exclusive lock, exactly like before; Get and TryGetOptimistic are safe
+/// concurrently with them.
 class DramHashIndex final : public KeyIndex {
  public:
-  DramHashIndex() = default;
+  DramHashIndex();
+  ~DramHashIndex() override = default;  // nodes are trivially destructible
 
   Status Put(uint64_t key, uint64_t addr) override;
   Result<uint64_t> Get(uint64_t key) const override;
   Status Delete(uint64_t key) override;
   size_t size() const override { return live_; }
+
+  /// Lock-free bounded lookup for the seqlock optimistic read path.
+  /// Returns kHit with *addr set, kMiss when the key is absent/tombstoned,
+  /// or kOverflow when the traversal exceeded its step bound (a writer is
+  /// restructuring the table) -- the caller falls back to the locked path.
+  /// Any value observed here MUST be discarded unless the caller's seqlock
+  /// validation succeeds.
+  enum class OptLookup { kHit, kMiss, kOverflow };
+  OptLookup TryGetOptimistic(uint64_t key, uint64_t* addr) const;
 
   /// All live (key, addr) mappings, in unspecified order. Tombstones are
   /// skipped: a dead entry is observationally identical to an absent one
@@ -29,12 +54,31 @@ class DramHashIndex final : public KeyIndex {
   /// serialize only the live set.
   std::vector<std::pair<uint64_t, uint64_t>> LiveEntries() const;
 
+  /// Allocator counters of the arena holding nodes and bucket arrays.
+  util::ArenaStats arena_stats() const { return arena_.Stats(); }
+
  private:
-  struct Entry {
-    uint64_t addr;
-    bool live;
+  struct Node {
+    uint64_t key;                  // immutable after publication
+    std::atomic<uint64_t> addr;
+    std::atomic<bool> live;
+    std::atomic<Node*> next;
   };
-  std::unordered_map<uint64_t, Entry> map_;
+
+  /// One resolved bucket array; readers snapshot the table pointer, so a
+  /// rehash can swing to a bigger array without invalidating them.
+  struct Table {
+    std::atomic<Node*>* buckets;
+    size_t mask;  // bucket_count - 1 (power of two)
+  };
+
+  static uint64_t Mix(uint64_t key);
+  Node* FindNode(const Table& table, uint64_t key) const;
+  void Rehash();
+
+  util::Arena arena_;
+  std::atomic<Table*> table_;
+  size_t nodes_ = 0;  // live + tombstoned (rehash threshold)
   size_t live_ = 0;
 };
 

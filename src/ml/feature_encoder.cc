@@ -1,8 +1,9 @@
 #include "src/ml/feature_encoder.h"
 
 #include <algorithm>
-#include <array>
 #include <vector>
+
+#include "src/util/simd.h"
 
 namespace pnw::ml {
 
@@ -45,28 +46,13 @@ void BitFeatureEncoder::Encode(std::span<const uint8_t> value,
     return;
   }
   // dims_ is a multiple of 8: byte i's bits land on the aligned 8-feature
-  // slot at (i*8) mod dims_. Each byte is expanded via a LUT into eight
-  // 0/1 byte lanes of a uint64 and accumulated with a single add -- one
-  // add per input byte, dense or sparse.
-  static const std::array<uint64_t, 256>& kSpread = [] {
-    static std::array<uint64_t, 256> table{};
-    for (unsigned v = 0; v < 256; ++v) {
-      uint64_t spread = 0;
-      for (unsigned b = 0; b < 8; ++b) {
-        spread |= static_cast<uint64_t>((v >> b) & 1) << (8 * b);
-      }
-      table[v] = spread;
-    }
-    return table;
-  }();
-
+  // slot at (i*8) mod dims_. Each byte is expanded via simd::kBitSpread
+  // into eight 0/1 byte lanes of a uint64 and accumulated with a single
+  // add -- one add per input byte, dense or sparse -- by the dispatched
+  // encode_accumulate kernel.
   const size_t num_slots = dims_ / 8;
   lanes_scratch.assign(num_slots, 0);
   std::vector<uint64_t>& lanes = lanes_scratch;
-  // Each lane is one byte wide: flush before 256 accumulations per slot.
-  const size_t flush_every = 255 * num_slots;
-  size_t since_flush = 0;
-  size_t slot = 0;
   auto flush = [&]() {
     for (size_t s = 0; s < num_slots; ++s) {
       uint64_t packed = lanes[s];
@@ -76,19 +62,24 @@ void BitFeatureEncoder::Encode(std::span<const uint8_t> value,
       }
       lanes[s] = 0;
     }
-    since_flush = 0;
   };
-  for (size_t i = 0; i < n; i += byte_stride_) {
-    lanes[slot] += kSpread[value[i]];
-    ++slot;
-    if (slot == num_slots) {
-      slot = 0;
-    }
-    if (++since_flush == flush_every) {
-      flush();
-    }
+  // Each lane is one byte wide: flush before 256 accumulations per slot.
+  // flush_every is a multiple of num_slots, so every chunk starts at slot 0
+  // (the kernel's precondition).
+  const size_t flush_every = 255 * num_slots;
+  const size_t count = (n + byte_stride_ - 1) / byte_stride_;
+  const auto& kernels = simd::Kernels();
+  size_t done = 0;
+  while (done < count) {
+    const size_t chunk = std::min(flush_every, count - done);
+    kernels.encode_accumulate(value.data() + done * byte_stride_, chunk,
+                              byte_stride_, num_slots, lanes.data());
+    flush();
+    done += chunk;
   }
-  flush();
+  if (count == 0) {
+    flush();
+  }
 }
 
 Matrix BitFeatureEncoder::EncodeBatch(

@@ -1,0 +1,244 @@
+// AVX2 kernels. This translation unit is compiled with -mavx2 on x86 (see
+// src/CMakeLists.txt) and must therefore only be entered through the
+// dispatch table: Avx2KernelTable() returns nullptr unless the *running*
+// CPU reports AVX2, so no AVX2 instruction is ever reached on a host
+// without it. On non-x86 targets the whole TU collapses to the nullptr
+// stub.
+//
+// Bit-identity with the scalar reference (see src/util/simd.h): the float
+// kernels use separate _mm256_mul_ps/_mm256_add_ps (never FMA -- one
+// rounding per op, exactly like the scalar striped loop, which is compiled
+// with -ffp-contract=off), vector lane l accumulates exactly the elements
+// scalar stripe l accumulates, and both reduce through the shared
+// ReduceDotLanes/ReduceCenteredLanes trees. The integer kernels are exact.
+
+#include "src/util/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace pnw::simd {
+
+namespace {
+
+float DotAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  const size_t main = n - n % 8;
+  size_t i = 0;
+  for (; i < main; i += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, prod);
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (; i < n; ++i) {
+    lanes[i - main] += a[i] * b[i];
+  }
+  return ReduceDotLanes(lanes);
+}
+
+size_t ArgminCentroidsAvx2(const float* x, const float* centroids,
+                           const float* norms, size_t k, size_t dims,
+                           float* best_score) {
+  size_t best = 0;
+  float best_val = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < k; ++c) {
+    const float score =
+        norms[c] - 2.0f * DotAvx2(x, centroids + c * dims, dims);
+    if (score < best_val) {
+      best_val = score;
+      best = c;
+    }
+  }
+  *best_score = best_val;
+  return best;
+}
+
+double DotCenteredAvx2(const float* a, const float* b, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const size_t main = n - n % 4;
+  size_t i = 0;
+  for (; i < main; i += 4) {
+    // Multiply in float (rounds exactly like the scalar reference), then
+    // widen the 4 products to double and accumulate per stripe.
+    const __m128 prod =
+        _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    acc = _mm256_add_pd(acc, _mm256_cvtps_pd(prod));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (; i < n; ++i) {
+    lanes[i - main] += static_cast<double>(a[i] * b[i]);
+  }
+  return ReduceCenteredLanes(lanes);
+}
+
+void EncodeAccumulateAvx2(const uint8_t* value, size_t count, size_t stride,
+                          size_t num_slots, uint64_t* lanes) {
+  // The vector form processes one full round (all slots) at a time, four
+  // slots per gather+add. Narrow folds have no room for that; integer adds
+  // are exact either way, so any split is bit-identical.
+  const auto* spread =
+      reinterpret_cast<const long long*>(kBitSpread.data());
+  size_t t = 0;
+  if (num_slots >= 4) {
+    const size_t rounds = count / num_slots;
+    const size_t slots4 = num_slots - num_slots % 4;
+    for (size_t r = 0; r < rounds; ++r) {
+      const size_t base = r * num_slots;
+      size_t s = 0;
+      for (; s < slots4; s += 4) {
+        const size_t v = (base + s) * stride;
+        const __m128i idx = _mm_set_epi32(
+            value[v + 3 * stride], value[v + 2 * stride], value[v + stride],
+            value[v]);
+        const __m256i gathered = _mm256_i32gather_epi64(spread, idx, 8);
+        __m256i* lane_ptr = reinterpret_cast<__m256i*>(lanes + s);
+        _mm256_storeu_si256(
+            lane_ptr,
+            _mm256_add_epi64(_mm256_loadu_si256(lane_ptr), gathered));
+      }
+      for (; s < num_slots; ++s) {
+        lanes[s] += kBitSpread[value[(base + s) * stride]];
+      }
+    }
+    t = rounds * num_slots;
+  }
+  // Partial tail round (and the whole stream when num_slots < 4).
+  size_t slot = t % num_slots;
+  for (; t < count; ++t) {
+    lanes[slot] += kBitSpread[value[t * stride]];
+    if (++slot == num_slots) {
+      slot = 0;
+    }
+  }
+}
+
+/// Horizontal sum of the 4 uint64 lanes of a __m256i.
+uint64_t HorizontalSum64(__m256i v) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+/// Mula's nibble-LUT popcount of a 32-byte vector, accumulated per 64-bit
+/// lane via SAD against zero.
+__m256i PopcountLanes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+uint64_t PopcountBytesAvx2(const uint8_t* p, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    acc = _mm256_add_epi64(acc, PopcountLanes(v));
+  }
+  uint64_t total = HorizontalSum64(acc);
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    total += static_cast<uint64_t>(std::popcount(w));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(std::popcount(p[i]));
+  }
+  return total;
+}
+
+uint64_t HammingBytesAvx2(const uint8_t* a, const uint8_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, PopcountLanes(_mm256_xor_si256(va, vb)));
+  }
+  uint64_t total = HorizontalSum64(acc);
+  for (; i + 8 <= n; i += 8) {
+    uint64_t wa;
+    uint64_t wb;
+    std::memcpy(&wa, a + i, 8);
+    std::memcpy(&wb, b + i, 8);
+    total += static_cast<uint64_t>(std::popcount(wa ^ wb));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(
+        std::popcount(static_cast<uint8_t>(a[i] ^ b[i])));
+  }
+  return total;
+}
+
+size_t NextDirtyWordAvx2(const uint8_t* resident, const uint8_t* incoming,
+                         size_t from, size_t words) {
+  size_t w = from;
+  // Four words per compare: a clean 32-byte block is skipped with one
+  // cmpeq+movemask; a dirty block falls through to the word probe below.
+  for (; w + 4 <= words; w += 4) {
+    const __m256i r = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(resident + w * 8));
+    const __m256i i = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(incoming + w * 8));
+    const __m256i eq = _mm256_cmpeq_epi8(r, i);
+    const uint32_t mask = static_cast<uint32_t>(_mm256_movemask_epi8(eq));
+    if (mask != 0xffffffffu) {
+      // First dirty byte's word within the block.
+      const uint32_t dirty = ~mask;
+      return w + static_cast<size_t>(std::countr_zero(dirty)) / 8;
+    }
+  }
+  for (; w < words; ++w) {
+    uint64_t r;
+    uint64_t i;
+    std::memcpy(&r, resident + w * 8, 8);
+    std::memcpy(&i, incoming + w * 8, 8);
+    if (r != i) {
+      return w;
+    }
+  }
+  return words;
+}
+
+constexpr KernelTable kAvx2Table = {
+    Isa::kAvx2,        DotAvx2,          ArgminCentroidsAvx2,
+    DotCenteredAvx2,   EncodeAccumulateAvx2,
+    PopcountBytesAvx2, HammingBytesAvx2, NextDirtyWordAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2KernelTable() {
+  // Compile-time AVX2 (this TU) is necessary but not sufficient: the
+  // binary may run on an older CPU, so gate on the runtime check too.
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported ? &kAvx2Table : nullptr;
+}
+
+}  // namespace pnw::simd
+
+#else  // !defined(__AVX2__)
+
+namespace pnw::simd {
+
+const KernelTable* Avx2KernelTable() { return nullptr; }
+
+}  // namespace pnw::simd
+
+#endif  // defined(__AVX2__)

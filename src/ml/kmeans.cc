@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/util/random.h"
+#include "src/util/simd.h"
 #include "src/util/thread_pool.h"
 
 namespace pnw::ml {
@@ -64,17 +65,12 @@ void KMeansModel::ComputeCentroidNorms() {
 size_t KMeansModel::Predict(std::span<const float> features) const {
   // ‖x − c‖² = ‖x‖² + ‖c‖² − 2·x·c; ‖x‖² is the same for every candidate,
   // so the argmin needs only the precomputed ‖c‖² and one dot per centroid.
-  size_t best = 0;
-  float best_score = std::numeric_limits<float>::max();
-  for (size_t c = 0; c < centroids_.rows(); ++c) {
-    const float score = centroid_norms_[c] -
-                        2.0f * DotProduct(features, centroids_.Row(c));
-    if (score < best_score) {
-      best_score = score;
-      best = c;
-    }
-  }
-  return best;
+  // The fused kernel walks the row-major centroid matrix directly (strict
+  // less-than, first index wins -- identical tie behavior on every ISA).
+  float best_score;
+  return simd::Kernels().argmin_centroids(
+      features.data(), centroids_.data().data(), centroid_norms_.data(),
+      centroids_.rows(), centroids_.cols(), &best_score);
 }
 
 std::vector<size_t> KMeansModel::RankClusters(

@@ -1,5 +1,7 @@
 #include "src/ml/matrix.h"
 
+#include "src/util/simd.h"
+
 namespace pnw::ml {
 
 void Matrix::AppendRow(std::span<const float> row) {
@@ -11,11 +13,9 @@ void Matrix::AppendRow(std::span<const float> row) {
 }
 
 float DotProduct(std::span<const float> a, std::span<const float> b) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    acc += a[i] * b[i];
-  }
-  return acc;
+  // Striped-lane kernel: bit-identical across every dispatch target (see
+  // src/util/simd.h), so model predictions are machine-independent.
+  return simd::Kernels().dot(a.data(), b.data(), a.size());
 }
 
 float SquaredDistance(std::span<const float> a, std::span<const float> b) {

@@ -45,10 +45,10 @@ class Matrix {
 /// Squared Euclidean distance between two equal-length vectors.
 float SquaredDistance(std::span<const float> a, std::span<const float> b);
 
-/// Inner product of two equal-length vectors. The single fused loop is the
-/// auto-vectorizable kernel behind KMeansModel::Predict's
-/// "‖c‖² − 2·x·c" distance form and PcaModel::Transform's per-component
-/// projection over a pre-centered sample.
+/// Inner product of two equal-length vectors, routed through the
+/// runtime-dispatched striped-lane kernel (src/util/simd.h). Backs
+/// KMeansModel's "‖c‖² − 2·x·c" distance form; bit-identical across every
+/// dispatch target, so predictions never depend on the host ISA.
 float DotProduct(std::span<const float> a, std::span<const float> b);
 
 }  // namespace pnw::ml

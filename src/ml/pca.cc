@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/random.h"
+#include "src/util/simd.h"
 
 namespace pnw::ml {
 
@@ -20,15 +21,14 @@ void PcaModel::Transform(std::span<const float> sample, std::span<float> out,
   for (size_t j = 0; j < d; ++j) {
     centered_scratch[j] = sample[j] - mean_[j];
   }
-  // Pure dot product per component, double-accumulated exactly like the
-  // historical single-loop form so trained pipelines stay bit-identical.
+  // Striped float-multiply / double-accumulate dot per component (see
+  // src/util/simd.h): bit-identical across dispatch targets, so a trained
+  // pipeline projects the same on every machine.
+  const auto& kernels = simd::Kernels();
   for (size_t c = 0; c < components_.rows(); ++c) {
     const auto comp = components_.Row(c);
-    double acc = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      acc += centered_scratch[j] * comp[j];
-    }
-    out[c] = static_cast<float>(acc);
+    out[c] = static_cast<float>(
+        kernels.dot_centered(centered_scratch.data(), comp.data(), d));
   }
 }
 

@@ -5,14 +5,26 @@
 #include <cstring>
 #include <type_traits>
 
+#include "src/util/atomic_bytes.h"
 #include "src/util/hamming.h"
+#include "src/util/simd.h"
 
 namespace pnw::nvm {
+
+namespace {
+
+util::Arena::Options DeviceArenaOptions(const NvmConfig& config) {
+  util::Arena::Options options;
+  options.huge_pages = config.huge_pages;
+  return options;
+}
+
+}  // namespace
 
 NvmDevice::NvmDevice(const NvmConfig& config)
     : config_(config),
       latency_model_(config.latency),
-      data_(config.size_bytes, 0),
+      arena_(DeviceArenaOptions(config)),
       word_write_counts_((config.size_bytes + config.word_bytes - 1) /
                              config.word_bytes,
                          0),
@@ -20,13 +32,17 @@ NvmDevice::NvmDevice(const NvmConfig& config)
           (config.size_bytes + config.cache_line_bytes - 1) /
               config.cache_line_bytes,
           0) {
+  size_ = config_.size_bytes;
+  data_ = static_cast<uint8_t*>(
+      arena_.Allocate(size_ > 0 ? size_ : 1, /*align=*/4096));
+  std::memset(data_, 0, size_);  // mmap zeroes, the fallback path may not
   if (config_.track_bit_wear) {
     bit_write_counts_.assign(config_.size_bytes * 8, 0);
   }
 }
 
 Status NvmDevice::CheckRange(uint64_t addr, size_t len) const {
-  if (addr + len > data_.size() || addr + len < addr) {
+  if (addr + len > size_ || addr + len < addr) {
     return Status::InvalidArgument("NVM access out of bounds");
   }
   return Status::OK();
@@ -46,7 +62,7 @@ Status NvmDevice::ConsumeWriteFault() {
 
 Status NvmDevice::Read(uint64_t addr, std::span<uint8_t> out) {
   PNW_RETURN_IF_ERROR(CheckRange(addr, out.size()));
-  std::memcpy(out.data(), data_.data() + addr, out.size());
+  std::memcpy(out.data(), data_ + addr, out.size());
   const uint64_t first_line = addr / config_.cache_line_bytes;
   const uint64_t last_line =
       out.empty() ? first_line
@@ -62,7 +78,7 @@ std::span<const uint8_t> NvmDevice::Peek(uint64_t addr, size_t len) const {
   if (!CheckRange(addr, len).ok()) {
     return {};
   }
-  return std::span<const uint8_t>(data_.data() + addr, len);
+  return std::span<const uint8_t>(data_ + addr, len);
 }
 
 double NvmDevice::ReadCostNs(uint64_t addr, size_t len) const {
@@ -112,7 +128,7 @@ Result<WriteResult> NvmDevice::WriteConventional(
       }
     }
   }
-  std::memcpy(data_.data() + addr, data.data(), data.size());
+  util::AtomicStoreBytes(data_ + addr, data.data(), data.size());
 
   result.latency_ns = latency_model_.NvmWriteCostNs(result.lines_written);
   counters_.total_bits_written += result.bits_written;
@@ -130,8 +146,12 @@ void NvmDevice::DiffWords(uint64_t addr, std::span<const uint8_t> data,
   // the device's word grid -- a partial head/tail unit is loaded through a
   // short zero-padded memcpy (equal padding XORs to zero), a full unit
   // through a single unaligned 8-byte load. One XOR + popcount decides a
-  // whole word; clean words cost no byte work at all. Because a word unit
-  // never straddles a cache line here (8 | cache_line_bytes), per-unit line
+  // whole word; clean words cost no byte work at all, and the fully-covered
+  // middle region is scanned for dirty words by the dispatched
+  // next_dirty_word kernel (32 bytes per compare on AVX2), which only ever
+  // skips words this loop would `continue` over -- the accounting below is
+  // bit-identical to visiting every word. Because a word unit never
+  // straddles a cache line here (8 | cache_line_bytes), per-unit line
   // attribution is exact, and because units are visited in address order
   // the `prev_line` dedup reproduces the byte loop's line counting.
   const size_t wb = config_.word_bytes;
@@ -139,11 +159,12 @@ void NvmDevice::DiffWords(uint64_t addr, std::span<const uint8_t> data,
   const bool track_bits = config_.track_bit_wear;
   uint64_t prev_line = UINT64_MAX;
   const uint64_t last_word = (end - 1) / wb;
-  for (uint64_t w = addr / wb; w <= last_word; ++w) {
+
+  auto process_word = [&](uint64_t w) {
     const uint64_t lo = std::max<uint64_t>(addr, w * wb);
     const uint64_t hi = std::min<uint64_t>(end, (w + 1) * wb);
     const size_t len = hi - lo;
-    uint8_t* resident = data_.data() + lo;
+    uint8_t* resident = data_ + lo;
     const uint8_t* incoming = data.data() + (lo - addr);
     uint64_t old_word = 0;
     uint64_t new_word = 0;
@@ -151,7 +172,7 @@ void NvmDevice::DiffWords(uint64_t addr, std::span<const uint8_t> data,
     std::memcpy(&new_word, incoming, len);
     const uint64_t diff = old_word ^ new_word;
     if (diff == 0) {
-      continue;
+      return;
     }
     result->bits_written += std::popcount(diff);
     if (track_bits) {
@@ -166,7 +187,7 @@ void NvmDevice::DiffWords(uint64_t addr, std::span<const uint8_t> data,
         }
       }
     }
-    std::memcpy(resident, incoming, len);
+    util::AtomicStoreBytes(resident, incoming, len);
     ++result->words_written;
     ++word_write_counts_[w];
     const uint64_t line = lo / config_.cache_line_bytes;
@@ -175,6 +196,30 @@ void NvmDevice::DiffWords(uint64_t addr, std::span<const uint8_t> data,
       ++line_write_counts_[line];
       prev_line = line;
     }
+  };
+
+  // Word grid split: at most one partial head word, a run of fully covered
+  // words, at most one partial tail word. (A single word partial on both
+  // ends makes full_begin > full_end; the head loop then covers it alone.)
+  const uint64_t full_begin = (addr + wb - 1) / wb;
+  const uint64_t full_end = end / wb;
+  uint64_t w = addr / wb;
+  for (; w <= last_word && w < full_begin; ++w) {
+    process_word(w);
+  }
+  if (full_begin < full_end) {
+    const uint8_t* resident_base = data_ + full_begin * wb;
+    const uint8_t* incoming_base = data.data() + (full_begin * wb - addr);
+    const size_t words = full_end - full_begin;
+    const auto next_dirty = simd::Kernels().next_dirty_word;
+    for (size_t idx = next_dirty(resident_base, incoming_base, 0, words);
+         idx < words;
+         idx = next_dirty(resident_base, incoming_base, idx + 1, words)) {
+      process_word(full_begin + idx);
+    }
+  }
+  for (w = std::max(full_begin, full_end); w <= last_word; ++w) {
+    process_word(w);
   }
 }
 
@@ -215,7 +260,7 @@ void NvmDevice::DiffBytesReference(uint64_t addr,
           d = static_cast<uint8_t>(d & (d - 1));
         }
       }
-      data_[addr + i] = new_byte;
+      util::AtomicStoreBytes(&data_[addr + i], &new_byte, 1);
     }
   };
   if (config_.track_bit_wear) {
@@ -263,14 +308,14 @@ Status NvmDevice::RestoreState(std::span<const uint8_t> contents,
                                std::span<const uint32_t> word_counts,
                                std::span<const uint32_t> line_counts,
                                std::span<const uint16_t> bit_counts) {
-  if (contents.size() != data_.size() ||
+  if (contents.size() != size_ ||
       word_counts.size() != word_write_counts_.size() ||
       line_counts.size() != line_write_counts_.size() ||
       bit_counts.size() != bit_write_counts_.size()) {
     return Status::Corruption(
         "checkpointed device state does not match this device's geometry");
   }
-  std::memcpy(data_.data(), contents.data(), contents.size());
+  util::AtomicStoreBytes(data_, contents.data(), contents.size());
   std::copy(word_counts.begin(), word_counts.end(),
             word_write_counts_.begin());
   std::copy(line_counts.begin(), line_counts.end(),

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/nvm/latency_model.h"
+#include "src/util/arena.h"
 #include "src/util/status.h"
 
 namespace pnw::nvm {
@@ -30,6 +31,10 @@ struct NvmConfig {
   /// the two -- or when the geometry rules the fast path out
   /// (word_bytes != 8, or a cache line not a multiple of a word).
   bool word_diff_writes = true;
+  /// Advise the kernel to back the simulated array with transparent huge
+  /// pages (best effort; see util::Arena::Options::huge_pages). Real PM is
+  /// mapped with huge pages too, so this is both a perf knob and fidelity.
+  bool huge_pages = false;
   /// Latency parameters for the simulated device.
   LatencyParams latency;
 };
@@ -79,8 +84,12 @@ class NvmDevice {
   NvmDevice(const NvmDevice&) = delete;
   NvmDevice& operator=(const NvmDevice&) = delete;
 
-  size_t size() const { return data_.size(); }
+  size_t size() const { return size_; }
   const NvmConfig& config() const { return config_; }
+
+  /// Allocator counters of the arena backing the simulated array (one big
+  /// lifetime allocation: slabs/high-water, no churn).
+  util::ArenaStats arena_stats() const { return arena_.Stats(); }
 
   /// Copy `out.size()` bytes starting at `addr` into `out`.
   /// Fails with InvalidArgument if the range is out of bounds.
@@ -122,7 +131,9 @@ class NvmDevice {
 
   /// The entire simulated memory, for checkpointing (equivalent to
   /// Peek(0, size()); no latency or counter effects).
-  std::span<const uint8_t> Contents() const { return data_; }
+  std::span<const uint8_t> Contents() const {
+    return std::span<const uint8_t>(data_, size_);
+  }
 
   /// Restore a checkpointed device verbatim: contents, cumulative
   /// counters, and the per-word / per-line / per-bit wear histograms
@@ -186,7 +197,12 @@ class NvmDevice {
   uint64_t fault_count_ = 0;
   NvmConfig config_;
   LatencyModel latency_model_;
-  std::vector<uint8_t> data_;
+  /// The simulated array lives in an mmap'd arena slab (huge-page advised
+  /// when configured), not a std::vector: one contiguous allocation whose
+  /// pages are never recycled, which the seqlock read path relies on.
+  util::Arena arena_;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
   std::vector<uint32_t> word_write_counts_;
   std::vector<uint32_t> line_write_counts_;
   std::vector<uint16_t> bit_write_counts_;

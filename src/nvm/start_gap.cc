@@ -15,19 +15,29 @@ StartGapRemapper::StartGapRemapper(NvmDevice* device, uint64_t base,
 uint64_t StartGapRemapper::Translate(size_t logical_block) const {
   // The i-th non-gap physical slot is i for i < gap, else i + 1; logical
   // blocks occupy non-gap slots rotated by start_.
-  const size_t idx = (logical_block + start_) % num_blocks_;
-  const size_t slot = idx < gap_ ? idx : idx + 1;
+  const size_t idx =
+      (logical_block + start_.load(std::memory_order_relaxed)) % num_blocks_;
+  const size_t slot =
+      idx < gap_.load(std::memory_order_relaxed) ? idx : idx + 1;
   return base_ + slot * block_bytes_;
+}
+
+uint64_t StartGapRemapper::TranslateOptimistic(size_t logical_block) const {
+  // Identical arithmetic; the separate name documents that callers must
+  // pair this with seqlock validation (a concurrent MoveGap can produce a
+  // translation that was never current).
+  return Translate(logical_block);
 }
 
 Status StartGapRemapper::MoveGap(uint64_t* moved_physical) {
   move_scratch_.resize(block_bytes_);
+  const uint64_t gap = gap_.load(std::memory_order_relaxed);
   uint64_t src = 0;
   uint64_t dst = 0;
-  if (gap_ > 0) {
+  if (gap > 0) {
     // Slide the block just below the gap up into it.
-    src = base_ + (gap_ - 1) * block_bytes_;
-    dst = base_ + gap_ * block_bytes_;
+    src = base_ + (gap - 1) * block_bytes_;
+    dst = base_ + gap * block_bytes_;
   } else {
     // Gap wrapped: the top slot's block moves to slot 0 and the start
     // pointer advances, completing one rotation step.
@@ -39,11 +49,13 @@ Status StartGapRemapper::MoveGap(uint64_t* moved_physical) {
   if (!write.ok()) {
     return write.status();
   }
-  if (gap_ > 0) {
-    --gap_;
+  if (gap > 0) {
+    gap_.store(gap - 1, std::memory_order_relaxed);
   } else {
-    gap_ = num_blocks_;
-    start_ = (start_ + 1) % num_blocks_;
+    gap_.store(num_blocks_, std::memory_order_relaxed);
+    start_.store(
+        (start_.load(std::memory_order_relaxed) + 1) % num_blocks_,
+        std::memory_order_relaxed);
     ++rotations_;
   }
   ++gap_moves_;

@@ -1,6 +1,7 @@
 #ifndef PNW_NVM_START_GAP_H_
 #define PNW_NVM_START_GAP_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -77,8 +78,9 @@ class StartGapRemapper {
 
   /// Translation-state snapshot for checkpointing.
   StartGapRegisters registers() const {
-    return StartGapRegisters{start_, gap_, writes_since_move_, gap_moves_,
-                             rotations_};
+    return StartGapRegisters{start_.load(std::memory_order_relaxed),
+                             gap_.load(std::memory_order_relaxed),
+                             writes_since_move_, gap_moves_, rotations_};
   }
   /// Restore checkpointed registers verbatim (recovery path). Rejects
   /// registers that cannot address this geometry with InvalidArgument.
@@ -92,6 +94,12 @@ class StartGapRemapper {
   /// Gap movements performed so far.
   uint64_t gap_moves() const { return gap_moves_; }
 
+  /// Lock-free translation for the seqlock optimistic Get path: same
+  /// arithmetic as Translate() over relaxed loads of the two registers. A
+  /// racing gap move can yield a stale physical address -- the caller's
+  /// seqlock validation discards the read in exactly that case.
+  uint64_t TranslateOptimistic(size_t logical_block) const;
+
  private:
   /// Move the block above the gap into the gap slot; shift the gap. On
   /// success `*moved_physical` (if non-null) receives the copy destination.
@@ -102,8 +110,12 @@ class StartGapRemapper {
   size_t num_blocks_;
   size_t block_bytes_;
   size_t gap_write_interval_;
-  size_t gap_ = 0;        // physical slot index of the gap (starts at top)
-  size_t start_ = 0;      // rotation offset
+  /// The two translation registers are relaxed atomics so the seqlock
+  /// optimistic Get can run Translate's arithmetic without the lock.
+  /// Mutations still happen only under the owning store's exclusive lock;
+  /// the counters below are never read concurrently and stay plain.
+  std::atomic<uint64_t> gap_{0};    // physical slot index of the gap
+  std::atomic<uint64_t> start_{0};  // rotation offset
   uint64_t writes_since_move_ = 0;
   uint64_t gap_moves_ = 0;
   uint64_t rotations_ = 0;

@@ -219,6 +219,9 @@ Result<std::shared_ptr<const core::ValueModel>> DecodeValueModel(
 void EncodeStoreMetrics(const core::StoreMetrics& m, BufferWriter& w) {
   w.PutU64(m.puts);
   w.PutU64(m.gets);
+  w.PutU64(m.optimistic_gets);
+  w.PutU64(m.locked_gets);
+  w.PutU64(m.optimistic_retries);
   w.PutU64(m.get_misses);
   w.PutU64(m.deletes);
   w.PutU64(m.updates);
@@ -249,10 +252,16 @@ Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m) {
   // The read-side slots are relaxed atomics wrapped for copyability, so
   // they decode through plain temporaries.
   uint64_t gets = 0;
+  uint64_t optimistic_gets = 0;
+  uint64_t locked_gets = 0;
+  uint64_t optimistic_retries = 0;
   uint64_t get_misses = 0;
   double get_device_ns = 0.0;
   PNW_RETURN_IF_ERROR(r.GetU64(&out.puts));
   PNW_RETURN_IF_ERROR(r.GetU64(&gets));
+  PNW_RETURN_IF_ERROR(r.GetU64(&optimistic_gets));
+  PNW_RETURN_IF_ERROR(r.GetU64(&locked_gets));
+  PNW_RETURN_IF_ERROR(r.GetU64(&optimistic_retries));
   PNW_RETURN_IF_ERROR(r.GetU64(&get_misses));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.deletes));
   PNW_RETURN_IF_ERROR(r.GetU64(&out.updates));
@@ -277,8 +286,13 @@ Status DecodeStoreMetrics(BufferReader& r, core::StoreMetrics* m) {
   PNW_RETURN_IF_ERROR(r.GetU64(&out.gap_moves));
   PNW_RETURN_IF_ERROR(r.GetDouble(&out.wear_device_ns));
   out.gets = gets;
+  out.optimistic_gets = optimistic_gets;
+  out.locked_gets = locked_gets;
+  out.optimistic_retries = optimistic_retries;
   out.get_misses = get_misses;
   out.get_device_ns = get_device_ns;
+  // The arena gauges (metrics().arena_*) are deliberately not serialized:
+  // they snapshot the reopened process's allocators, not store history.
   *m = out;
   return Status::OK();
 }

@@ -1,0 +1,51 @@
+// Byte-wise relaxed-atomic memcpy helpers for memory that seqlock
+// optimistic readers may scan while a (lock-serialized) writer mutates it.
+//
+// Under the seqlock protocol the *values* a racing reader observes are
+// discarded by the failed sequence validation -- but the C++ memory model
+// still calls a plain-load/plain-store overlap a data race (undefined
+// behavior, and a TSan report). Routing both sides through relaxed
+// std::atomic_ref<uint8_t> accesses makes the race defined with zero
+// fencing cost; on every relevant ABI a relaxed byte access compiles to
+// the same mov as a plain one.
+//
+// Writers inside an exclusive section never race with each other, so only
+// the stores (and reader-side loads) of seqlock-visible memory need these
+// helpers; writer-side *loads* of that memory can stay plain.
+#ifndef PNW_UTIL_ATOMIC_BYTES_H_
+#define PNW_UTIL_ATOMIC_BYTES_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pnw::util {
+
+/// memcpy(dst, src, n) with relaxed-atomic byte stores to dst.
+inline void AtomicStoreBytes(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    std::atomic_ref<uint8_t>(dst[i]).store(src[i],
+                                           std::memory_order_relaxed);
+  }
+}
+
+/// memcpy(dst, src, n) with relaxed-atomic byte loads from src.
+/// (atomic_ref of a const type is a C++26 feature; the const_cast is safe
+/// because load() never writes.)
+inline void AtomicLoadBytes(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = std::atomic_ref<uint8_t>(const_cast<uint8_t&>(src[i]))
+                 .load(std::memory_order_relaxed);
+  }
+}
+
+/// Fill dst[0, n) with `value` via relaxed-atomic byte stores.
+inline void AtomicFillBytes(uint8_t* dst, uint8_t value, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    std::atomic_ref<uint8_t>(dst[i]).store(value, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pnw::util
+
+#endif  // PNW_UTIL_ATOMIC_BYTES_H_

@@ -4,49 +4,30 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 #include <span>
+
+#include "src/util/simd.h"
 
 namespace pnw {
 
 /// Bit-level distance kernels. These are the innermost loops of both the
 /// NVM simulator's differential-write accounting and the baseline write
-/// schemes, so they are header-only and branch-light.
+/// schemes. Both span forms route through the runtime-dispatched kernel
+/// table (src/util/simd.h) so there is exactly one popcount-distance
+/// implementation per ISA — the word-at-a-time scalar reference lives in
+/// kernels_scalar.cc, and tests/kernels_test.cc keeps every target
+/// bit-identical to a naive byte loop.
 
 /// Number of set bits in a byte span.
 inline uint64_t PopCount(std::span<const uint8_t> data) {
-  uint64_t total = 0;
-  size_t i = 0;
-  // 8-byte strides via memcpy keep this alignment-safe and still vectorize.
-  for (; i + 8 <= data.size(); i += 8) {
-    uint64_t w;
-    std::memcpy(&w, data.data() + i, 8);
-    total += static_cast<uint64_t>(std::popcount(w));
-  }
-  for (; i < data.size(); ++i) {
-    total += static_cast<uint64_t>(std::popcount(data[i]));
-  }
-  return total;
+  return simd::Kernels().popcount_bytes(data.data(), data.size());
 }
 
 /// Hamming distance between two equal-length byte spans, in bits.
 /// Pre-condition: a.size() == b.size().
 inline uint64_t HammingDistance(std::span<const uint8_t> a,
                                 std::span<const uint8_t> b) {
-  uint64_t total = 0;
-  size_t i = 0;
-  for (; i + 8 <= a.size(); i += 8) {
-    uint64_t wa;
-    uint64_t wb;
-    std::memcpy(&wa, a.data() + i, 8);
-    std::memcpy(&wb, b.data() + i, 8);
-    total += static_cast<uint64_t>(std::popcount(wa ^ wb));
-  }
-  for (; i < a.size(); ++i) {
-    total += static_cast<uint64_t>(
-        std::popcount(static_cast<uint8_t>(a[i] ^ b[i])));
-  }
-  return total;
+  return simd::Kernels().hamming_bytes(a.data(), b.data(), a.size());
 }
 
 /// Hamming distance between two 64-bit words.

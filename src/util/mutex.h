@@ -16,12 +16,34 @@
 #ifndef PNW_UTIL_MUTEX_H_
 #define PNW_UTIL_MUTEX_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 
 #include "src/util/thread_annotations.h"
+
+// TSan cannot model standalone fences (GCC 12 even refuses to compile
+// atomic_thread_fence under -fsanitize=thread -Werror, and under clang
+// the fence is silently invisible to the race detector). Sanitizer
+// builds therefore substitute the seqlock's fence edges with RMW
+// operations on the sequence word itself: the acquire half of an
+// acq_rel RMW pins later accesses after it, the release half pins
+// earlier accesses before it -- the same one-way barriers the fences
+// provide -- at the cost of readers dirtying the seq cache line, which
+// only the sanitizer build pays.
+#if defined(__SANITIZE_THREAD__)
+#define PNW_SEQLOCK_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PNW_SEQLOCK_TSAN 1
+#endif
+#endif
+#ifndef PNW_SEQLOCK_TSAN
+#define PNW_SEQLOCK_TSAN 0
+#endif
 
 namespace pnw {
 namespace util {
@@ -45,20 +67,73 @@ class PNW_CAPABILITY("mutex") Mutex {
   std::mutex mu_;
 };
 
-// Reader/writer mutex. Wraps std::shared_mutex as a named capability.
+// Reader/writer mutex. Wraps std::shared_mutex as a named capability, and
+// embeds a seqlock sequence word so readers can validate a lock-free
+// optimistic pass instead of bouncing the shared-mutex cache line.
+//
+// Seqlock protocol (Boehm, "Can seqlocks get along with programming
+// language memory models?"):
+//  - Writers: Lock() stores seq+1 (odd: write in progress) right after
+//    acquiring the exclusive lock, with a release fence ordering the store
+//    before the writer's data writes; Unlock() stores seq+1 again (even)
+//    with release order *before* dropping the lock.
+//  - Readers: OptimisticSeq() acquire-loads the word; an odd value means a
+//    writer is inside and the caller should fall back to LockShared().
+//    After relaxed-atomic data reads, ValidateSeq(s) issues an acquire
+//    fence and re-checks the word: equal means no writer intervened and
+//    every value read is consistent; unequal means retry or fall back.
+//  - LockShared() does not touch the word: shared holders exclude writers
+//    by the mutex itself, and concurrent optimistic readers stay valid.
 class PNW_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() PNW_ACQUIRE() { mu_.lock(); }
-  void Unlock() PNW_RELEASE() { mu_.unlock(); }
+  void Lock() PNW_ACQUIRE() {
+    mu_.lock();
+#if PNW_SEQLOCK_TSAN
+    seq_.fetch_add(1, std::memory_order_acq_rel);
+#else
+    seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+#endif
+  }
+  void Unlock() PNW_RELEASE() {
+    seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+    mu_.unlock();
+  }
   void LockShared() PNW_ACQUIRE_SHARED() { mu_.lock_shared(); }
   void UnlockShared() PNW_RELEASE_SHARED() { mu_.unlock_shared(); }
 
+  /// Begin an optimistic read section. Odd result: a writer holds the
+  /// lock right now -- skip the optimistic pass.
+  uint64_t OptimisticSeq() const {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  /// End an optimistic read section started at sequence `s`. True means
+  /// no writer ran in between: every (relaxed-atomic) load inside the
+  /// section observed a consistent snapshot.
+  bool ValidateSeq(uint64_t s) const {
+#if PNW_SEQLOCK_TSAN
+    // fetch_add(0): a no-op RMW whose release half orders the section's
+    // data loads before the re-read (atomics are mutation-safe on a
+    // const receiver; the member is only non-mutable to keep the
+    // production build's pure-load path on a const method too).
+    return const_cast<std::atomic<uint64_t>&>(seq_).fetch_add(
+               0, std::memory_order_acq_rel) == s;
+#else
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) == s;
+#endif
+  }
+
  private:
   std::shared_mutex mu_;
+  std::atomic<uint64_t> seq_{0};
 };
 
 // RAII exclusive guard over Mutex (std::lock_guard analogue).

@@ -173,10 +173,12 @@ TEST(AllocationTest, StorePredictTimedPathIsAllocationFreeViaPut) {
     ASSERT_TRUE(store->Put(i % 128, value).ok());
   }
   const uint64_t per_op_x100 = (Allocations() - before) * 100 / kOps;
-  // The unordered_map index costs ~2 allocations per delete+reinsert
-  // cycle; everything else must be flat. Budget of 4/op leaves headroom
-  // without masking a reintroduced per-op vector in the hot pipeline.
-  EXPECT_LE(per_op_x100, 400u)
+  // The arena-backed index recycles a tombstoned node in place on a
+  // delete+reinsert cycle and the bucket staging buffer is arena memory,
+  // so the steady-state write path heap-allocates (almost) nothing. The
+  // budget of 1/op leaves room for amortized container growth without
+  // masking a reintroduced per-op vector in the hot pipeline.
+  EXPECT_LE(per_op_x100, 100u)
       << "write path allocates " << per_op_x100 / 100.0 << " per op";
 }
 

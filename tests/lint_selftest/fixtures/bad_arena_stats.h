@@ -1,0 +1,13 @@
+// Lint self-test fixture: an ArenaStats clone with one gauge
+// (`orphan_arena_gauge`) that the paired surface fixture never references.
+// The metrics-reconcile lint must report exactly that field. Never
+// compiled; consumed only by tests/lint_selftest/run_selftest.py.
+
+#include <cstdint>
+
+struct ArenaStats {
+  uint64_t slabs = 0;
+  uint64_t live_bytes = 0;
+  // Seeded violation: no reconciliation identity ever checks this.
+  uint64_t orphan_arena_gauge = 0;
+};

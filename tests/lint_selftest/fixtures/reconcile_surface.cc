@@ -1,11 +1,12 @@
 // Lint self-test fixture: the reconciliation surface paired with
-// bad_metrics.h and bad_server_metrics.h. References every field except
-// the seeded orphans, so the metrics-reconcile lint flags exactly those.
-// Never compiled.
+// bad_metrics.h, bad_server_metrics.h, and bad_arena_stats.h. References
+// every field except the seeded orphans, so the metrics-reconcile lint
+// flags exactly those. Never compiled.
 
 void ReconcileChecks() {
   assert(m.puts == expected_puts);
   assert(m.gets + misses == reads_served);
   assert(m.put_device_ns >= 0.0);
   assert(sm.frames_in == sm.frames_out + sm.dropped_responses);
+  assert(arena.slabs > 0 && arena.live_bytes <= mapped);
 }

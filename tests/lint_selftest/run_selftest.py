@@ -103,12 +103,25 @@ def main():
           want_substrings=["1 unreconciled ServerMetrics counter(s)",
                            "orphan_server_counter"])
 
-    # 6. ... and the real tree is clean (both ledgers).
+    # 5b. ... flags the seeded ArenaStats orphan (the memory layer's
+    #     ledger joined the lint's coverage with the arena allocator).
+    code, out = run([metrics_lint, "--root", ROOT,
+                     "--arena-header",
+                     os.path.join(FIXTURES, "bad_arena_stats.h"),
+                     "--surface",
+                     os.path.join(FIXTURES, "reconcile_surface.cc")])
+    check("metrics_reconcile rejects seeded arena orphan", code, out,
+          want_fail=True,
+          want_substrings=["1 unreconciled ArenaStats counter(s)",
+                           "orphan_arena_gauge"])
+
+    # 6. ... and the real tree is clean (all three ledgers).
     code, out = run([metrics_lint, "--root", ROOT])
     check("metrics_reconcile passes on the tree", code, out,
           want_fail=False,
           want_substrings=["StoreMetrics counters are reconciled",
-                           "ServerMetrics counters are reconciled"])
+                           "ServerMetrics counters are reconciled",
+                           "ArenaStats counters are reconciled"])
 
     status_lint = os.path.join(LINT_DIR, "status_discipline_lint.py")
     schema_lint = os.path.join(LINT_DIR, "snapshot_schema_lint.py")

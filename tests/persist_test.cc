@@ -78,6 +78,9 @@ class PersistTest : public ::testing::Test {
 void ExpectMetricsEqual(const StoreMetrics& a, const StoreMetrics& b) {
   EXPECT_EQ(a.puts, b.puts);
   EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.optimistic_gets, b.optimistic_gets);
+  EXPECT_EQ(a.locked_gets, b.locked_gets);
+  EXPECT_EQ(a.optimistic_retries, b.optimistic_retries);
   EXPECT_EQ(a.get_misses, b.get_misses);
   EXPECT_EQ(a.deletes, b.deletes);
   EXPECT_EQ(a.updates, b.updates);
